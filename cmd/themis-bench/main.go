@@ -1,0 +1,159 @@
+// Command themis-bench regenerates the tables and figures of the THEMIS
+// paper's evaluation (§7) and prints them as text series.
+//
+// Usage:
+//
+//	themis-bench [-scale quick|paper] [-seed N] [-run all|table1|fig6|
+//	              fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|sec75|
+//	              sec76|stw|ablation]
+//
+// The quick scale (default) shrinks durations and source rates so the
+// whole suite finishes in well under a minute; the paper scale runs the
+// full query counts. Shapes — who wins, by what factor, where trends
+// bend — are preserved at both scales; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or paper")
+	seed := flag.Int64("seed", 1, "root random seed")
+	run := flag.String("run", "all", "comma-separated experiment list or 'all'")
+	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
+	flag.Parse()
+
+	var csv *experiments.CSVWriter
+	if *csvDir != "" {
+		var err error
+		csv, err = experiments.NewCSVWriter(*csvDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick
+	case "paper":
+		scale = experiments.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	// export writes a result's CSV when -csv is set, tolerating nil.
+	export := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: csv: %v\n", err)
+		}
+	}
+	corr := func(name string, rs []*experiments.CorrResult) []renderer {
+		if csv != nil {
+			for _, r := range rs {
+				export(r.CSV(csv, name+"_"+strings.ToLower(strings.ReplaceAll(r.QueryType, "-", ""))))
+			}
+		}
+		return asRenderers(rs)
+	}
+	fair := func(name string, r *experiments.FairnessResult) []renderer {
+		if csv != nil {
+			export(r.CSV(csv, name))
+		}
+		return []renderer{r}
+	}
+	runners := []struct {
+		name string
+		fn   func() []renderer
+	}{
+		{"table1", func() []renderer { return []renderer{experiments.Table1Queries()} }},
+		{"fig6", func() []renderer { return corr("fig6", experiments.Fig6(scale, *seed)) }},
+		{"fig7", func() []renderer { return corr("fig7", experiments.Fig7(scale, *seed)) }},
+		{"fig8", func() []renderer { return fair("fig8", experiments.Fig8(scale, *seed)) }},
+		{"fig9", func() []renderer { return fair("fig9", experiments.Fig9(scale, *seed)) }},
+		{"fig10", func() []renderer {
+			r := experiments.Fig10(scale, *seed)
+			if csv != nil {
+				export(r.CSV(csv, "fig10"))
+			}
+			return []renderer{r}
+		}},
+		{"fig11", func() []renderer { return fair("fig11", experiments.Fig11(scale, *seed)) }},
+		{"fig12", func() []renderer { return fair("fig12", experiments.Fig12(scale, *seed)) }},
+		{"fig13", func() []renderer { return fair("fig13", experiments.Fig13(scale, *seed)) }},
+		{"fig14", func() []renderer { return fair("fig14", experiments.Fig14(scale, *seed)) }},
+		{"sec75", func() []renderer {
+			r := experiments.Sec75(scale, *seed)
+			if csv != nil {
+				export(r.CSV(csv, "sec75"))
+			}
+			return []renderer{r}
+		}},
+		{"sec76", func() []renderer {
+			r := experiments.Sec76(scale, *seed)
+			if csv != nil {
+				export(r.CSV(csv, "sec76"))
+			}
+			return []renderer{r}
+		}},
+		{"stw", func() []renderer {
+			r := experiments.STW(scale, *seed)
+			if csv != nil {
+				export(r.CSV(csv, "stw"))
+			}
+			return []renderer{r}
+		}},
+		{"ablation", func() []renderer {
+			r := experiments.Ablation(scale, *seed)
+			if csv != nil {
+				export(r.CSV(csv, "ablation"))
+			}
+			return []renderer{r}
+		}},
+	}
+
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, n := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	ranAny := false
+	for _, r := range runners {
+		if *run != "all" && !want[r.name] {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		outs := r.fn()
+		fmt.Printf("=== %s (scale=%s, %.1fs) ===\n", r.name, scale.Name, time.Since(start).Seconds())
+		for _, o := range outs {
+			fmt.Println(o.Render())
+		}
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "no experiment matched -run=%s\n", *run)
+		os.Exit(2)
+	}
+}
+
+// renderer is anything that prints itself as a text table.
+type renderer interface{ Render() string }
+
+// asRenderers adapts a CorrResult slice.
+func asRenderers(rs []*experiments.CorrResult) []renderer {
+	out := make([]renderer, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out
+}

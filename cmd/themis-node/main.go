@@ -1,0 +1,52 @@
+// Command themis-node runs one THEMIS federation node as a TCP service.
+// A controller (see examples/federation or internal/transport.Controller)
+// connects to deploy query fragments, start processing and collect
+// results; peer nodes connect to deliver derived tuple batches.
+//
+// Usage:
+//
+//	themis-node -listen 127.0.0.1:7101 -capacity 4000 -policy balance-sic
+//
+// The node stays up until the controller sends a stop message or the
+// process is interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7101", "TCP listen address")
+	capacity := flag.Float64("capacity", 4000, "processing capacity in tuples/sec")
+	policy := flag.String("policy", "balance-sic", "shedding policy: balance-sic or random")
+	name := flag.String("name", "", "node name for logs and stats (defaults to the listen address)")
+	seed := flag.Int64("seed", 1, "random seed for shedding decisions")
+	flag.Parse()
+
+	if *name == "" {
+		*name = *listen
+	}
+	srv, err := transport.NewNodeServer(transport.NodeServerConfig{
+		Name:           *name,
+		Addr:           *listen,
+		CapacityPerSec: *capacity,
+		Policy:         *policy,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "themis-node: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("themis-node %s listening on %s (capacity %.0f tuples/sec, %s shedding)\n",
+		*name, srv.Addr(), *capacity, *policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

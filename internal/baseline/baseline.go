@@ -1,0 +1,230 @@
+// Package baseline implements the two distributed load-shedding baselines
+// the paper compares against in §7.5:
+//
+//   - FIT (Tatbul, Çetintemel, Zdonik, VLDB 2007 [34]): choose per-query
+//     keep fractions maximising the sum of weighted query throughputs,
+//     subject to per-node processing capacities. The paper solves this
+//     centralised LP with GLPK; we solve it with internal/lp.
+//
+//   - Zhao et al. (SIGMETRICS 2010 [44]): choose keep fractions
+//     maximising the sum of concave (logarithmic) utilities of query
+//     output rates under the same capacity constraints — weighted
+//     proportional fairness. The paper solves it in Matlab; we use a
+//     projected dual-subgradient method, exact for this concave program.
+//
+// Both formulations require a-priori knowledge of query loads and utility
+// functions (the limitation §7.5 emphasises); the scenario builders in
+// this package compute those from the same deployment descriptions the
+// THEMIS engine runs, making the three systems directly comparable.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Deployment is the abstract allocation problem both baselines solve:
+// queries inject load on nodes proportionally to their keep fraction.
+type Deployment struct {
+	// Load[q][n] is the processing load (tuples/sec) query q imposes on
+	// node n at keep fraction 1.
+	Load [][]float64
+	// Capacity[n] is node n's processing capacity (tuples/sec).
+	Capacity []float64
+	// Weight[q] is the query's throughput weight (FIT) — all 1 in §7.5.
+	Weight []float64
+	// OutRate[q] is the query's output rate at keep fraction 1; the
+	// utility of Zhao et al. is log(OutRate·x).
+	OutRate []float64
+}
+
+// Validate checks dimensions.
+func (d *Deployment) Validate() error {
+	q := len(d.Load)
+	if q == 0 {
+		return fmt.Errorf("baseline: no queries")
+	}
+	n := len(d.Capacity)
+	for i, row := range d.Load {
+		if len(row) != n {
+			return fmt.Errorf("baseline: load row %d has %d nodes, capacity has %d", i, len(row), n)
+		}
+	}
+	if len(d.Weight) != q || len(d.OutRate) != q {
+		return fmt.Errorf("baseline: weight/outrate length mismatch")
+	}
+	return nil
+}
+
+// Allocation is a solved keep-fraction vector with derived metrics.
+type Allocation struct {
+	// X[q] is query q's keep fraction in [0, 1].
+	X []float64
+	// Objective is the solver's objective value.
+	Objective float64
+}
+
+// SolveFIT computes the FIT-style optimum: maximise Σ w_q·out_q·x_q
+// subject to Σ_q load[q][n]·x_q ≤ cap[n] and 0 ≤ x ≤ 1. The optimum is a
+// vertex of the polytope, which is why it starves most queries in the
+// paper's set-up ("The optimal solution allows 3 out of the 60 queries to
+// process all of their input tuples ... all the other queries discard all
+// of their tuples, which is clearly not a fair solution").
+func SolveFIT(d *Deployment) (*Allocation, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	nq := len(d.Load)
+	nn := len(d.Capacity)
+	p := lp.Problem{C: make([]float64, nq), A: make([][]float64, nn), B: make([]float64, nn)}
+	for q := 0; q < nq; q++ {
+		p.C[q] = d.Weight[q] * d.OutRate[q]
+	}
+	for n := 0; n < nn; n++ {
+		row := make([]float64, nq)
+		for q := 0; q < nq; q++ {
+			row[q] = d.Load[q][n]
+		}
+		p.A[n] = row
+		p.B[n] = d.Capacity[n]
+	}
+	upper := make([]float64, nq)
+	for q := range upper {
+		upper[q] = 1
+	}
+	sol, err := lp.SolveBoxed(p, upper)
+	if err != nil {
+		return nil, err
+	}
+	return &Allocation{X: sol.X[:nq], Objective: sol.Value}, nil
+}
+
+// SolveZhao computes the proportional-fairness optimum: maximise
+// Σ log(out_q·x_q) subject to the same constraints, via dual subgradient
+// ascent on the capacity multipliers. For this strictly concave problem
+// the method converges to the unique optimum:
+//
+//	x_q(λ) = min(1, 1 / Σ_n λ_n·load[q][n])
+//
+// (stationarity of the Lagrangian), with λ updated towards feasibility.
+func SolveZhao(d *Deployment, iters int) (*Allocation, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if iters <= 0 {
+		iters = 20000
+	}
+	nq := len(d.Load)
+	nn := len(d.Capacity)
+	lambda := make([]float64, nn)
+	for n := range lambda {
+		lambda[n] = 1
+	}
+	x := make([]float64, nq)
+	usage := make([]float64, nn)
+	for it := 0; it < iters; it++ {
+		// Primal update from the current multipliers.
+		for q := 0; q < nq; q++ {
+			var denom float64
+			for n := 0; n < nn; n++ {
+				denom += lambda[n] * d.Load[q][n]
+			}
+			if denom <= 0 {
+				x[q] = 1
+			} else {
+				x[q] = math.Min(1, 1/denom)
+			}
+		}
+		// Dual subgradient: overloaded nodes raise their price.
+		step := 2.0 / float64(it+10)
+		for n := 0; n < nn; n++ {
+			usage[n] = 0
+			for q := 0; q < nq; q++ {
+				usage[n] += d.Load[q][n] * x[q]
+			}
+			g := usage[n] - d.Capacity[n]
+			lambda[n] += step * g / math.Max(d.Capacity[n], 1)
+			if lambda[n] < 0 {
+				lambda[n] = 0
+			}
+		}
+	}
+	// Final feasibility polish: scale down uniformly if any constraint is
+	// still violated (subgradient iterates are only asymptotically
+	// feasible).
+	worst := 1.0
+	for n := 0; n < nn; n++ {
+		usage[n] = 0
+		for q := 0; q < nq; q++ {
+			usage[n] += d.Load[q][n] * x[q]
+		}
+		if usage[n] > d.Capacity[n] {
+			if r := d.Capacity[n] / usage[n]; r < worst {
+				worst = r
+			}
+		}
+	}
+	obj := 0.0
+	for q := 0; q < nq; q++ {
+		x[q] *= worst
+		if x[q] > 0 && d.OutRate[q] > 0 {
+			obj += math.Log(d.OutRate[q] * x[q])
+		} else {
+			obj = math.Inf(-1)
+		}
+	}
+	return &Allocation{X: x, Objective: obj}, nil
+}
+
+// NormalisedLogOutputs maps an allocation to the utility vector §7.5
+// computes Jain's index over: log output rates shifted to be non-negative
+// and scaled to [0, 1] ("the Jain's fairness index for the resulting
+// utilities' distribution (normalised log-output rates)"). Queries shut
+// off completely (x = 0) get utility 0.
+func NormalisedLogOutputs(d *Deployment, a *Allocation) []float64 {
+	out := make([]float64, len(a.X))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for q, x := range a.X {
+		if x <= 0 || d.OutRate[q] <= 0 {
+			out[q] = math.Inf(-1)
+			continue
+		}
+		out[q] = math.Log(d.OutRate[q] * x)
+		if out[q] < lo {
+			lo = out[q]
+		}
+		if out[q] > hi {
+			hi = out[q]
+		}
+	}
+	if math.IsInf(lo, 1) { // everything shut off
+		for q := range out {
+			out[q] = 0
+		}
+		return out
+	}
+	span := hi - lo
+	for q := range out {
+		switch {
+		case math.IsInf(out[q], -1):
+			out[q] = 0
+		case span <= 0:
+			out[q] = 1
+		default:
+			out[q] = (out[q] - lo) / span
+		}
+	}
+	return out
+}
+
+// Throughputs maps an allocation to per-query output rates, the quantity
+// the FIT objective maximises.
+func Throughputs(d *Deployment, a *Allocation) []float64 {
+	out := make([]float64, len(a.X))
+	for q, x := range a.X {
+		out[q] = d.OutRate[q] * x
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+// symmetric builds nq identical queries loading one node.
+func symmetric(nq int, rate, capacity float64) *Deployment {
+	d := &Deployment{
+		Load:     make([][]float64, nq),
+		Capacity: []float64{capacity},
+		Weight:   make([]float64, nq),
+		OutRate:  make([]float64, nq),
+	}
+	for q := 0; q < nq; q++ {
+		d.Load[q] = []float64{rate}
+		d.Weight[q] = 1
+		d.OutRate[q] = 1
+	}
+	return d
+}
+
+func TestFITStarvesUnderSymmetry(t *testing.T) {
+	// 20 identical queries, capacity for 5.5: the LP optimum is a vertex
+	// serving 5 fully, 1 partially, starving 14 — Jain near 1/|Q|.
+	d := symmetric(20, 100, 550)
+	a, err := SolveFIT(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, zero := 0, 0
+	for _, x := range a.X {
+		if x > 0.999 {
+			full++
+		}
+		if x < 0.001 {
+			zero++
+		}
+	}
+	if full != 5 || zero != 14 {
+		t.Errorf("FIT structure: full=%d zero=%d, want 5/14", full, zero)
+	}
+	j := metrics.Jain(Throughputs(d, a))
+	if j > 0.35 {
+		t.Errorf("FIT Jain %.3f, want near-minimal", j)
+	}
+}
+
+func TestZhaoEqualisesUnderSymmetry(t *testing.T) {
+	d := symmetric(20, 100, 550)
+	a, err := SolveZhao(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Proportional fairness over identical queries: all keep fractions
+	// equal (0.275).
+	for q, x := range a.X {
+		if math.Abs(x-0.275) > 0.02 {
+			t.Errorf("query %d keep fraction %.3f, want ~0.275", q, x)
+		}
+	}
+	j := metrics.Jain(Throughputs(d, a))
+	if j < 0.999 {
+		t.Errorf("Zhao Jain %.4f, want 1", j)
+	}
+}
+
+func TestZhaoRespectsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nq, nn := 15, 3
+	d := &Deployment{
+		Load:     make([][]float64, nq),
+		Capacity: make([]float64, nn),
+		Weight:   make([]float64, nq),
+		OutRate:  make([]float64, nq),
+	}
+	for n := 0; n < nn; n++ {
+		d.Capacity[n] = 200 + rng.Float64()*300
+	}
+	for q := 0; q < nq; q++ {
+		d.Load[q] = make([]float64, nn)
+		for n := 0; n < nn; n++ {
+			if rng.Float64() < 0.5 {
+				d.Load[q][n] = 50 + rng.Float64()*150
+			}
+		}
+		d.Weight[q] = 1
+		d.OutRate[q] = 1 + rng.Float64()*4
+	}
+	a, err := SolveZhao(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nn; n++ {
+		usage := 0.0
+		for q := 0; q < nq; q++ {
+			usage += d.Load[q][n] * a.X[q]
+		}
+		if usage > d.Capacity[n]*1.001 {
+			t.Errorf("node %d: usage %.1f exceeds capacity %.1f", n, usage, d.Capacity[n])
+		}
+	}
+	for q, x := range a.X {
+		if x < 0 || x > 1+1e-9 {
+			t.Errorf("query %d keep fraction %g out of [0,1]", q, x)
+		}
+	}
+}
+
+func TestZhaoIgnoresNonBindingNode(t *testing.T) {
+	// A second node with huge capacity must not affect the allocation.
+	d1 := symmetric(10, 100, 400)
+	d2 := symmetric(10, 100, 400)
+	for q := range d2.Load {
+		d2.Load[q] = append(d2.Load[q], 1)
+	}
+	d2.Capacity = append(d2.Capacity, 1e9)
+	a1, _ := SolveZhao(d1, 0)
+	a2, _ := SolveZhao(d2, 0)
+	for q := range a1.X {
+		if math.Abs(a1.X[q]-a2.X[q]) > 0.01 {
+			t.Errorf("query %d: %g vs %g", q, a1.X[q], a2.X[q])
+		}
+	}
+}
+
+func TestNormalisedLogOutputs(t *testing.T) {
+	d := symmetric(4, 100, 300)
+	a := &Allocation{X: []float64{1, 0.5, 0.25, 0}}
+	u := NormalisedLogOutputs(d, a)
+	if u[0] != 1 {
+		t.Errorf("max utility: %g, want 1", u[0])
+	}
+	if u[3] != 0 {
+		t.Errorf("shut-off query utility: %g, want 0", u[3])
+	}
+	// Min-max normalisation: log(0.5) is exactly halfway between log(1)
+	// and log(0.25).
+	if math.Abs(u[1]-0.5) > 1e-9 {
+		t.Errorf("mid utility: %g, want 0.5", u[1])
+	}
+	if u[2] != 0 {
+		t.Errorf("lowest served query utility: %g, want 0 (min of finite range)", u[2])
+	}
+	// All equal → all 1.
+	u = NormalisedLogOutputs(d, &Allocation{X: []float64{0.5, 0.5, 0.5}})
+	for _, v := range u {
+		if v != 1 {
+			t.Errorf("equal allocation utilities: %v", u)
+		}
+	}
+	// Everything shut off → all 0.
+	u = NormalisedLogOutputs(d, &Allocation{X: []float64{0, 0, 0}})
+	for _, v := range u {
+		if v != 0 {
+			t.Errorf("all-off utilities: %v", u)
+		}
+	}
+}
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	d := symmetric(2, 100, 300)
+	d.Weight = d.Weight[:1]
+	if err := d.Validate(); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+	d = symmetric(2, 100, 300)
+	d.Load[1] = []float64{1, 2}
+	if err := d.Validate(); err == nil {
+		t.Error("load row mismatch accepted")
+	}
+	if err := (&Deployment{}).Validate(); err == nil {
+		t.Error("empty deployment accepted")
+	}
+}
+
+// Property: FIT's objective value always ≥ Zhao's total throughput under
+// the same constraints (FIT maximises exactly that).
+func TestFITDominatesThroughputProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nq := rng.Intn(8) + 2
+		d := &Deployment{
+			Load:     make([][]float64, nq),
+			Capacity: []float64{100 + rng.Float64()*400},
+			Weight:   make([]float64, nq),
+			OutRate:  make([]float64, nq),
+		}
+		for q := 0; q < nq; q++ {
+			d.Load[q] = []float64{20 + rng.Float64()*180}
+			d.Weight[q] = 1
+			d.OutRate[q] = 0.5 + rng.Float64()*4
+		}
+		fit, err := SolveFIT(d)
+		if err != nil {
+			return false
+		}
+		zhao, err := SolveZhao(d, 5000)
+		if err != nil {
+			return false
+		}
+		sum := func(a *Allocation) float64 {
+			var s float64
+			for q, x := range a.X {
+				s += d.OutRate[q] * x
+			}
+			return s
+		}
+		return sum(fit) >= sum(zhao)-1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package coordinator implements the logically-centralised per-query
+// coordinator of §6: "The dissemination of query result SIC values to
+// nodes that host query fragments (i.e. updateSIC() in Algorithm 1) is
+// performed by a logically-centralised query coordinator component. It is
+// instantiated when a new query is deployed, and it is responsible for
+// the query management during its lifecycle."
+//
+// The coordinator maintains the query's result SIC estimate over the
+// sliding STW and periodically pushes it to every node hosting one of the
+// query's fragments. Updates travel over the (possibly wide-area) network,
+// so subscribers receive them with delay — the federation engine models
+// that delay explicitly.
+package coordinator
+
+import (
+	"repro/internal/sic"
+	"repro/internal/stream"
+)
+
+// UpdateMode selects how the coordinator estimates a query's result SIC.
+type UpdateMode int
+
+const (
+	// Acceptance credits SIC at the moment a node keeps (accepts) a
+	// batch, and debits it if a downstream node later sheds the derived
+	// data. It is the literal reading of Assumption 3 (§5.2: "once a
+	// tuple is accepted by a query, its contribution to the result SIC
+	// value is assumed to be instantaneous"), kept as an ablation: it is
+	// blind to SIC lost inside operators (a join whose window ended up
+	// one-sided), so it over-credits join-heavy queries under heavy
+	// shedding.
+	Acceptance UpdateMode = iota
+	// RootMeasured disseminates the SIC actually measured at the root
+	// fragment's result stream (Eq. 4) — the quantity §6 names ("the
+	// dissemination of query result SIC values"). It lags acceptance by
+	// the pipeline depth, which the shedder's local projection absorbs,
+	// and it closes the feedback loop over conversion losses. It is the
+	// default.
+	RootMeasured
+)
+
+// String names the mode.
+func (m UpdateMode) String() string {
+	if m == RootMeasured {
+		return "root-measured"
+	}
+	return "acceptance"
+}
+
+// Coordinator tracks one query's result SIC estimate.
+type Coordinator struct {
+	query    stream.QueryID
+	mode     UpdateMode
+	accepted *sic.Accumulator
+	measured *sic.Accumulator
+	// msgs counts result-SIC update messages sent to fragment hosts, for
+	// the §7.6 overhead accounting (30 bytes each).
+	msgs int64
+}
+
+// New builds a coordinator for the query with the given STW and slide.
+func New(q stream.QueryID, mode UpdateMode, stw, slide stream.Duration) *Coordinator {
+	return &Coordinator{
+		query:    q,
+		mode:     mode,
+		accepted: sic.NewAccumulator(stw, slide),
+		measured: sic.NewAccumulator(stw, slide),
+	}
+}
+
+// Query returns the coordinated query.
+func (c *Coordinator) Query() stream.QueryID { return c.query }
+
+// Mode returns the estimation mode.
+func (c *Coordinator) Mode() UpdateMode { return c.mode }
+
+// ReportAccepted records a (possibly negative) accepted-SIC delta from a
+// node's shedding round: positive for freshly accepted source data,
+// negative when pre-credited derived data is shed downstream.
+func (c *Coordinator) ReportAccepted(t stream.Time, delta float64) {
+	c.accepted.Add(t, delta)
+}
+
+// ReportResult records SIC that reached the root fragment's result stream.
+func (c *Coordinator) ReportResult(t stream.Time, delta float64) {
+	c.measured.Add(t, delta)
+}
+
+// Value returns the current result SIC estimate under the configured mode.
+func (c *Coordinator) Value(t stream.Time) float64 {
+	switch c.mode {
+	case RootMeasured:
+		return c.measured.Sum(t)
+	default:
+		v := c.accepted.Sum(t)
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+}
+
+// MeasuredSIC returns the root-measured result SIC over the STW ending at
+// t — the quantity the evaluation plots, regardless of update mode.
+func (c *Coordinator) MeasuredSIC(t stream.Time) float64 {
+	return c.measured.Sum(t)
+}
+
+// NoteUpdateSent counts one dissemination message (§7.6 overhead).
+func (c *Coordinator) NoteUpdateSent(nSubscribers int) {
+	c.msgs += int64(nSubscribers)
+}
+
+// UpdateMessages reports how many result-SIC update messages were sent.
+func (c *Coordinator) UpdateMessages() int64 { return c.msgs }
+
+// UpdateBytes reports the total dissemination traffic in bytes (§7.6:
+// 30 bytes per message).
+func (c *Coordinator) UpdateBytes() int64 { return c.msgs * stream.CoordinatorMsgBytes }

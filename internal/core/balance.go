@@ -1,0 +1,194 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/stream"
+)
+
+// BalanceSIC implements Algorithm 1 (§5): iteratively raise the result
+// SIC of the currently most-degraded query towards the next-least
+// degraded one, keeping each query's highest-SIC batches first, until the
+// node's capacity is reached. Combined with the coordinator's result-SIC
+// dissemination (updateSIC, §5.2) and the local shedding projection (§6),
+// independent per-node executions converge to globally balanced SIC
+// values.
+type BalanceSIC struct {
+	rng *rand.Rand
+	// Projection enables the §6 heuristic: before selecting, subtract the
+	// SIC mass of all enqueued batches from the disseminated result SIC,
+	// so the node reasons about what the result will be *if it sheds
+	// everything*, then credits batches back as it accepts them. Enabled
+	// by default; the ablation experiment switches it off.
+	Projection bool
+	// SelectHighest enables the max(x_SIC) rule of Algorithm 1 line 16:
+	// within a query, keep the most valuable batches first. Disabled, the
+	// shedder picks a random subset of the query's batches — the ablation
+	// quantifying what the rule buys.
+	SelectHighest bool
+}
+
+// NewBalanceSIC builds the shedder with the given random seed (ties
+// between equally-degraded queries are broken randomly, §5.1).
+func NewBalanceSIC(seed int64) *BalanceSIC {
+	return &BalanceSIC{rng: rand.New(rand.NewSource(seed)), Projection: true, SelectHighest: true}
+}
+
+// Name implements Shedder.
+func (b *BalanceSIC) Name() string { return "balance-sic" }
+
+// queryState tracks one query during selection.
+type queryState struct {
+	q stream.QueryID
+	// cur is the query's projected result SIC as selection proceeds
+	// (updateSIC of Algorithm 1, line 20, applied locally per iteration).
+	cur float64
+	// batches holds the indices of the query's IB batches, sorted by SIC
+	// descending so acceptance always takes the most valuable tuples
+	// first (max(x_SIC), line 16).
+	batches []int
+	// next points at the first unconsidered batch.
+	next int
+	// tie randomises ordering among equal-SIC queries (line 12's random
+	// tie-break).
+	tie int64
+	// heapIdx maintains the heap invariant.
+	heapIdx int
+}
+
+// queryHeap is a min-heap over (cur, tie).
+type queryHeap []*queryState
+
+func (h queryHeap) Len() int { return len(h) }
+func (h queryHeap) Less(i, j int) bool {
+	if h[i].cur != h[j].cur {
+		return h[i].cur < h[j].cur
+	}
+	return h[i].tie < h[j].tie
+}
+func (h queryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *queryHeap) Push(x any) {
+	s := x.(*queryState)
+	s.heapIdx = len(*h)
+	*h = append(*h, s)
+}
+func (h *queryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// Select implements Shedder. It is the selectTuplesToKeep procedure of
+// Algorithm 1 at batch granularity: the paper's prototype sheds whole
+// batches ("The tuple shedder discards batches until the size of the
+// remaining tuples in the IB reaches c", §6).
+func (b *BalanceSIC) Select(ib []*stream.Batch, capacity int, resultSIC ResultSICFunc) []int {
+	if capacity <= 0 || len(ib) == 0 {
+		return nil
+	}
+	// Group batches by query.
+	perQuery := make(map[stream.QueryID]*queryState)
+	order := make([]*queryState, 0, 16)
+	for i, batch := range ib {
+		s, ok := perQuery[batch.Query]
+		if !ok {
+			s = &queryState{q: batch.Query, tie: b.rng.Int63()}
+			perQuery[batch.Query] = s
+			order = append(order, s)
+		}
+		s.batches = append(s.batches, i)
+	}
+	// Initialise each query's projected SIC: the latest disseminated
+	// result SIC minus the SIC mass sitting in this IB (§6 projection) —
+	// i.e. the result SIC if this node shed everything. Accepting a batch
+	// then credits its SIC back (Assumption 3: contributions are counted
+	// at acceptance).
+	for _, s := range order {
+		base := 0.0
+		if resultSIC != nil {
+			base = resultSIC(s.q)
+		}
+		if b.Projection {
+			var inIB float64
+			for _, i := range s.batches {
+				inIB += ib[i].SIC
+			}
+			base -= inIB
+		}
+		if base < 0 {
+			base = 0
+		}
+		s.cur = base
+		// Highest-SIC batches first (max(x_SIC), line 16). Ties are
+		// broken randomly: batches of equal value are interchangeable to
+		// the metric, and a deterministic order (e.g. source emission
+		// order) would systematically keep one side of a join's inputs
+		// and starve the other, destroying windows that a random subset
+		// of the same SIC mass would complete.
+		b.rng.Shuffle(len(s.batches), func(i, j int) {
+			s.batches[i], s.batches[j] = s.batches[j], s.batches[i]
+		})
+		if b.SelectHighest {
+			sort.SliceStable(s.batches, func(x, y int) bool {
+				return ib[s.batches[x]].SIC > ib[s.batches[y]].SIC
+			})
+		}
+	}
+	h := make(queryHeap, 0, len(order))
+	for _, s := range order {
+		heap.Push(&h, s)
+	}
+
+	keep := make([]int, 0, len(ib))
+	remaining := capacity
+	for h.Len() > 0 && remaining > 0 {
+		q1 := heap.Pop(&h).(*queryState) // q' := argmin qSIC (line 12)
+		// q'' := next-lowest SIC value (lines 13-14); with no other
+		// query the target is unbounded and q' absorbs the capacity.
+		target := math.Inf(1)
+		if h.Len() > 0 {
+			target = h[0].cur
+		}
+		accepted := false
+		// Accept q's most valuable batches until its projected SIC
+		// reaches the target (lines 15-16), capacity runs out (line 17),
+		// or it has no more batches.
+		for q1.next < len(q1.batches) && remaining > 0 && (q1.cur < target || !accepted && q1.cur == target) {
+			idx := q1.batches[q1.next]
+			if ib[idx].Len() > remaining {
+				// The batch does not fit; smaller batches of the same
+				// query may still fit, so scan on.
+				q1.next++
+				continue
+			}
+			keep = append(keep, idx)
+			remaining -= ib[idx].Len()
+			q1.cur += ib[idx].SIC
+			q1.next++
+			accepted = true
+			if q1.cur > target {
+				break
+			}
+		}
+		if !accepted {
+			// No batch of q' fits or none remain: drop the query from
+			// further consideration.
+			continue
+		}
+		if q1.next < len(q1.batches) {
+			q1.tie = b.rng.Int63() // re-randomise future ties
+			heap.Push(&h, q1)
+		}
+	}
+	sort.Ints(keep)
+	return keep
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+// unitBatches builds n single-tuple batches for query q with the given
+// per-tuple SIC — the tuple-granularity view of Algorithm 1 used by the
+// paper's worked examples.
+func unitBatches(q stream.QueryID, n int, sic float64) []*stream.Batch {
+	out := make([]*stream.Batch, n)
+	for i := range out {
+		b := stream.NewBatch(q, 0, stream.SourceID(q), stream.Time(i), 1, 0)
+		b.Tuples[0].SIC = sic
+		b.SIC = sic
+		out[i] = b
+	}
+	return out
+}
+
+func zeroSIC(stream.QueryID) float64 { return 0 }
+
+// keptPerQuery sums kept tuple counts and SIC per query.
+func keptPerQuery(ib []*stream.Batch, keep []int) (counts map[stream.QueryID]int, sics map[stream.QueryID]float64) {
+	counts = make(map[stream.QueryID]int)
+	sics = make(map[stream.QueryID]float64)
+	for _, i := range keep {
+		counts[ib[i].Query] += ib[i].Len()
+		sics[ib[i].Query] += ib[i].SIC
+	}
+	return
+}
+
+// TestFigure3Example reproduces the single-node worked example of
+// Figure 3: capacity 10, four queries with source rates 20, 30, 10 and
+// (10, 20) tuples per STW. The algorithm must fully use the capacity and
+// converge the SIC values to ~0.1, with exactly one query one tuple
+// ahead (0.133 in the paper's run; which query gets the surplus is a
+// random tie-break).
+func TestFigure3Example(t *testing.T) {
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 20, 1.0/20)...)
+	ib = append(ib, unitBatches(2, 30, 1.0/30)...)
+	ib = append(ib, unitBatches(3, 10, 1.0/10)...)
+	ib = append(ib, unitBatches(4, 10, 1.0/20)...) // q4 source a
+	ib = append(ib, unitBatches(4, 20, 1.0/40)...) // q4 source b
+
+	s := NewBalanceSIC(7)
+	keep := s.Select(ib, 10, zeroSIC)
+	if got := KeptTuples(ib, keep); got != 10 {
+		t.Fatalf("kept %d tuples, want exactly 10 (full capacity)", got)
+	}
+	_, sics := keptPerQuery(ib, keep)
+	if len(sics) != 4 {
+		t.Fatalf("only %d of 4 queries served: %v", len(sics), sics)
+	}
+	vals := make([]float64, 0, 4)
+	for _, v := range sics {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	if vals[0] < 0.099 {
+		t.Errorf("lowest query SIC %.4f, want >= 0.1 within rounding", vals[0])
+	}
+	// Convergence is bounded by tuple granularity: once all queries are
+	// level, leftover capacity goes one tuple at a time, so no query can
+	// exceed the minimum by more than its largest tuple SIC (0.05, q1/q4).
+	if vals[3]-vals[0] > 0.05+1e-9 {
+		t.Errorf("SIC spread %.4f exceeds one-tuple granularity: %v", vals[3]-vals[0], vals)
+	}
+}
+
+func TestBalanceRespectsCapacityExactly(t *testing.T) {
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 50, 0.01)...)
+	ib = append(ib, unitBatches(2, 50, 0.02)...)
+	s := NewBalanceSIC(1)
+	for _, c := range []int{0, 1, 5, 50, 99, 100, 1000} {
+		keep := s.Select(ib, c, zeroSIC)
+		kept := KeptTuples(ib, keep)
+		if kept > c {
+			t.Errorf("capacity %d: kept %d", c, kept)
+		}
+		want := c
+		if want > 100 {
+			want = 100
+		}
+		if kept != want {
+			t.Errorf("capacity %d: kept %d, want %d (unit batches always fit)", c, kept, want)
+		}
+	}
+}
+
+func TestBalanceKeepsHighestSICBatches(t *testing.T) {
+	// One query with batches of distinct SIC values: the max(x_SIC) rule
+	// must keep the most valuable ones.
+	var ib []*stream.Batch
+	for i := 0; i < 10; i++ {
+		b := stream.NewBatch(1, 0, 0, stream.Time(i), 1, 0)
+		b.Tuples[0].SIC = float64(i+1) / 100
+		b.SIC = b.Tuples[0].SIC
+		ib = append(ib, b)
+	}
+	s := NewBalanceSIC(1)
+	keep := s.Select(ib, 3, zeroSIC)
+	if len(keep) != 3 {
+		t.Fatalf("kept %d batches", len(keep))
+	}
+	var total float64
+	for _, i := range keep {
+		total += ib[i].SIC
+	}
+	if !almost(total, 0.10+0.09+0.08) {
+		t.Errorf("kept SIC %.3f, want the top three (0.27)", total)
+	}
+}
+
+func TestBalanceMaxSICDisabled(t *testing.T) {
+	// With SelectHighest off, long-run kept SIC should be near the mean
+	// batch value rather than the maximum.
+	var ib []*stream.Batch
+	for i := 0; i < 100; i++ {
+		b := stream.NewBatch(1, 0, 0, stream.Time(i), 1, 0)
+		b.Tuples[0].SIC = float64(i%10+1) / 1000
+		b.SIC = b.Tuples[0].SIC
+		ib = append(ib, b)
+	}
+	s := NewBalanceSIC(3)
+	s.SelectHighest = false
+	var total float64
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		for _, i := range s.Select(ib, 10, zeroSIC) {
+			total += ib[i].SIC
+		}
+	}
+	meanKept := total / (10 * rounds)
+	// Mean batch SIC is 0.0055; the max-SIC rule would give 0.010.
+	if meanKept > 0.008 {
+		t.Errorf("random within-query selection kept mean %.4f, looks like max-SIC", meanKept)
+	}
+}
+
+func TestBalanceFavoursDegradedQuery(t *testing.T) {
+	// Query 2 already has result SIC 0.5; query 1 has 0. With capacity
+	// for only part of the buffer, query 1 must receive (nearly) all of
+	// it.
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 20, 0.01)...)
+	ib = append(ib, unitBatches(2, 20, 0.01)...)
+	view := func(q stream.QueryID) float64 {
+		if q == 2 {
+			return 0.5
+		}
+		return 0
+	}
+	s := NewBalanceSIC(5)
+	s.Projection = false // isolate the view's effect
+	keep := s.Select(ib, 10, view)
+	counts, _ := keptPerQuery(ib, keep)
+	if counts[1] < 9 {
+		t.Errorf("degraded query got %d of 10 tuples, want >= 9 (counts: %v)", counts[1], counts)
+	}
+}
+
+func TestBalanceProjectionNeutralisesStaleView(t *testing.T) {
+	// Both queries have identical IB contents. The coordinator view says
+	// query 2 is far ahead — but all of that reported SIC is exactly the
+	// IB content (e.g. credited by an upstream node). With projection on,
+	// the baseline for both queries is 0 and the allocation is even.
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 20, 0.01)...)
+	ib = append(ib, unitBatches(2, 20, 0.01)...)
+	view := func(q stream.QueryID) float64 {
+		if q == 2 {
+			return 0.2 // exactly the SIC mass of q2's 20 batches
+		}
+		return 0
+	}
+	s := NewBalanceSIC(5)
+	keep := s.Select(ib, 20, view)
+	counts, _ := keptPerQuery(ib, keep)
+	if counts[1] < 8 || counts[2] < 8 {
+		t.Errorf("projection should even out the stale view: %v", counts)
+	}
+}
+
+func TestBalanceSkipsOversizedBatches(t *testing.T) {
+	big := stream.NewBatch(1, 0, 0, 0, 50, 0)
+	for i := range big.Tuples {
+		big.Tuples[i].SIC = 0.01
+	}
+	big.RecomputeSIC()
+	small := stream.NewBatch(1, 0, 0, 1, 5, 0)
+	for i := range small.Tuples {
+		small.Tuples[i].SIC = 0.001
+	}
+	small.RecomputeSIC()
+	s := NewBalanceSIC(1)
+	keep := s.Select([]*stream.Batch{big, small}, 10, zeroSIC)
+	if len(keep) != 1 || keep[0] != 1 {
+		t.Errorf("want only the small batch kept, got %v", keep)
+	}
+}
+
+func TestBalanceEmptyAndZeroCapacity(t *testing.T) {
+	s := NewBalanceSIC(1)
+	if got := s.Select(nil, 10, zeroSIC); got != nil {
+		t.Errorf("empty IB: %v", got)
+	}
+	ib := unitBatches(1, 5, 0.1)
+	if got := s.Select(ib, 0, zeroSIC); got != nil {
+		t.Errorf("zero capacity: %v", got)
+	}
+}
+
+func TestBalanceNilResultSIC(t *testing.T) {
+	ib := unitBatches(1, 5, 0.1)
+	s := NewBalanceSIC(1)
+	keep := s.Select(ib, 3, nil)
+	if len(keep) != 3 {
+		t.Errorf("nil view: kept %d", len(keep))
+	}
+}
+
+// Property: for any random input buffer and capacity, the selection never
+// exceeds capacity, never duplicates a batch, and returns valid indices.
+func TestBalanceSelectionInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ib []*stream.Batch
+		nq := rng.Intn(6) + 1
+		for q := 0; q < nq; q++ {
+			nb := rng.Intn(10)
+			for j := 0; j < nb; j++ {
+				n := rng.Intn(20) + 1
+				b := stream.NewBatch(stream.QueryID(q), 0, 0, stream.Time(j), n, 0)
+				per := rng.Float64() / 100
+				for i := range b.Tuples {
+					b.Tuples[i].SIC = per
+				}
+				b.RecomputeSIC()
+				ib = append(ib, b)
+			}
+		}
+		capacity := rng.Intn(200)
+		s := NewBalanceSIC(seed)
+		keep := s.Select(ib, capacity, zeroSIC)
+		seen := make(map[int]bool)
+		total := 0
+		for _, i := range keep {
+			if i < 0 || i >= len(ib) || seen[i] {
+				return false
+			}
+			seen[i] = true
+			total += ib[i].Len()
+		}
+		return total <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with equal per-query demand and plentiful batches, the
+// selection's per-query SIC spread stays within one batch's SIC.
+func TestBalanceEqualisationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nq := rng.Intn(5) + 2
+		const perBatch = 0.004
+		var ib []*stream.Batch
+		for q := 0; q < nq; q++ {
+			ib = append(ib, unitBatches(stream.QueryID(q), 60, perBatch)...)
+		}
+		s := NewBalanceSIC(seed)
+		capacity := 20 * nq
+		keep := s.Select(ib, capacity, zeroSIC)
+		_, sics := keptPerQuery(ib, keep)
+		if len(sics) != nq {
+			return false
+		}
+		var lo, hi float64 = math.Inf(1), math.Inf(-1)
+		for _, v := range sics {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi-lo <= perBatch+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }

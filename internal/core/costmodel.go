@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// CostModel estimates a node's processing capacity — the number of tuples
+// it can process during one shedding interval — online, from observed
+// processing times (§6: "We adopt a cost model to calculate the average
+// processing time spent on a tuple ... calculated based on the number of
+// processed tuples between successive invocations of the overload
+// detector. We use a moving average over past estimations").
+//
+// The model is hardware-agnostic: it never reads a configured capacity,
+// only observations, so it adapts to heterogeneous nodes and time-varying
+// per-tuple costs (Assumption 1 is thereby discharged in practice).
+type CostModel struct {
+	perTupleMs *metrics.MovingAverage
+	// initialCapacity seeds the estimate before any observation.
+	initialCapacity int
+}
+
+// DefaultCostWindow is the number of past interval observations averaged.
+const DefaultCostWindow = 16
+
+// NewCostModel builds a cost model. initialCapacity is used until the
+// first observation arrives; it only influences the first interval.
+func NewCostModel(initialCapacity int) *CostModel {
+	if initialCapacity < 1 {
+		initialCapacity = 1
+	}
+	return &CostModel{
+		perTupleMs:      metrics.NewMovingAverage(DefaultCostWindow),
+		initialCapacity: initialCapacity,
+	}
+}
+
+// Observe records that the node spent elapsed processing time on the
+// given number of tuples since the previous overload-detector invocation.
+// Zero-tuple intervals carry no per-tuple information and are skipped.
+func (c *CostModel) Observe(tuples int, elapsed stream.Duration) {
+	if tuples <= 0 || elapsed <= 0 {
+		return
+	}
+	c.perTupleMs.Add(float64(elapsed) / float64(tuples))
+}
+
+// Capacity estimates how many tuples the node can process during the
+// given shedding interval (the IB threshold c of Algorithm 1 and §6).
+func (c *CostModel) Capacity(interval stream.Duration) int {
+	per := c.perTupleMs.Mean()
+	if per <= 0 {
+		return c.initialCapacity
+	}
+	cap := int(float64(interval) / per)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
+}
+
+// HasObservations reports whether the model has left its initial state.
+func (c *CostModel) HasObservations() bool { return c.perTupleMs.N() > 0 }

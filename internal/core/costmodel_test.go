@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestCostModelInitialCapacity(t *testing.T) {
+	cm := NewCostModel(500)
+	if cm.HasObservations() {
+		t.Error("fresh model claims observations")
+	}
+	if got := cm.Capacity(250 * stream.Millisecond); got != 500 {
+		t.Errorf("initial capacity: %d", got)
+	}
+	cm = NewCostModel(0) // clamped to 1
+	if got := cm.Capacity(250 * stream.Millisecond); got != 1 {
+		t.Errorf("clamped initial capacity: %d", got)
+	}
+}
+
+func TestCostModelConvergesToTrueRate(t *testing.T) {
+	// A node that processes 4,000 tuples/sec: 0.25 ms/tuple. Feed noisy
+	// observations; capacity for a 250 ms interval must converge to
+	// ~1,000 tuples.
+	cm := NewCostModel(10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		tuples := 400 + rng.Intn(800)
+		perTuple := 0.25 * (0.95 + 0.1*rng.Float64()) // ±5% noise
+		elapsed := stream.Duration(float64(tuples) * perTuple)
+		cm.Observe(tuples, elapsed)
+	}
+	got := cm.Capacity(250 * stream.Millisecond)
+	if got < 900 || got > 1100 {
+		t.Errorf("capacity: %d, want ~1000", got)
+	}
+	if !cm.HasObservations() {
+		t.Error("model should have observations")
+	}
+}
+
+func TestCostModelAdaptsToSlowdown(t *testing.T) {
+	cm := NewCostModel(10)
+	for i := 0; i < DefaultCostWindow; i++ {
+		cm.Observe(1000, 250) // 0.25 ms/tuple
+	}
+	fast := cm.Capacity(250 * stream.Millisecond)
+	for i := 0; i < DefaultCostWindow; i++ {
+		cm.Observe(500, 250) // 0.5 ms/tuple — node slowed down
+	}
+	slow := cm.Capacity(250 * stream.Millisecond)
+	if slow >= fast {
+		t.Errorf("capacity did not drop after slowdown: %d -> %d", fast, slow)
+	}
+	if slow < 400 || slow > 600 {
+		t.Errorf("slow capacity: %d, want ~500", slow)
+	}
+}
+
+func TestCostModelIgnoresDegenerateObservations(t *testing.T) {
+	cm := NewCostModel(100)
+	cm.Observe(0, 250)
+	cm.Observe(100, 0)
+	cm.Observe(-5, 250)
+	if cm.HasObservations() {
+		t.Error("degenerate observations were recorded")
+	}
+	if got := cm.Capacity(250 * stream.Millisecond); got != 100 {
+		t.Errorf("capacity after degenerate observations: %d", got)
+	}
+}
+
+func TestCostModelMinimumCapacity(t *testing.T) {
+	cm := NewCostModel(100)
+	cm.Observe(1, 10000) // pathologically slow: 10 s per tuple
+	if got := cm.Capacity(250 * stream.Millisecond); got != 1 {
+		t.Errorf("capacity floor: %d, want 1", got)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Random is the baseline shedder of §7: it discards arbitrary batches
+// until the remaining tuples fit the node capacity ("A simple way to
+// address overload is through random shedding [33] that discards
+// arbitrary tuples", §2.3). It ignores SIC values entirely.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds the random shedder with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Shedder.
+func (r *Random) Name() string { return "random" }
+
+// Select implements Shedder: a random permutation of the input buffer is
+// accepted greedily until capacity is exhausted.
+func (r *Random) Select(ib []*stream.Batch, capacity int, _ ResultSICFunc) []int {
+	if capacity <= 0 || len(ib) == 0 {
+		return nil
+	}
+	perm := r.rng.Perm(len(ib))
+	keep := make([]int, 0, len(ib))
+	remaining := capacity
+	for _, i := range perm {
+		n := ib[i].Len()
+		if n > remaining {
+			continue
+		}
+		keep = append(keep, i)
+		remaining -= n
+		if remaining == 0 {
+			break
+		}
+	}
+	return keep
+}
+
+// KeepAll is a no-shedding policy used for perfect-processing reference
+// runs (the "perfect result" of §7.1) and underload validation.
+type KeepAll struct{}
+
+// Name implements Shedder.
+func (KeepAll) Name() string { return "keep-all" }
+
+// Select implements Shedder, keeping every batch regardless of capacity.
+func (KeepAll) Select(ib []*stream.Batch, _ int, _ ResultSICFunc) []int {
+	keep := make([]int, len(ib))
+	for i := range ib {
+		keep[i] = i
+	}
+	return keep
+}

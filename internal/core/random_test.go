@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestRandomRespectsCapacity(t *testing.T) {
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 40, 0.01)...)
+	ib = append(ib, unitBatches(2, 40, 0.02)...)
+	r := NewRandom(1)
+	keep := r.Select(ib, 30, nil)
+	if got := KeptTuples(ib, keep); got > 30 {
+		t.Errorf("kept %d tuples over capacity 30", got)
+	}
+}
+
+func TestRandomIsPolicyBlind(t *testing.T) {
+	// Over many rounds, the random shedder splits capacity roughly by
+	// batch count, ignoring SIC values entirely.
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 50, 0.10)...) // high value
+	ib = append(ib, unitBatches(2, 50, 0.01)...) // low value
+	r := NewRandom(3)
+	counts := map[stream.QueryID]int{}
+	for round := 0; round < 200; round++ {
+		for _, i := range r.Select(ib, 20, nil) {
+			counts[ib[i].Query]++
+		}
+	}
+	ratio := float64(counts[1]) / float64(counts[1]+counts[2])
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("random shedder is value-biased: query 1 share %.2f", ratio)
+	}
+}
+
+func TestRandomDeterministicUnderSeed(t *testing.T) {
+	var ib []*stream.Batch
+	ib = append(ib, unitBatches(1, 30, 0.01)...)
+	a := NewRandom(9).Select(ib, 10, nil)
+	b := NewRandom(9).Select(ib, 10, nil)
+	if len(a) != len(b) {
+		t.Fatal("selection lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("selections differ under identical seed")
+		}
+	}
+}
+
+func TestRandomEdgeCases(t *testing.T) {
+	r := NewRandom(1)
+	if got := r.Select(nil, 5, nil); got != nil {
+		t.Error("empty IB")
+	}
+	ib := unitBatches(1, 3, 0.1)
+	if got := r.Select(ib, 0, nil); got != nil {
+		t.Error("zero capacity")
+	}
+}
+
+func TestKeepAll(t *testing.T) {
+	ib := unitBatches(1, 7, 0.1)
+	keep := KeepAll{}.Select(ib, 0, nil)
+	if len(keep) != 7 {
+		t.Errorf("keep-all kept %d of 7", len(keep))
+	}
+	if (KeepAll{}).Name() != "keep-all" {
+		t.Error("name")
+	}
+}
+
+// Property: random selection invariants mirror the BALANCE-SIC ones.
+func TestRandomSelectionInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ib []*stream.Batch
+		for j := 0; j < rng.Intn(40); j++ {
+			n := rng.Intn(20) + 1
+			b := stream.NewBatch(stream.QueryID(j%5), 0, 0, stream.Time(j), n, 0)
+			ib = append(ib, b)
+		}
+		capacity := rng.Intn(150)
+		keep := NewRandom(seed).Select(ib, capacity, nil)
+		seen := make(map[int]bool)
+		total := 0
+		for _, i := range keep {
+			if i < 0 || i >= len(ib) || seen[i] {
+				return false
+			}
+			seen[i] = true
+			total += ib[i].Len()
+		}
+		return total <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,306 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// AST types. A Statement is
+//
+//	Select <agg>(<field ref> [, <field ref>])
+//	From <stream>[window] (, <stream>[window])*
+//	[Where <cond> (and <cond>)*]
+//	[Having <cond>]
+
+// FieldRef names stream.field; Stream may be empty for the single-stream
+// shorthand "t.v" (the alias t refers to the only FROM stream).
+type FieldRef struct {
+	Stream string
+	Field  string
+}
+
+// String renders stream.field.
+func (f FieldRef) String() string {
+	if f.Stream == "" {
+		return f.Field
+	}
+	return f.Stream + "." + f.Field
+}
+
+// Cond is a binary condition: Left op Right, where Right is either a
+// literal (IsJoin false) or another field (IsJoin true).
+type Cond struct {
+	Left   FieldRef
+	Op     string
+	Right  FieldRef
+	Lit    float64
+	IsJoin bool
+}
+
+// StreamRef is a FROM-clause entry with its window.
+type StreamRef struct {
+	Name   string
+	Window stream.WindowSpec
+}
+
+// Statement is a parsed CQL statement.
+type Statement struct {
+	// Agg is the aggregate function name, lower-cased: avg, max, min,
+	// sum, count, cov, or topN (N digits embedded, e.g. "top5").
+	Agg string
+	// K is the k of a top-k aggregate (0 otherwise).
+	K int
+	// Args are the aggregate's field arguments.
+	Args []FieldRef
+	// From lists the input streams.
+	From []StreamRef
+	// Where holds the WHERE conjuncts; Having the HAVING conjunct.
+	Where  []Cond
+	Having *Cond
+}
+
+// parser consumes the token slice.
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+// Parse parses one statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// keyword consumes an identifier case-insensitively.
+func (p *parser) keyword(kw string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %q, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	if p.peek().kind != k {
+		return token{}, p.errf("expected %s, got %q", what, p.peek().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) statement() (*Statement, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	st := &Statement{}
+	agg, err := p.expect(tokIdent, "aggregate function")
+	if err != nil {
+		return nil, err
+	}
+	st.Agg = strings.ToLower(agg.text)
+	if strings.HasPrefix(st.Agg, "top") {
+		k, convErr := strconv.Atoi(st.Agg[3:])
+		if convErr != nil || k < 1 {
+			return nil, p.errf("bad top-k aggregate %q", agg.text)
+		}
+		st.K = k
+		st.Agg = "top"
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	for {
+		f, err := p.fieldRef()
+		if err != nil {
+			return nil, err
+		}
+		st.Args = append(st.Args, f)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		sr, err := p.streamRef()
+		if err != nil {
+			return nil, err
+		}
+		st.From = append(st.From, sr)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.keyword("where") {
+		for {
+			c, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, c)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("having") {
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		st.Having = &c
+	}
+	return st, nil
+}
+
+// fieldRef parses ident | ident.ident.
+func (p *parser) fieldRef() (FieldRef, error) {
+	id, err := p.expect(tokIdent, "field reference")
+	if err != nil {
+		return FieldRef{}, err
+	}
+	if p.peek().kind == tokDot {
+		p.next()
+		f, err := p.expect(tokIdent, "field name")
+		if err != nil {
+			return FieldRef{}, err
+		}
+		return FieldRef{Stream: id.text, Field: f.text}, nil
+	}
+	return FieldRef{Field: id.text}, nil
+}
+
+// streamRef parses name[Range N sec [Slide M sec]] | name[Rows N].
+func (p *parser) streamRef() (StreamRef, error) {
+	name, err := p.expect(tokIdent, "stream name")
+	if err != nil {
+		return StreamRef{}, err
+	}
+	sr := StreamRef{Name: name.text, Window: stream.TumblingTime(stream.Second)}
+	if p.peek().kind != tokLBracket {
+		return sr, nil
+	}
+	p.next()
+	switch {
+	case p.keyword("range"):
+		r, err := p.durationSecs()
+		if err != nil {
+			return StreamRef{}, err
+		}
+		s := r
+		if p.keyword("slide") {
+			s, err = p.durationSecs()
+			if err != nil {
+				return StreamRef{}, err
+			}
+		}
+		sr.Window = stream.SlidingTime(r, s)
+	case p.keyword("rows"):
+		n, err := p.expect(tokNumber, "row count")
+		if err != nil {
+			return StreamRef{}, err
+		}
+		rows, convErr := strconv.Atoi(n.text)
+		if convErr != nil || rows < 1 {
+			return StreamRef{}, p.errf("bad row count %q", n.text)
+		}
+		sr.Window = stream.TumblingCount(rows)
+	default:
+		return StreamRef{}, p.errf("expected Range or Rows in window, got %q", p.peek().text)
+	}
+	if _, err := p.expect(tokRBracket, "]"); err != nil {
+		return StreamRef{}, err
+	}
+	if err := sr.Window.Validate(); err != nil {
+		return StreamRef{}, err
+	}
+	return sr, nil
+}
+
+// durationSecs parses "<number> sec|secs|second|seconds|min|mins|minute|minutes|ms".
+func (p *parser) durationSecs() (stream.Duration, error) {
+	n, err := p.expect(tokNumber, "duration value")
+	if err != nil {
+		return 0, err
+	}
+	v, convErr := strconv.ParseFloat(n.text, 64)
+	if convErr != nil {
+		return 0, p.errf("bad duration %q", n.text)
+	}
+	unit := stream.Second
+	switch {
+	case p.keyword("sec"), p.keyword("secs"), p.keyword("second"), p.keyword("seconds"):
+	case p.keyword("min"), p.keyword("mins"), p.keyword("minute"), p.keyword("minutes"):
+		unit = stream.Minute
+	case p.keyword("ms"), p.keyword("msec"), p.keyword("msecs"):
+		unit = stream.Millisecond
+	default:
+		return 0, p.errf("expected time unit after %q", n.text)
+	}
+	d := stream.Duration(v * float64(unit))
+	if d <= 0 {
+		return 0, p.errf("non-positive window duration")
+	}
+	return d, nil
+}
+
+// cond parses fieldRef op (number | fieldRef).
+func (p *parser) cond() (Cond, error) {
+	left, err := p.fieldRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return Cond{}, err
+	}
+	if p.peek().kind == tokNumber {
+		lit := p.next()
+		v, convErr := strconv.ParseFloat(lit.text, 64)
+		if convErr != nil {
+			return Cond{}, p.errf("bad literal %q", lit.text)
+		}
+		return Cond{Left: left, Op: op.text, Lit: v}, nil
+	}
+	right, err := p.fieldRef()
+	if err != nil {
+		return Cond{}, err
+	}
+	if op.text != "=" {
+		return Cond{}, p.errf("field-to-field conditions must use '=' (join), got %q", op.text)
+	}
+	return Cond{Left: left, Op: op.text, Right: right, IsJoin: true}, nil
+}

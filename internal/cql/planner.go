@@ -1,0 +1,436 @@
+package cql
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/operator"
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// StreamDef describes a named input stream in the catalog: a union of
+// NumSources physical sources sharing a schema and a generator.
+type StreamDef struct {
+	Name       string
+	NumSources int
+	Schema     *stream.Schema
+	// NewGen builds the generator for the idx-th member source.
+	NewGen func(rng *rand.Rand, idx int) sources.ValueGen
+}
+
+// Catalog maps stream names (case-insensitively) to definitions.
+type Catalog struct {
+	defs map[string]StreamDef
+}
+
+// NewCatalog builds a catalog from definitions.
+func NewCatalog(defs ...StreamDef) *Catalog {
+	c := &Catalog{defs: make(map[string]StreamDef, len(defs))}
+	for _, d := range defs {
+		c.defs[strings.ToLower(d.Name)] = d
+	}
+	return c
+}
+
+// Lookup resolves a stream name.
+func (c *Catalog) Lookup(name string) (StreamDef, bool) {
+	d, ok := c.defs[strings.ToLower(name)]
+	return d, ok
+}
+
+// DefaultCatalog returns a catalog with the streams Table 1 references,
+// backed by the given dataset for scalar streams and by synthetic
+// PlanetLab traces for the CPU/memory streams.
+func DefaultCatalog(d sources.Dataset) *Catalog {
+	scalar := func(rng *rand.Rand, idx int) sources.ValueGen {
+		if d == sources.PlanetLab {
+			return sources.NewTrace(rng, idx).ScalarGen()
+		}
+		return sources.NewValueGen(d, rng)
+	}
+	return NewCatalog(
+		StreamDef{Name: "Src", NumSources: 1, Schema: stream.NewSchema("v"), NewGen: scalar},
+		StreamDef{Name: "AllSrc", NumSources: 10, Schema: stream.NewSchema("v"), NewGen: scalar},
+		StreamDef{Name: "AllSrcCPU", NumSources: 10, Schema: stream.NewSchema("id", "cpu"),
+			NewGen: func(rng *rand.Rand, idx int) sources.ValueGen { return sources.NewTrace(rng, idx).CPUGen() }},
+		StreamDef{Name: "AllSrcMem", NumSources: 10, Schema: stream.NewSchema("id", "free"),
+			NewGen: func(rng *rand.Rand, idx int) sources.ValueGen { return sources.NewTrace(rng, idx).MemGen() }},
+		StreamDef{Name: "SrcCPU1", NumSources: 1, Schema: stream.NewSchema("value"), NewGen: scalar},
+		StreamDef{Name: "SrcCPU2", NumSources: 1, Schema: stream.NewSchema("value"), NewGen: scalar},
+	)
+}
+
+// Plan compiles a parsed statement into a single-fragment query plan.
+// Multi-fragment deployment is a placement decision (§3: performed by the
+// query user), handled by the workload builders in internal/query.
+func Plan(st *Statement, cat *Catalog) (*query.Plan, error) {
+	switch st.Agg {
+	case "avg", "max", "min", "sum", "count":
+		return planScalarAgg(st, cat)
+	case "cov":
+		return planCov(st, cat)
+	case "top":
+		return planTopK(st, cat)
+	default:
+		return nil, fmt.Errorf("cql: unsupported aggregate %q", st.Agg)
+	}
+}
+
+// MustPlan parses and plans src, panicking on error — for tests and
+// examples with literal queries.
+func MustPlan(src string, cat *Catalog) *query.Plan {
+	st, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	p, err := Plan(st, cat)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func aggKind(name string) operator.AggKind {
+	switch name {
+	case "avg":
+		return operator.AggAvg
+	case "max":
+		return operator.AggMax
+	case "min":
+		return operator.AggMin
+	case "sum":
+		return operator.AggSum
+	default:
+		return operator.AggCount
+	}
+}
+
+// resolveField maps a field reference to its index in the (single)
+// stream's schema, accepting the tuple alias shorthand "t.v".
+func resolveField(ref FieldRef, def StreamDef) (int, error) {
+	if ref.Stream != "" && !strings.EqualFold(ref.Stream, def.Name) && !strings.EqualFold(ref.Stream, "t") {
+		return 0, fmt.Errorf("cql: field %s does not belong to stream %s", ref, def.Name)
+	}
+	if i, ok := def.Schema.Index(ref.Field); ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("cql: stream %s has no field %q (schema %s)", def.Name, ref.Field, def.Schema)
+}
+
+func predFromCond(c Cond, field int) (operator.Predicate, error) {
+	switch c.Op {
+	case ">=":
+		return operator.FieldAtLeast(field, c.Lit), nil
+	case ">":
+		lit := c.Lit
+		return func(t *stream.Tuple) bool { return t.V[field] > lit }, nil
+	case "<=":
+		lit := c.Lit
+		return func(t *stream.Tuple) bool { return t.V[field] <= lit }, nil
+	case "<":
+		lit := c.Lit
+		return func(t *stream.Tuple) bool { return t.V[field] < lit }, nil
+	case "=":
+		lit := c.Lit
+		return func(t *stream.Tuple) bool { return t.V[field] == lit }, nil
+	default:
+		return nil, fmt.Errorf("cql: unsupported operator %q", c.Op)
+	}
+}
+
+// planScalarAgg handles the aggregate workload shape: one stream, one
+// scalar aggregate, optional HAVING.
+func planScalarAgg(st *Statement, cat *Catalog) (*query.Plan, error) {
+	if len(st.From) != 1 {
+		return nil, fmt.Errorf("cql: %s expects exactly one input stream, got %d", st.Agg, len(st.From))
+	}
+	if len(st.Args) != 1 {
+		return nil, fmt.Errorf("cql: %s expects one argument", st.Agg)
+	}
+	def, ok := cat.Lookup(st.From[0].Name)
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown stream %q", st.From[0].Name)
+	}
+	field, err := resolveField(st.Args[0], def)
+	if err != nil {
+		return nil, err
+	}
+	var pred operator.Predicate
+	if st.Having != nil {
+		hf, err := resolveField(st.Having.Left, def)
+		if err != nil {
+			return nil, err
+		}
+		pred, err = predFromCond(*st.Having, hf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(st.Where) > 0 {
+		return nil, fmt.Errorf("cql: WHERE on a single-stream aggregate is unsupported; use HAVING")
+	}
+	kind := aggKind(st.Agg)
+	win := st.From[0].Window
+
+	n := def.NumSources
+	fp := &query.FragmentPlan{Entries: map[int]query.Entry{}, UpstreamPort: -1}
+	union := n
+	agg := n + 1
+	out := n + 2
+	for i := 0; i < n; i++ {
+		i := i
+		fp.Ops = append(fp.Ops, query.OpSpec{
+			Name: "receive",
+			New:  func() operator.Operator { return operator.NewReceive() },
+			Outs: []query.Edge{{To: union, Port: i}},
+		})
+		fp.Entries[i] = query.Entry{Op: i}
+		fp.Sources = append(fp.Sources, query.SourceSpec{Port: i, Arity: def.Schema.Arity(), NewGen: def.NewGen})
+	}
+	fp.Ops = append(fp.Ops,
+		query.OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(n) }, Outs: []query.Edge{{To: agg}}},
+		query.OpSpec{Name: kind.String(), New: func() operator.Operator { return operator.NewAgg(kind, win, field, pred) }, Outs: []query.Edge{{To: out}}},
+		query.OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+	)
+	fp.OutOp = out
+	return &query.Plan{Type: strings.ToUpper(st.Agg), Fragments: []*query.FragmentPlan{fp}, Downstream: []int{-1}}, nil
+}
+
+// planCov handles Cov(a.x, b.y) over two single-source streams.
+func planCov(st *Statement, cat *Catalog) (*query.Plan, error) {
+	if len(st.From) != 2 || len(st.Args) != 2 {
+		return nil, fmt.Errorf("cql: cov expects two arguments over two streams")
+	}
+	defs := make([]StreamDef, 2)
+	fields := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		d, ok := cat.Lookup(st.From[i].Name)
+		if !ok {
+			return nil, fmt.Errorf("cql: unknown stream %q", st.From[i].Name)
+		}
+		if d.NumSources != 1 {
+			return nil, fmt.Errorf("cql: cov inputs must be single-source streams")
+		}
+		defs[i] = d
+		f, err := resolveField(st.Args[i], d)
+		if err != nil {
+			return nil, err
+		}
+		fields[i] = f
+	}
+	win := st.From[0].Window
+	fp := &query.FragmentPlan{Entries: map[int]query.Entry{}, UpstreamPort: -1}
+	fp.Ops = append(fp.Ops,
+		query.OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []query.Edge{{To: 2, Port: 0}}},
+		query.OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []query.Edge{{To: 2, Port: 1}}},
+		query.OpSpec{Name: "partial-cov", New: func() operator.Operator { return operator.NewPartialCov(win, fields[0], fields[1]) }, Outs: []query.Edge{{To: 3}}},
+		query.OpSpec{Name: "cov-merge", New: func() operator.Operator { return operator.NewCovMerge(win) }, Outs: []query.Edge{{To: 4}}},
+		query.OpSpec{Name: "cov-finalize", New: func() operator.Operator { return operator.NewCovFinalize() }, Outs: []query.Edge{{To: 5}}},
+		query.OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+	)
+	fp.Entries[0] = query.Entry{Op: 0}
+	fp.Entries[1] = query.Entry{Op: 1}
+	fp.Sources = append(fp.Sources,
+		query.SourceSpec{Port: 0, Arity: defs[0].Schema.Arity(), NewGen: defs[0].NewGen},
+		query.SourceSpec{Port: 1, Arity: defs[1].Schema.Arity(), NewGen: defs[1].NewGen},
+	)
+	fp.OutOp = 5
+	return &query.Plan{Type: "COV", Fragments: []*query.FragmentPlan{fp}, Downstream: []int{-1}}, nil
+}
+
+// planTopK handles the TOP-5 shape: TopK(stream.key) over two streams
+// with an equi-join on key and optional filters; ids are ranked by the
+// per-key average of the key stream's value field.
+func planTopK(st *Statement, cat *Catalog) (*query.Plan, error) {
+	if len(st.Args) != 1 {
+		return nil, fmt.Errorf("cql: top-k expects one key argument")
+	}
+	if len(st.From) != 2 {
+		return nil, fmt.Errorf("cql: top-k expects two input streams (value and predicate streams)")
+	}
+	var join *Cond
+	var filters []Cond
+	for i := range st.Where {
+		c := st.Where[i]
+		if c.IsJoin {
+			if join != nil {
+				return nil, fmt.Errorf("cql: multiple join conditions unsupported")
+			}
+			join = &c
+		} else {
+			filters = append(filters, c)
+		}
+	}
+	if join == nil {
+		return nil, fmt.Errorf("cql: top-k over two streams requires a join condition")
+	}
+
+	// Identify the key (ranking) stream as the stream of the top-k
+	// argument; the other stream is the predicate side.
+	keyName := st.Args[0].Stream
+	var keyIdx int
+	switch {
+	case strings.EqualFold(st.From[0].Name, keyName):
+		keyIdx = 0
+	case strings.EqualFold(st.From[1].Name, keyName):
+		keyIdx = 1
+	default:
+		return nil, fmt.Errorf("cql: top-k argument %s names no FROM stream", st.Args[0])
+	}
+	otherIdx := 1 - keyIdx
+
+	defs := make([]StreamDef, 2)
+	for i := 0; i < 2; i++ {
+		d, ok := cat.Lookup(st.From[i].Name)
+		if !ok {
+			return nil, fmt.Errorf("cql: unknown stream %q", st.From[i].Name)
+		}
+		defs[i] = d
+	}
+	if defs[keyIdx].NumSources != defs[otherIdx].NumSources {
+		return nil, fmt.Errorf("cql: top-k streams must have matching source counts")
+	}
+
+	keyField, err := resolveField(st.Args[0], defs[keyIdx])
+	if err != nil {
+		return nil, err
+	}
+	// Join keys per side.
+	resolveSide := func(ref FieldRef) (int, int, error) {
+		for i := 0; i < 2; i++ {
+			if strings.EqualFold(ref.Stream, defs[i].Name) {
+				f, err := resolveField(ref, defs[i])
+				return i, f, err
+			}
+		}
+		return 0, 0, fmt.Errorf("cql: %s names no FROM stream", ref)
+	}
+	ls, lf, err := resolveSide(join.Left)
+	if err != nil {
+		return nil, err
+	}
+	rs, rf, err := resolveSide(join.Right)
+	if err != nil {
+		return nil, err
+	}
+	if ls == rs {
+		return nil, fmt.Errorf("cql: join condition must span both streams")
+	}
+	joinField := [2]int{}
+	joinField[ls] = lf
+	joinField[rs] = rf
+
+	// Ranking value: the first non-key field of the key stream.
+	valField := -1
+	for i := 0; i < defs[keyIdx].Schema.Arity(); i++ {
+		if i != keyField {
+			valField = i
+			break
+		}
+	}
+	if valField < 0 {
+		return nil, fmt.Errorf("cql: key stream %s has no value field to rank by", defs[keyIdx].Name)
+	}
+
+	// Per-side filters.
+	sidePred := [2]operator.Predicate{}
+	for _, c := range filters {
+		s, f, err := resolveSide(c.Left)
+		if err != nil {
+			return nil, err
+		}
+		p, err := predFromCond(c, f)
+		if err != nil {
+			return nil, err
+		}
+		if sidePred[s] != nil {
+			prev := sidePred[s]
+			sidePred[s] = func(t *stream.Tuple) bool { return prev(t) && p(t) }
+		} else {
+			sidePred[s] = p
+		}
+	}
+
+	win := st.From[0].Window
+	n := defs[0].NumSources
+	fp := &query.FragmentPlan{Entries: map[int]query.Entry{}, UpstreamPort: -1}
+	// Receivers: key-side sources on ports 0..n-1, other side n..2n-1.
+	var (
+		unionKey   = 2 * n
+		unionOther = 2*n + 1
+		next       = 2*n + 2
+	)
+	addRecv := func(port, unionOp, unionPort int, def StreamDef) {
+		op := len(fp.Ops)
+		fp.Ops = append(fp.Ops, query.OpSpec{
+			Name: "receive",
+			New:  func() operator.Operator { return operator.NewReceive() },
+			Outs: []query.Edge{{To: unionOp, Port: unionPort}},
+		})
+		fp.Entries[port] = query.Entry{Op: op}
+		fp.Sources = append(fp.Sources, query.SourceSpec{Port: port, Arity: def.Schema.Arity(), NewGen: def.NewGen})
+	}
+	for i := 0; i < n; i++ {
+		addRecv(i, unionKey, i, defs[keyIdx])
+	}
+	for i := 0; i < n; i++ {
+		addRecv(n+i, unionOther, i, defs[otherIdx])
+	}
+	fp.Ops = append(fp.Ops,
+		query.OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(n) }},
+		query.OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(n) }},
+	)
+	// Optional filters feed into per-side group averages.
+	keyChain := unionKey
+	otherChain := unionOther
+	if sidePred[keyIdx] != nil {
+		fp.Ops[unionKey].Outs = []query.Edge{{To: next}}
+		p := sidePred[keyIdx]
+		fp.Ops = append(fp.Ops, query.OpSpec{Name: "filter", New: func() operator.Operator { return operator.NewFilter(p) }})
+		keyChain = next
+		next++
+	}
+	if sidePred[otherIdx] != nil {
+		fp.Ops[unionOther].Outs = []query.Edge{{To: next}}
+		p := sidePred[otherIdx]
+		fp.Ops = append(fp.Ops, query.OpSpec{Name: "filter", New: func() operator.Operator { return operator.NewFilter(p) }})
+		otherChain = next
+		next++
+	}
+	gavgKey := next
+	gavgOther := next + 1
+	joinOp := next + 2
+	topkOp := next + 3
+	outOp := next + 4
+	fp.Ops[keyChain].Outs = []query.Edge{{To: gavgKey}}
+	fp.Ops[otherChain].Outs = []query.Edge{{To: gavgOther}}
+	// For the Table 1 shape the top-k key and the join key of the key
+	// stream coincide (both are the node id); the group-by therefore uses
+	// the top-k key and the join consumes the grouped output.
+	kf, vf := keyField, valField
+	jfOther := joinField[otherIdx]
+	otherVal := -1
+	for i := 0; i < defs[otherIdx].Schema.Arity(); i++ {
+		if i != jfOther {
+			otherVal = i
+			break
+		}
+	}
+	if otherVal < 0 {
+		otherVal = 0
+	}
+	fp.Ops = append(fp.Ops,
+		query.OpSpec{Name: "group-avg", New: func() operator.Operator { return operator.NewGroupAgg(operator.AggAvg, win, kf, vf) }, Outs: []query.Edge{{To: joinOp, Port: 0}}},
+		query.OpSpec{Name: "group-avg", New: func() operator.Operator { return operator.NewGroupAgg(operator.AggAvg, win, jfOther, otherVal) }, Outs: []query.Edge{{To: joinOp, Port: 1}}},
+		// Group-avg emits (key, value) on both sides, so both join keys
+		// are field 0 of their respective inputs.
+		query.OpSpec{Name: "join", New: func() operator.Operator { return operator.NewJoin(win, 0, 0) }, Outs: []query.Edge{{To: topkOp}}},
+		query.OpSpec{Name: "top-k", New: func() operator.Operator { return operator.NewTopK(st.K, win, 0, 1) }, Outs: []query.Edge{{To: outOp}}},
+		query.OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+	)
+	fp.OutOp = outOp
+	return &query.Plan{Type: fmt.Sprintf("TOP-%d", st.K), Fragments: []*query.FragmentPlan{fp}, Downstream: []int{-1}}, nil
+}

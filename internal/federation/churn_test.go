@@ -1,0 +1,144 @@
+package federation
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Query churn tests: the FSPS must absorb arrivals and departures
+// mid-run (§5: "any converged SIC values would depend on several, often
+// time-changing, factors such as queries' arrivals and departures").
+
+func TestQueryDepartureFreesCapacity(t *testing.T) {
+	cfg := Defaults()
+	cfg.Duration = 60 * stream.Second
+	cfg.Warmup = 10 * stream.Second
+	cfg.SourceRate = 40
+	e := NewEngine(cfg)
+	nd := e.AddNode(800) // half of the 4 × 400 t/s demand
+	ids := make([]stream.QueryID, 4)
+	for i := range ids {
+		id, err := e.DeployQuery(query.NewAvgAll(1, sources.Uniform), []stream.NodeID{nd}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// First half of the run: all four queries, ~0.5 SIC each.
+	half := int64(30 * stream.Second / cfg.Interval)
+	for i := int64(0); i < half; i++ {
+		e.Step()
+	}
+	// Two queries depart; the survivors should climb towards 1.
+	e.RemoveQuery(ids[0])
+	e.RemoveQuery(ids[1])
+	ticks := int64(cfg.Duration/cfg.Interval) - half
+	for i := int64(0); i < ticks; i++ {
+		e.Step()
+	}
+	res := e.Results()
+	// Survivors' time-averaged SIC mixes both phases; their final sliding
+	// SIC must be near 1. Use the samples for a final-phase check.
+	cfg2 := cfg
+	cfg2.KeepSamples = true
+	_ = cfg2
+	if res.Queries[2].MeanSIC <= res.Queries[0].MeanSIC {
+		t.Errorf("survivor SIC %.3f not above departed query's %.3f",
+			res.Queries[2].MeanSIC, res.Queries[0].MeanSIC)
+	}
+	st := e.Node(nd).Stats()
+	if st.ShedTuples == 0 {
+		t.Error("no shedding in phase one")
+	}
+}
+
+func TestQueryDepartureFinalSIC(t *testing.T) {
+	cfg := Defaults()
+	cfg.Duration = 80 * stream.Second
+	cfg.Warmup = 10 * stream.Second
+	cfg.SourceRate = 40
+	cfg.KeepSamples = true
+	e := NewEngine(cfg)
+	nd := e.AddNode(800)
+	ids := make([]stream.QueryID, 4)
+	for i := range ids {
+		ids[i], _ = e.DeployQuery(query.NewAvgAll(1, sources.Uniform), []stream.NodeID{nd}, 0)
+	}
+	half := int64(40 * stream.Second / cfg.Interval)
+	for i := int64(0); i < half; i++ {
+		e.Step()
+	}
+	e.RemoveQuery(ids[0])
+	e.RemoveQuery(ids[1])
+	for i := half; i < int64(cfg.Duration/cfg.Interval); i++ {
+		e.Step()
+	}
+	res := e.Results()
+	samples := res.Queries[3].Samples
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	final := samples[len(samples)-1]
+	if final < 0.85 {
+		t.Errorf("survivor's final sliding SIC %.3f, want ~1 after departures freed capacity", final)
+	}
+	first := samples[0]
+	if first > 0.75 {
+		t.Errorf("phase-one SIC %.3f suspiciously high for 2x overload", first)
+	}
+}
+
+func TestLateArrivalConverges(t *testing.T) {
+	cfg := Defaults()
+	cfg.Duration = 60 * stream.Second
+	cfg.Warmup = 10 * stream.Second
+	cfg.SourceRate = 40
+	cfg.KeepSamples = true
+	e := NewEngine(cfg)
+	// Capacity for one query: the arrival halves both queries' share.
+	nd := e.AddNode(400)
+	if _, err := e.DeployQuery(query.NewAvgAll(1, sources.Uniform), []stream.NodeID{nd}, 0); err != nil {
+		t.Fatal(err)
+	}
+	half := int64(30 * stream.Second / cfg.Interval)
+	for i := int64(0); i < half; i++ {
+		e.Step()
+	}
+	// A second identical query arrives mid-run.
+	late, err := e.DeployQuery(query.NewAvgAll(1, sources.Uniform), []stream.NodeID{nd}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < int64(cfg.Duration/cfg.Interval); i++ {
+		e.Step()
+	}
+	res := e.Results()
+	var lateSamples []float64
+	for _, q := range res.Queries {
+		if q.ID == late {
+			lateSamples = q.Samples
+		}
+	}
+	if len(lateSamples) < 10 {
+		t.Fatal("late query has no samples")
+	}
+	final := lateSamples[len(lateSamples)-1]
+	if final < 0.25 || final > 0.75 {
+		t.Errorf("late arrival's final SIC %.3f, want ~0.5 (fair share of 2x overload)", final)
+	}
+}
+
+func TestRemoveQueryIdempotentAndUnknown(t *testing.T) {
+	cfg := Defaults()
+	cfg.SourceRate = 40
+	e := NewEngine(cfg)
+	nd := e.AddNode(500)
+	id, _ := e.DeployQuery(query.NewAvgAll(1, sources.Uniform), []stream.NodeID{nd}, 0)
+	e.RemoveQuery(id)
+	e.RemoveQuery(id)  // idempotent
+	e.RemoveQuery(999) // unknown: no-op
+	e.Step()           // must not panic with zero hosted queries
+}

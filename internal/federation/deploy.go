@@ -1,0 +1,103 @@
+package federation
+
+import (
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// Placement helpers. A placement assigns each fragment of a query to a
+// distinct node (§3). The evaluation uses three strategies: balanced
+// round-robin (equal node load, Fig. 11), uniformly random distinct nodes
+// (Figs. 10, 14), and Zipf-skewed placement modelling sites that
+// "primarily host queries of local users" (C1; Fig. 12: "Fragments are
+// deployed according to a Zipf distribution").
+
+// UniformPlacement picks k distinct nodes uniformly at random.
+func UniformPlacement(rng *rand.Rand, numNodes, k int) []stream.NodeID {
+	if k > numNodes {
+		panic("federation: more fragments than nodes")
+	}
+	perm := rng.Perm(numNodes)
+	out := make([]stream.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = stream.NodeID(perm[i])
+	}
+	return out
+}
+
+// RoundRobinPlacement assigns fragments to consecutive nodes starting at
+// *next, advancing it — spreading total load evenly across nodes.
+func RoundRobinPlacement(next *int, numNodes, k int) []stream.NodeID {
+	if k > numNodes {
+		panic("federation: more fragments than nodes")
+	}
+	out := make([]stream.NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = stream.NodeID((*next + i) % numNodes)
+	}
+	*next = (*next + k) % numNodes
+	return out
+}
+
+// ZipfPlacement samples k distinct nodes with Zipf-distributed popularity
+// (skew s > 1), modelling the skewed query workload distribution of C1.
+func ZipfPlacement(rng *rand.Rand, numNodes, k int, s float64) []stream.NodeID {
+	if k > numNodes {
+		panic("federation: more fragments than nodes")
+	}
+	if s <= 1 {
+		s = 1.01
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(numNodes-1))
+	chosen := make(map[stream.NodeID]bool, k)
+	out := make([]stream.NodeID, 0, k)
+	for len(out) < k {
+		nd := stream.NodeID(z.Uint64())
+		if !chosen[nd] {
+			chosen[nd] = true
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// Table 2 presets.
+
+// LocalTestbed configures the paper's local test-bed: one processing
+// node, sources at 400 tuples/sec in 5 batches/sec (Table 2). capacity is
+// the processing node's speed in tuples/sec. Non-zero rate fields in cfg
+// take precedence, so scaled-down experiment configurations pass through.
+func LocalTestbed(cfg Config, capacity float64) (*Engine, stream.NodeID) {
+	if cfg.SourceRate <= 0 {
+		cfg.SourceRate = 400
+	}
+	if cfg.BatchesPerSec <= 0 {
+		cfg.BatchesPerSec = 5
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 1 * stream.Millisecond
+	}
+	e := NewEngine(cfg)
+	id := e.AddNode(capacity)
+	return e, id
+}
+
+// Emulab configures the paper's Emulab test-bed: up to 18 processing
+// nodes on a star LAN with 5 ms links, sources at 150 tuples/sec in
+// 3 batches/sec (Table 2). Non-zero rate/latency fields in cfg take
+// precedence.
+func Emulab(cfg Config, numNodes int, capacity float64) *Engine {
+	if cfg.SourceRate <= 0 {
+		cfg.SourceRate = 150
+	}
+	if cfg.BatchesPerSec <= 0 {
+		cfg.BatchesPerSec = 3
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 5 * stream.Millisecond
+	}
+	e := NewEngine(cfg)
+	e.AddNodes(numNodes, capacity)
+	return e
+}

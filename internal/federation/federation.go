@@ -1,0 +1,525 @@
+// Package federation implements the multi-site FSPS runtime: nodes
+// belonging to autonomous sites, query deployment with per-fragment
+// placement, a star-topology network with configurable link latency, and
+// per-query coordinators disseminating result SIC values (§2, §5.2, §6).
+//
+// The engine advances virtual time in shedding-interval ticks. Each tick,
+// sources emit into their host node's input buffer, every node runs its
+// overload detector and shedder independently (site autonomy, C3), kept
+// batches flow through the hosted fragment executors, derived batches
+// travel to downstream fragments with link latency, and coordinators
+// broadcast updated result SIC values that arrive one-or-more ticks later.
+// This virtual-time design replaces the paper's Emulab testbed: the
+// algorithm under study operates on tuple counts per interval and SIC
+// values, both of which the simulation reproduces exactly, while a
+// five-minute experiment runs in milliseconds (see DESIGN.md §3).
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/query"
+	"repro/internal/sic"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Policy selects the shedding policy of every node in the deployment.
+type Policy int
+
+const (
+	// PolicyBalanceSIC runs Algorithm 1 on every node.
+	PolicyBalanceSIC Policy = iota
+	// PolicyRandom runs the random-shedding baseline.
+	PolicyRandom
+	// PolicyKeepAll disables shedding (perfect-processing reference).
+	PolicyKeepAll
+)
+
+// String names the policy as in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBalanceSIC:
+		return "BALANCE-SIC"
+	case PolicyRandom:
+		return "random"
+	default:
+		return "keep-all"
+	}
+}
+
+// Config parameterises a federated deployment.
+type Config struct {
+	// Interval is the shedding interval; the evaluation uses 250 ms and
+	// sweeps 25..250 ms in Fig. 9.
+	Interval stream.Duration
+	// STW is the source time window (10 s in the evaluation, §7).
+	STW stream.Duration
+	// Duration is the simulated run length; Warmup is excluded from all
+	// reported statistics.
+	Duration stream.Duration
+	Warmup   stream.Duration
+	// Policy selects the shedding policy.
+	Policy Policy
+	// UpdateMode selects the coordinator's estimation mode (§5.2 /
+	// Assumption 3); Acceptance is the prototype default.
+	UpdateMode coordinator.UpdateMode
+	// DisableProjection turns off the §6 local-shedding projection
+	// (ablation).
+	DisableProjection bool
+	// DisableMaxSIC turns off Algorithm 1's max(x_SIC) within-query
+	// selection rule (ablation): batches are then chosen randomly within
+	// a query.
+	DisableMaxSIC bool
+	// DisableUpdates stops coordinators from disseminating result SIC
+	// values, reproducing the divergence of Figure 4's top half
+	// (ablation).
+	DisableUpdates bool
+	// Latency is the one-way link latency between any two sites (star
+	// topology; 5 ms on the Emulab LAN, 50 ms in the §7.4 WAN set-up).
+	Latency stream.Duration
+	// SourceRate and BatchesPerSec shape source emission (Table 2).
+	SourceRate    float64
+	BatchesPerSec float64
+	// Burst enables bursty sources (§7.4).
+	Burst *sources.BurstConfig
+	// CostNoise is forwarded to nodes (relative std of simulated
+	// processing-time observations).
+	CostNoise float64
+	// KeepSamples retains the per-tick SIC time series of every query in
+	// the results (costs memory on large runs).
+	KeepSamples bool
+	// Seed drives all randomness in the deployment.
+	Seed int64
+}
+
+// Defaults returns the evaluation's base configuration (§7): 250 ms
+// shedding interval, 10 s STW, Emulab-style source rates.
+func Defaults() Config {
+	return Config{
+		Interval:      250 * stream.Millisecond,
+		STW:           10 * stream.Second,
+		Duration:      60 * stream.Second,
+		Warmup:        15 * stream.Second,
+		Policy:        PolicyBalanceSIC,
+		UpdateMode:    coordinator.RootMeasured,
+		Latency:       5 * stream.Millisecond,
+		SourceRate:    150,
+		BatchesPerSec: 3,
+		CostNoise:     0.05,
+		Seed:          1,
+	}
+}
+
+// delivery is an in-transit batch.
+type delivery struct {
+	to stream.NodeID
+	b  *stream.Batch
+}
+
+// sicUpdate is an in-transit coordinator message.
+type sicUpdate struct {
+	to stream.NodeID
+	q  stream.QueryID
+	v  float64
+}
+
+// queryRT is the engine-side runtime state of one deployed query.
+type queryRT struct {
+	id        stream.QueryID
+	plan      *query.Plan
+	placement []stream.NodeID
+	hosts     []stream.NodeID // distinct hosting nodes
+	resultAcc *sic.Accumulator
+	samples   []float64
+	sampleSum float64
+	sampleN   int
+	resultFn  func(now stream.Time, tuples []stream.Tuple)
+	// removed freezes the query's statistics after RemoveQuery.
+	removed bool
+}
+
+// Engine is a running federated deployment.
+type Engine struct {
+	cfg     Config
+	rng     *rand.Rand
+	nodes   []*node.Node
+	coords  map[stream.QueryID]*coordinator.Coordinator
+	queries map[stream.QueryID]*queryRT
+	order   []stream.QueryID
+
+	tick      int64
+	inTransit map[int64][]delivery
+	updates   map[int64][]sicUpdate
+
+	nextQuery  stream.QueryID
+	nextSource stream.SourceID
+}
+
+// NewEngine builds an engine from the config.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * stream.Millisecond
+	}
+	if cfg.STW <= 0 {
+		cfg.STW = 10 * stream.Second
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 60 * stream.Second
+	}
+	if cfg.SourceRate <= 0 {
+		cfg.SourceRate = 150
+	}
+	if cfg.BatchesPerSec <= 0 {
+		cfg.BatchesPerSec = 3
+	}
+	return &Engine{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		coords:    make(map[stream.QueryID]*coordinator.Coordinator),
+		queries:   make(map[stream.QueryID]*queryRT),
+		inTransit: make(map[int64][]delivery),
+		updates:   make(map[int64][]sicUpdate),
+	}
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// newShedder builds the per-node shedder for the configured policy. The
+// seed is drawn unconditionally so that engines differing only in policy
+// consume identical random sequences — the §7.1 correlation experiments
+// depend on degraded and perfect-reference runs seeing identical source
+// data.
+func (e *Engine) newShedder() core.Shedder {
+	seed := e.rng.Int63()
+	switch e.cfg.Policy {
+	case PolicyRandom:
+		return core.NewRandom(seed)
+	case PolicyKeepAll:
+		return core.KeepAll{}
+	default:
+		s := core.NewBalanceSIC(seed)
+		s.Projection = !e.cfg.DisableProjection
+		s.SelectHighest = !e.cfg.DisableMaxSIC
+		return s
+	}
+}
+
+// AddNode adds a processing node with the given true capacity in tuples
+// per second and returns its id.
+func (e *Engine) AddNode(capacityPerSec float64) stream.NodeID {
+	id := stream.NodeID(len(e.nodes))
+	n := node.New(id, node.Config{
+		Interval:       e.cfg.Interval,
+		STW:            e.cfg.STW,
+		CapacityPerSec: capacityPerSec,
+		CostNoise:      e.cfg.CostNoise,
+		Seed:           e.rng.Int63(),
+	}, e.newShedder(), e)
+	e.nodes = append(e.nodes, n)
+	return id
+}
+
+// AddNodes adds n identical nodes.
+func (e *Engine) AddNodes(n int, capacityPerSec float64) []stream.NodeID {
+	ids := make([]stream.NodeID, n)
+	for i := range ids {
+		ids[i] = e.AddNode(capacityPerSec)
+	}
+	return ids
+}
+
+// NumNodes reports the node count.
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// Node returns a node by id (for tests and tooling).
+func (e *Engine) Node(id stream.NodeID) *node.Node { return e.nodes[id] }
+
+// DeployQuery instantiates the plan's fragments on the given placement
+// (one node per fragment; fragments of one query must land on distinct
+// nodes, §3) and attaches its sources. rate overrides the config's
+// per-source tuple rate when positive. It returns the new query id.
+func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate float64) (stream.QueryID, error) {
+	if err := plan.Validate(); err != nil {
+		return 0, err
+	}
+	if len(placement) != plan.NumFragments() {
+		return 0, fmt.Errorf("federation: placement has %d entries for %d fragments", len(placement), plan.NumFragments())
+	}
+	seen := make(map[stream.NodeID]bool)
+	for _, nd := range placement {
+		if int(nd) < 0 || int(nd) >= len(e.nodes) {
+			return 0, fmt.Errorf("federation: placement names missing node %d", nd)
+		}
+		if seen[nd] {
+			return 0, fmt.Errorf("federation: fragments of one query must be placed on distinct nodes")
+		}
+		seen[nd] = true
+	}
+	if rate <= 0 {
+		rate = e.cfg.SourceRate
+	}
+
+	q := e.nextQuery
+	e.nextQuery++
+	numSources := plan.NumSources()
+	rt := &queryRT{
+		id:        q,
+		plan:      plan,
+		placement: append([]stream.NodeID(nil), placement...),
+		resultAcc: sic.NewAccumulator(e.cfg.STW, e.cfg.Interval),
+	}
+	hostSeen := make(map[stream.NodeID]bool, len(placement))
+	for _, nd := range placement {
+		if !hostSeen[nd] {
+			hostSeen[nd] = true
+			rt.hosts = append(rt.hosts, nd)
+		}
+	}
+
+	srcIdx := 0
+	for fi, fp := range plan.Fragments {
+		host := e.nodes[placement[fi]]
+		exec := query.NewFragmentExec(fp)
+		downstream := stream.FragID(-1)
+		downstreamPort := -1
+		if d := plan.Downstream[fi]; d >= 0 {
+			downstream = stream.FragID(d)
+			downstreamPort = plan.Fragments[d].UpstreamPort
+		}
+		host.HostFragment(q, stream.FragID(fi), exec, numSources, downstream, downstreamPort)
+		for _, ss := range fp.Sources {
+			gen := ss.NewGen(rand.New(rand.NewSource(e.rng.Int63())), srcIdx)
+			src := sources.New(e.nextSource, q, stream.FragID(fi), ss.Port,
+				rate, e.cfg.BatchesPerSec, ss.Arity, gen, e.rng.Int63())
+			src.Burst = e.cfg.Burst
+			e.nextSource++
+			srcIdx++
+			host.AttachSource(src)
+		}
+	}
+
+	e.coords[q] = coordinator.New(q, e.cfg.UpdateMode, e.cfg.STW, e.cfg.Interval)
+	e.queries[q] = rt
+	e.order = append(e.order, q)
+	return q, nil
+}
+
+// RemoveQuery undeploys a running query: its fragments leave their host
+// nodes (freeing capacity for the remaining queries at the next shedding
+// round), its coordinator stops broadcasting, and its statistics freeze
+// at their current values. In-flight batches of the query are dropped on
+// delivery.
+func (e *Engine) RemoveQuery(q stream.QueryID) {
+	rt, ok := e.queries[q]
+	if !ok || rt.removed {
+		return
+	}
+	rt.removed = true
+	for fi := range rt.plan.Fragments {
+		e.nodes[rt.placement[fi]].RemoveFragment(q, stream.FragID(fi))
+	}
+	delete(e.coords, q)
+}
+
+// OnResult registers a callback receiving every result batch of a query —
+// the user's continuous feedback channel, also used by the correlation
+// experiments to capture result values.
+func (e *Engine) OnResult(q stream.QueryID, fn func(now stream.Time, tuples []stream.Tuple)) {
+	e.queries[q].resultFn = fn
+}
+
+// --- node.Router implementation ---
+
+// latencyTicks converts the link latency into a delivery delay in ticks:
+// a batch emitted at the end of tick k is available at the destination
+// for tick k+1+floor(latency/interval).
+func (e *Engine) latencyTicks() int64 {
+	return 1 + int64(e.cfg.Latency)/int64(e.cfg.Interval)
+}
+
+// RouteDownstream implements node.Router.
+func (e *Engine) RouteDownstream(from stream.NodeID, b *stream.Batch) {
+	rt, ok := e.queries[b.Query]
+	if !ok || rt.removed || int(b.Frag) >= len(rt.placement) {
+		return
+	}
+	dest := rt.placement[b.Frag]
+	delay := int64(1) // local hand-off still waits for the next tick
+	if dest != from {
+		delay = e.latencyTicks()
+	}
+	at := e.tick + delay
+	e.inTransit[at] = append(e.inTransit[at], delivery{to: dest, b: b})
+}
+
+// DeliverResult implements node.Router.
+func (e *Engine) DeliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple) {
+	rt, ok := e.queries[q]
+	if !ok || rt.removed {
+		return
+	}
+	var total float64
+	for i := range tuples {
+		total += tuples[i].SIC
+	}
+	rt.resultAcc.Add(now, total)
+	if c, ok := e.coords[q]; ok {
+		c.ReportResult(now, total)
+	}
+	if rt.resultFn != nil {
+		rt.resultFn(now, tuples)
+	}
+}
+
+// ReportAccepted implements node.Router.
+func (e *Engine) ReportAccepted(q stream.QueryID, now stream.Time, delta float64) {
+	if c, ok := e.coords[q]; ok {
+		c.ReportAccepted(now, delta)
+	}
+}
+
+// --- run loop ---
+
+// Step advances the federation by one shedding interval.
+func (e *Engine) Step() {
+	t := stream.Time(e.tick * int64(e.cfg.Interval))
+	// Deliver in-transit batches and coordinator updates due this tick.
+	for _, d := range e.inTransit[e.tick] {
+		e.nodes[d.to].Enqueue(d.b, t)
+	}
+	delete(e.inTransit, e.tick)
+	for _, u := range e.updates[e.tick] {
+		e.nodes[u.to].SetResultSIC(u.q, u.v)
+	}
+	delete(e.updates, e.tick)
+
+	for _, n := range e.nodes {
+		n.Tick(t)
+	}
+	now := t.Add(e.cfg.Interval)
+
+	// Coordinators broadcast updated result SIC values to all fragment
+	// hosts; updates arrive after the link latency (§6: "sent at regular
+	// intervals to all query fragments").
+	if !e.cfg.DisableUpdates {
+		delay := e.latencyTicks()
+		for _, qid := range e.order {
+			c, ok := e.coords[qid]
+			if !ok {
+				continue // query departed
+			}
+			rt := e.queries[qid]
+			v := c.Value(now)
+			at := e.tick + delay
+			for _, nd := range rt.hosts {
+				e.updates[at] = append(e.updates[at], sicUpdate{to: nd, q: qid, v: v})
+			}
+			c.NoteUpdateSent(len(rt.hosts))
+		}
+	}
+
+	// Sample per-query measured result SIC after warmup.
+	if now > stream.Time(e.cfg.Warmup) {
+		for _, qid := range e.order {
+			rt := e.queries[qid]
+			if rt.removed {
+				continue
+			}
+			s := rt.resultAcc.Sum(now)
+			rt.sampleSum += s
+			rt.sampleN++
+			if e.cfg.KeepSamples {
+				rt.samples = append(rt.samples, s)
+			}
+		}
+	}
+	e.tick++
+}
+
+// Run executes the configured duration and returns the results.
+func (e *Engine) Run() *Results {
+	ticks := int64(e.cfg.Duration) / int64(e.cfg.Interval)
+	for i := int64(0); i < ticks; i++ {
+		e.Step()
+	}
+	return e.Results()
+}
+
+// QueryResult summarises one query after a run.
+type QueryResult struct {
+	ID        stream.QueryID
+	Type      string
+	Fragments int
+	// MeanSIC is the time-averaged measured result SIC over the STW
+	// (Eq. 4), the quantity the paper's figures plot.
+	MeanSIC float64
+	// Samples holds the per-tick SIC series when Config.KeepSamples is
+	// set.
+	Samples []float64
+}
+
+// Results summarises a run.
+type Results struct {
+	Policy  Policy
+	Queries []QueryResult
+	// MeanSIC, Jain and StdSIC are computed over the per-query mean SIC
+	// values, as in Figs. 8-14.
+	MeanSIC float64
+	Jain    float64
+	StdSIC  float64
+	// Nodes carries per-node shedding counters.
+	Nodes []node.Stats
+	// SelectNanosPerInvocation is the average wall-clock time one
+	// shedder invocation took (§7.6).
+	SelectNanosPerInvocation float64
+	// CoordinatorMessages and CoordinatorBytes total the dissemination
+	// traffic (§7.6).
+	CoordinatorMessages int64
+	CoordinatorBytes    int64
+}
+
+// Results assembles the current statistics without advancing time.
+func (e *Engine) Results() *Results {
+	res := &Results{Policy: e.cfg.Policy}
+	perQuery := make([]float64, 0, len(e.order))
+	for _, qid := range e.order {
+		rt := e.queries[qid]
+		mean := 0.0
+		if rt.sampleN > 0 {
+			mean = rt.sampleSum / float64(rt.sampleN)
+		}
+		perQuery = append(perQuery, mean)
+		res.Queries = append(res.Queries, QueryResult{
+			ID:        qid,
+			Type:      rt.plan.Type,
+			Fragments: rt.plan.NumFragments(),
+			MeanSIC:   mean,
+			Samples:   rt.samples,
+		})
+	}
+	res.MeanSIC = metrics.Mean(perQuery)
+	res.Jain = metrics.Jain(perQuery)
+	res.StdSIC = metrics.Std(perQuery)
+	var selN, selT int64
+	for _, n := range e.nodes {
+		st := n.Stats()
+		res.Nodes = append(res.Nodes, st)
+		selN += st.ShedInvocations
+		selT += st.SelectNanos
+	}
+	if selN > 0 {
+		res.SelectNanosPerInvocation = float64(selT) / float64(selN)
+	}
+	for _, c := range e.coords {
+		res.CoordinatorMessages += c.UpdateMessages()
+		res.CoordinatorBytes += c.UpdateBytes()
+	}
+	return res
+}

@@ -1,0 +1,178 @@
+// Package lp implements a dense primal simplex solver for small linear
+// programs of the form
+//
+//	maximise    c·x
+//	subject to  A·x ≤ b,  x ≥ 0
+//
+// It stands in for the GLPK solver the paper uses to compute the optimal
+// solution of the FIT-style distributed shedding formulation (§7.5). The
+// problems involved are tiny (tens to hundreds of variables), so a
+// straightforward tableau implementation with Bland's anti-cycling rule
+// is exact and fast.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a linear program in canonical ≤ form with non-negative
+// variables.
+type Problem struct {
+	// C is the objective coefficient vector (length n).
+	C []float64
+	// A is the constraint matrix (m rows of length n).
+	A [][]float64
+	// B is the right-hand side (length m); entries must be ≥ 0 (all our
+	// formulations are capacity constraints, so this always holds).
+	B []float64
+}
+
+// Solution holds an optimal basic solution.
+type Solution struct {
+	X     []float64
+	Value float64
+	// Iterations counts simplex pivots.
+	Iterations int
+}
+
+// ErrUnbounded is returned when the LP has no finite optimum.
+var ErrUnbounded = errors.New("lp: objective is unbounded")
+
+const eps = 1e-9
+
+// Solve maximises the problem with the primal simplex method. Because
+// b ≥ 0, the all-slack basis is feasible and no phase-1 is needed.
+func Solve(p Problem) (*Solution, error) {
+	n := len(p.C)
+	m := len(p.B)
+	if len(p.A) != m {
+		return nil, fmt.Errorf("lp: A has %d rows, b has %d entries", len(p.A), m)
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("lp: A row %d has %d columns, c has %d", i, len(row), n)
+		}
+		if p.B[i] < -eps {
+			return nil, fmt.Errorf("lp: negative rhs b[%d]=%g unsupported (capacity constraints are non-negative)", i, p.B[i])
+		}
+	}
+
+	// Tableau: m rows × (n + m + 1) columns. Columns 0..n-1 structural,
+	// n..n+m-1 slacks, last column rhs. Row i initially has slack basis
+	// variable n+i.
+	cols := n + m + 1
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, cols)
+		copy(tab[i], p.A[i])
+		tab[i][n+i] = 1
+		tab[i][cols-1] = p.B[i]
+		basis[i] = n + i
+	}
+	// Objective row (reduced costs): z_j - c_j, start with -c for
+	// structural columns.
+	obj := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		obj[j] = -p.C[j]
+	}
+
+	sol := &Solution{X: make([]float64, n)}
+	for iter := 0; ; iter++ {
+		if iter > 10000*(m+n) {
+			return nil, errors.New("lp: iteration limit exceeded")
+		}
+		// Entering column: Bland's rule — the lowest-index column with a
+		// negative reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Leaving row: minimum ratio, lowest basis index on ties (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][enter]
+			if a <= eps {
+				continue
+			}
+			ratio := tab[i][cols-1] / a
+			if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return nil, ErrUnbounded
+		}
+		pivot(tab, obj, leave, enter)
+		basis[leave] = enter
+		sol.Iterations++
+	}
+
+	for i, bi := range basis {
+		if bi < n {
+			sol.X[bi] = tab[i][cols-1]
+		}
+	}
+	for j := 0; j < n; j++ {
+		sol.Value += p.C[j] * sol.X[j]
+	}
+	return sol, nil
+}
+
+// pivot performs a Gauss-Jordan pivot on tab[row][col] and the objective.
+func pivot(tab [][]float64, obj []float64, row, col int) {
+	cols := len(tab[row])
+	pv := tab[row][col]
+	for j := 0; j < cols; j++ {
+		tab[row][j] /= pv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	f := obj[col]
+	if f != 0 {
+		for j := 0; j < cols; j++ {
+			obj[j] -= f * tab[row][j]
+		}
+	}
+}
+
+// SolveBoxed maximises c·x subject to Ax ≤ b and 0 ≤ x ≤ upper by adding
+// one ≤ row per finite upper bound — the form both §7.5 baselines use
+// (keep fractions are bounded by 1).
+func SolveBoxed(p Problem, upper []float64) (*Solution, error) {
+	n := len(p.C)
+	if len(upper) != n {
+		return nil, fmt.Errorf("lp: %d upper bounds for %d variables", len(upper), n)
+	}
+	aug := Problem{C: p.C, A: append([][]float64{}, p.A...), B: append([]float64{}, p.B...)}
+	for j, u := range upper {
+		if math.IsInf(u, 1) {
+			continue
+		}
+		row := make([]float64, n)
+		row[j] = 1
+		aug.A = append(aug.A, row)
+		aug.B = append(aug.B, u)
+	}
+	return Solve(aug)
+}

@@ -1,0 +1,178 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSolveTextbookLP(t *testing.T) {
+	// maximise 3x + 5y  s.t.  x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+	// Optimum: x = 2, y = 6, value 36 (classic Dantzig example).
+	sol, err := Solve(Problem{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value, 36) {
+		t.Errorf("value: %g, want 36", sol.Value)
+	}
+	if !almost(sol.X[0], 2) || !almost(sol.X[1], 6) {
+		t.Errorf("x: %v, want [2 6]", sol.X)
+	}
+}
+
+func TestSolveDegenerateAndZeroRHS(t *testing.T) {
+	// A zero-capacity constraint pins x to 0.
+	sol, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}},
+		B: []float64{0, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.X[0], 0) || !almost(sol.X[1], 5) {
+		t.Errorf("x: %v", sol.X)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	_, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{-1}},
+		B: []float64{1},
+	})
+	if err != ErrUnbounded {
+		t.Errorf("err: %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("column mismatch accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}); err == nil {
+		t.Error("row mismatch accepted")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{-1}}); err == nil {
+		t.Error("negative rhs accepted")
+	}
+}
+
+func TestSolveBoxed(t *testing.T) {
+	// maximise x + y  s.t.  x + y ≤ 10, x ≤ 1, y ≤ 1 (via bounds).
+	sol, err := SolveBoxed(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}},
+		B: []float64{10},
+	}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value, 2) {
+		t.Errorf("boxed value: %g, want 2", sol.Value)
+	}
+	// Infinite bounds are skipped.
+	sol, err = SolveBoxed(Problem{
+		C: []float64{1},
+		A: [][]float64{{1}},
+		B: []float64{7},
+	}, []float64{math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value, 7) {
+		t.Errorf("inf bound value: %g, want 7", sol.Value)
+	}
+	if _, err := SolveBoxed(Problem{C: []float64{1}, A: nil, B: nil}, nil); err == nil {
+		t.Error("bound count mismatch accepted")
+	}
+}
+
+// TestGreedyKnapsackStructure checks the §7.5 starvation phenomenon in
+// miniature: identical queries competing for one capacity constraint get
+// a vertex solution serving ⌊c⌋ of them fully and one partially.
+func TestGreedyKnapsackStructure(t *testing.T) {
+	const n = 10
+	c := make([]float64, n)
+	row := make([]float64, n)
+	upper := make([]float64, n)
+	for i := range c {
+		c[i] = 1
+		row[i] = 1
+		upper[i] = 1
+	}
+	sol, err := SolveBoxed(Problem{C: c, A: [][]float64{row}, B: []float64{3.5}}, upper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, partial, zero := 0, 0, 0
+	for _, x := range sol.X {
+		switch {
+		case x > 0.999:
+			full++
+		case x > 0.001:
+			partial++
+		default:
+			zero++
+		}
+	}
+	if full != 3 || partial != 1 || zero != 6 {
+		t.Errorf("vertex structure: full=%d partial=%d zero=%d, want 3/1/6", full, partial, zero)
+	}
+	if !almost(sol.Value, 3.5) {
+		t.Errorf("value: %g", sol.Value)
+	}
+}
+
+// Property: solutions are always feasible (Ax ≤ b, x ≥ 0) and no worse
+// than the zero solution.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6) + 1
+		m := rng.Intn(6) + 1
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := 0; j < n; j++ {
+			p.C[j] = rng.Float64()*4 - 1 // mixed-sign objective
+		}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				p.A[i][j] = rng.Float64() * 3 // non-negative → bounded
+			}
+			p.B[i] = rng.Float64() * 10
+		}
+		upper := make([]float64, n)
+		for j := range upper {
+			upper[j] = 1
+		}
+		sol, err := SolveBoxed(p, upper)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if sol.X[j] < -1e-9 || sol.X[j] > 1+1e-6 {
+					return false
+				}
+				lhs += p.A[i][j] * sol.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		return sol.Value >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

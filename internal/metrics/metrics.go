@@ -1,0 +1,192 @@
+// Package metrics implements the evaluation metrics of the THEMIS paper:
+// Jain's Fairness Index (§7.2), the normalised Kendall's top-k distance
+// (§7.1, [18]), mean absolute relative error (§7.1), and supporting
+// streaming statistics.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Jain computes Jain's Fairness Index over the given values (§7.2):
+//
+//	J = (Σ v)² / (n · Σ v²)
+//
+// J ranges from 1/n (maximally unfair: one value dominates) to 1 (all
+// values equal). Jain returns 1 for an empty or all-zero input, since a
+// system with no queries — or one that sheds everything from everyone —
+// treats all queries identically.
+func Jain(values []float64) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}
+
+// MeanAbsRelErr computes the mean absolute relative error between degraded
+// and perfect result series (§7.1):
+//
+//	(Σ |degraded_i − perfect_i| / |perfect_i|) / n
+//
+// Pairs whose perfect value is zero are skipped (relative error is
+// undefined there); if every pair is skipped the error is 0.
+func MeanAbsRelErr(degraded, perfect []float64) float64 {
+	n := len(degraded)
+	if len(perfect) < n {
+		n = len(perfect)
+	}
+	var sum float64
+	var cnt int
+	for i := 0; i < n; i++ {
+		if perfect[i] == 0 {
+			continue
+		}
+		sum += math.Abs((degraded[i] - perfect[i]) / perfect[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// KendallTopK computes the normalised Kendall's distance with penalty
+// p = 1/2 between two top-k lists (Fagin, Kumar, Sivakumar: "Comparing
+// top k lists", SODA 2003), as used for the TOP-5 query error (§7.1).
+//
+// The distance counts, over pairs of distinct elements appearing in either
+// list: (i) pairs ranked in opposite order in the two lists; (ii) pairs
+// where only one element appears in the other list and the order implied
+// is wrong; and penalty 1/2 for pairs present in one list but absent from
+// the other where relative order cannot be determined. The result is
+// normalised to [0, 1] by k² (the maximum distance of two disjoint lists).
+func KendallTopK(a, b []int) float64 {
+	k := len(a)
+	if len(b) > k {
+		k = len(b)
+	}
+	if k == 0 {
+		return 0
+	}
+	posA := rankOf(a)
+	posB := rankOf(b)
+	union := make([]int, 0, len(a)+len(b))
+	seen := make(map[int]bool, len(a)+len(b))
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			union = append(union, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			union = append(union, x)
+		}
+	}
+	var dist float64
+	for i := 0; i < len(union); i++ {
+		for j := i + 1; j < len(union); j++ {
+			x, y := union[i], union[j]
+			ax, inAx := posA[x]
+			ay, inAy := posA[y]
+			bx, inBx := posB[x]
+			by, inBy := posB[y]
+			switch {
+			case inAx && inAy && inBx && inBy:
+				// Case 1: both pairs in both lists — count inversions.
+				if (ax < ay) != (bx < by) {
+					dist++
+				}
+			case inAx && inAy && (inBx != inBy):
+				// Case 2: both in A, one in B. The one present in B is
+				// implicitly ahead of the absent one; wrong if it was
+				// behind in A.
+				if (inBx && ay < ax) || (inBy && ax < ay) {
+					dist++
+				}
+			case inBx && inBy && (inAx != inAy):
+				if (inAx && by < bx) || (inAy && bx < by) {
+					dist++
+				}
+			case inAx && inAy && !inBx && !inBy, inBx && inBy && !inAx && !inAy:
+				// Case 3: both in exactly one list — distance 0 under the
+				// optimistic convention for the pair ordering, but Fagin's
+				// K^(1/2) assigns 0 here only when orders can agree; the
+				// pair appears ordered in one list and unconstrained in
+				// the other, so distance 0.
+			case (inAx && !inAy && !inBx && inBy) || (!inAx && inAy && inBx && !inBy):
+				// Case 4: x only in one list, y only in the other —
+				// penalty p = 1/2.
+				dist += 0.5
+			}
+		}
+	}
+	return dist / float64(k*k)
+}
+
+func rankOf(list []int) map[int]int {
+	m := make(map[int]int, len(list))
+	for i, x := range list {
+		if _, dup := m[x]; !dup {
+			m[x] = i
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean of values, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Std returns the population standard deviation of values.
+func Std(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values)))
+}
+
+// Percentile returns the p-th percentile (0..100) of values using
+// nearest-rank on a sorted copy.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), values...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(cp)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return cp[rank]
+}

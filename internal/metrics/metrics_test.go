@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJainKnownValues(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1},
+		{[]float64{0.5, 0.5}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},              // maximally unfair: 1/n
+		{[]float64{4, 0, 0, 0, 0, 0, 0, 0}, 0.125}, // 1/n again
+		{[]float64{1, 2, 3}, 36.0 / (3 * 14)},      // (6)²/(3·14)
+		{nil, 1},
+		{[]float64{0, 0, 0}, 1},
+	}
+	for _, c := range cases {
+		if got := Jain(c.in); !almost(got, c.want) {
+			t.Errorf("Jain(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for non-negative inputs with at
+// least one positive value, and equals 1 for any constant vector.
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n%32) + 1
+		vals := make([]float64, size)
+		positive := false
+		for i := range vals {
+			vals[i] = rng.Float64() * 10
+			if vals[i] > 0 {
+				positive = true
+			}
+		}
+		j := Jain(vals)
+		if !positive {
+			return j == 1
+		}
+		return j >= 1/float64(size)-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	c := make([]float64, 17)
+	for i := range c {
+		c[i] = 3.7
+	}
+	if got := Jain(c); !almost(got, 1) {
+		t.Errorf("constant vector: got %g", got)
+	}
+}
+
+func TestMeanAbsRelErr(t *testing.T) {
+	if got := MeanAbsRelErr([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("identical series: got %g", got)
+	}
+	if got := MeanAbsRelErr([]float64{2}, []float64{1}); !almost(got, 1) {
+		t.Errorf("2 vs 1: got %g, want 1", got)
+	}
+	// Zero perfect values are skipped.
+	if got := MeanAbsRelErr([]float64{5, 2}, []float64{0, 1}); !almost(got, 1) {
+		t.Errorf("zero skipped: got %g, want 1", got)
+	}
+	if got := MeanAbsRelErr([]float64{5}, []float64{0}); got != 0 {
+		t.Errorf("all skipped: got %g, want 0", got)
+	}
+	// Length mismatch uses the shorter prefix.
+	if got := MeanAbsRelErr([]float64{1, 1, 99}, []float64{1, 1}); got != 0 {
+		t.Errorf("prefix: got %g", got)
+	}
+}
+
+func TestKendallTopKIdentical(t *testing.T) {
+	if got := KendallTopK([]int{1, 2, 3}, []int{1, 2, 3}); got != 0 {
+		t.Errorf("identical lists: got %g", got)
+	}
+}
+
+func TestKendallTopKDisjoint(t *testing.T) {
+	// Disjoint lists of size k: k² case-4 pairs at penalty ½ plus k·(k-1)/2
+	// pairs... Fagin normalises the maximum distance to k²; our
+	// implementation returns 0.5 for fully disjoint equal-length lists
+	// (k² cross pairs × ½ / k²).
+	got := KendallTopK([]int{1, 2}, []int{3, 4})
+	if !almost(got, 0.5) {
+		t.Errorf("disjoint: got %g, want 0.5", got)
+	}
+}
+
+func TestKendallTopKInversion(t *testing.T) {
+	// Same elements, fully reversed: all C(k,2) pairs inverted.
+	got := KendallTopK([]int{1, 2, 3}, []int{3, 2, 1})
+	want := 3.0 / 9.0 // 3 inverted pairs / k²
+	if !almost(got, want) {
+		t.Errorf("reversed: got %g, want %g", got, want)
+	}
+}
+
+func TestKendallTopKPartialOverlap(t *testing.T) {
+	// a = [1,2], b = [2,3]: pairs over union {1,2,3}:
+	// (1,2): both in a, only 2 in b, and 2 is after 1 in a → wrong order → 1.
+	// (1,3): 1 only in a, 3 only in b → case 4 → 0.5.
+	// (2,3): both in b, only 2 in a → 2 ranked first in b... 2 before 3 in
+	//        b and 2 present in a → consistent → 0.
+	got := KendallTopK([]int{1, 2}, []int{2, 3})
+	if !almost(got, 1.5/4) {
+		t.Errorf("partial overlap: got %g, want %g", got, 1.5/4)
+	}
+}
+
+func TestKendallTopKEmpty(t *testing.T) {
+	if got := KendallTopK(nil, nil); got != 0 {
+		t.Errorf("empty: got %g", got)
+	}
+}
+
+// Property: Kendall distance is symmetric and within [0, 1].
+func TestKendallSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(6) + 1
+		mk := func() []int {
+			perm := rng.Perm(12)
+			return perm[:k]
+		}
+		a, b := mk(), mk()
+		d1 := KendallTopK(a, b)
+		d2 := KendallTopK(b, a)
+		return almost(d1, d2) && d1 >= 0 && d1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Errorf("mean: %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("empty mean: %g", got)
+	}
+	if got := Std([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("constant std: %g", got)
+	}
+	if got := Std([]float64{1, 3}); !almost(got, 1) {
+		t.Errorf("std: %g, want 1", got)
+	}
+	if got := Std([]float64{5}); got != 0 {
+		t.Errorf("singleton std: %g", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(vals, 0); got != 1 {
+		t.Errorf("p0: %g", got)
+	}
+	if got := Percentile(vals, 100); got != 5 {
+		t.Errorf("p100: %g", got)
+	}
+	if got := Percentile(vals, 50); got != 3 {
+		t.Errorf("p50: %g", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty: %g", got)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}

@@ -1,0 +1,469 @@
+// Package node implements a single THEMIS node (Figure 5): an input
+// buffer holding incoming batches, an overload detector driven by the
+// online cost model, a pluggable tuple shedder, and the threads executing
+// the node's hosted query fragments.
+//
+// The node is deliberately unaware of the rest of the federation: it
+// receives batches, coordinator updates and a clock, and it emits derived
+// batches through a Router. Both the in-process federation simulator and
+// the TCP transport drive nodes through this same interface, so the
+// shedding code under test is the code a real deployment runs.
+package node
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+	"repro/internal/sic"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Router is the node's outbound interface, implemented by the federation
+// engine (in-process simulation) or the TCP transport.
+type Router interface {
+	// RouteDownstream ships a derived batch towards the node hosting the
+	// destination fragment.
+	RouteDownstream(from stream.NodeID, b *stream.Batch)
+	// DeliverResult hands result tuples emitted by a root fragment to the
+	// query's user, with the SIC mass they carry.
+	DeliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple)
+	// ReportAccepted forwards an accepted-SIC delta to the query's
+	// coordinator (see coordinator.Acceptance).
+	ReportAccepted(q stream.QueryID, now stream.Time, delta float64)
+}
+
+// Config parameterises a node.
+type Config struct {
+	// Interval is the shedding interval (§6; 250 ms in the evaluation).
+	Interval stream.Duration
+	// STW is the source time window duration (10 s in the evaluation).
+	STW stream.Duration
+	// CapacityPerSec is the node's true processing speed in tuples per
+	// second. The node never reads it directly — it drives the simulated
+	// processing times the cost model observes — so heterogeneous and
+	// drifting capacities are handled exactly as in the paper.
+	CapacityPerSec float64
+	// CostNoise is the relative standard deviation of simulated per-tick
+	// processing times (default 0.05).
+	CostNoise float64
+	// InitialCapacity seeds the cost model before its first observation.
+	// Zero defaults to one interval's worth of CapacityPerSec.
+	InitialCapacity int
+	// Seed drives the node's noise generator.
+	Seed int64
+}
+
+// fragKey identifies a hosted fragment.
+type fragKey struct {
+	q stream.QueryID
+	f stream.FragID
+}
+
+// fragInstance is one hosted fragment: its executor plus routing facts.
+type fragInstance struct {
+	exec *query.FragmentExec
+	// downstream is the fragment consuming this fragment's output, or -1
+	// when this is the root fragment.
+	downstream stream.FragID
+	// downstreamPort is the entry port on the downstream fragment.
+	downstreamPort int
+	// numSources is |S| of the whole query — the Eq. (1) normaliser.
+	numSources int
+}
+
+// Stats aggregates a node's per-run counters.
+type Stats struct {
+	ArrivedTuples   int64
+	ArrivedBatches  int64
+	KeptTuples      int64
+	KeptBatches     int64
+	ShedTuples      int64
+	ShedBatches     int64
+	ShedInvocations int64
+	// SelectNanos accumulates wall-clock time spent inside the shedder's
+	// Select, for the §7.6 overhead comparison.
+	SelectNanos int64
+}
+
+// Node is a single THEMIS node.
+type Node struct {
+	id      stream.NodeID
+	cfg     Config
+	shedder core.Shedder
+	router  Router
+	cost    *core.CostModel
+	rng     *rand.Rand
+
+	frags map[fragKey]*fragInstance
+	// fragOrder fixes the fragment iteration order so runs are
+	// reproducible under a fixed seed (map iteration is randomised).
+	fragOrder []fragKey
+	srcs      []*sources.Source
+	rateEst   map[stream.SourceID]*sic.RateEstimator
+	srcQuery  map[stream.SourceID]fragKey
+
+	ib       []*stream.Batch
+	ibTuples int
+
+	// knownSIC holds the latest coordinator updates per hosted query.
+	knownSIC map[stream.QueryID]float64
+
+	stats Stats
+}
+
+// New builds a node.
+func New(id stream.NodeID, cfg Config, shedder core.Shedder, router Router) *Node {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * stream.Millisecond
+	}
+	if cfg.STW <= 0 {
+		cfg.STW = 10 * stream.Second
+	}
+	if cfg.CapacityPerSec <= 0 {
+		cfg.CapacityPerSec = 1000
+	}
+	if cfg.CostNoise < 0 {
+		cfg.CostNoise = 0
+	}
+	initial := cfg.InitialCapacity
+	if initial <= 0 {
+		initial = int(cfg.CapacityPerSec * float64(cfg.Interval) / 1000)
+		if initial < 1 {
+			initial = 1
+		}
+	}
+	return &Node{
+		id:       id,
+		cfg:      cfg,
+		shedder:  shedder,
+		router:   router,
+		cost:     core.NewCostModel(initial),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		frags:    make(map[fragKey]*fragInstance),
+		rateEst:  make(map[stream.SourceID]*sic.RateEstimator),
+		srcQuery: make(map[stream.SourceID]fragKey),
+		knownSIC: make(map[stream.QueryID]float64),
+	}
+}
+
+// ID returns the node id.
+func (n *Node) ID() stream.NodeID { return n.id }
+
+// Stats returns a copy of the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Shedder returns the node's shedding policy.
+func (n *Node) Shedder() core.Shedder { return n.shedder }
+
+// HostFragment deploys a fragment instance on this node. numSources is
+// the total source count of the whole query (|S| in Eq. 1); downstream
+// identifies the consuming fragment (-1 for the root) and its entry port.
+func (n *Node) HostFragment(q stream.QueryID, f stream.FragID, exec *query.FragmentExec,
+	numSources int, downstream stream.FragID, downstreamPort int) {
+	key := fragKey{q, f}
+	if _, dup := n.frags[key]; !dup {
+		n.fragOrder = append(n.fragOrder, key)
+	}
+	n.frags[key] = &fragInstance{
+		exec:           exec,
+		downstream:     downstream,
+		downstreamPort: downstreamPort,
+		numSources:     numSources,
+	}
+}
+
+// RemoveFragment undeploys a fragment: its executor, sources and pending
+// input-buffer batches are discarded. Query departure is a first-class
+// event in an FSPS (§5: converged SIC values depend on "queries' arrivals
+// and departures"); the shedder simply stops seeing the query's batches.
+func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
+	key := fragKey{q, f}
+	if _, ok := n.frags[key]; !ok {
+		return
+	}
+	delete(n.frags, key)
+	for i, k := range n.fragOrder {
+		if k == key {
+			n.fragOrder = append(n.fragOrder[:i], n.fragOrder[i+1:]...)
+			break
+		}
+	}
+	kept := n.srcs[:0]
+	for _, src := range n.srcs {
+		if src.Query == q && src.Frag == f {
+			delete(n.rateEst, src.ID)
+			delete(n.srcQuery, src.ID)
+			continue
+		}
+		kept = append(kept, src)
+	}
+	n.srcs = kept
+	ib := n.ib[:0]
+	tuples := 0
+	for _, b := range n.ib {
+		if b.Query == q && b.Frag == f {
+			continue
+		}
+		ib = append(ib, b)
+		tuples += b.Len()
+	}
+	n.ib = ib
+	n.ibTuples = tuples
+	if !n.hostsQuery(q) {
+		delete(n.knownSIC, q)
+	}
+}
+
+func (n *Node) hostsQuery(q stream.QueryID) bool {
+	for k := range n.frags {
+		if k.q == q {
+			return true
+		}
+	}
+	return false
+}
+
+// HostsFragment reports whether the node hosts the given fragment.
+func (n *Node) HostsFragment(q stream.QueryID, f stream.FragID) bool {
+	_, ok := n.frags[fragKey{q, f}]
+	return ok
+}
+
+// HostedQueries lists the distinct queries with fragments on this node.
+func (n *Node) HostedQueries() []stream.QueryID {
+	seen := make(map[stream.QueryID]bool)
+	var out []stream.QueryID
+	for k := range n.frags {
+		if !seen[k.q] {
+			seen[k.q] = true
+			out = append(out, k.q)
+		}
+	}
+	return out
+}
+
+// AttachSource attaches a local source feeding one of the node's hosted
+// fragments. The node assigns Eq. (1) SIC values to the source's tuples
+// as they enter the input buffer, using an online per-source rate
+// estimate over the STW.
+func (n *Node) AttachSource(src *sources.Source) {
+	key := fragKey{src.Query, src.Frag}
+	if _, ok := n.frags[key]; !ok {
+		panic("node: source attached for a fragment this node does not host")
+	}
+	n.srcs = append(n.srcs, src)
+	n.rateEst[src.ID] = sic.NewRateEstimator(n.cfg.STW, n.cfg.Interval)
+	n.srcQuery[src.ID] = key
+}
+
+// SetResultSIC ingests a coordinator update for a hosted query
+// (updateSIC(Q) of Algorithm 1, delivered with network delay by the
+// federation engine).
+func (n *Node) SetResultSIC(q stream.QueryID, v float64) { n.knownSIC[q] = v }
+
+// ResultSIC reports the node's latest known result SIC for a query.
+func (n *Node) ResultSIC(q stream.QueryID) float64 { return n.knownSIC[q] }
+
+// Enqueue places an arriving batch into the input buffer. Derived batches
+// from remote fragments are re-stamped to local arrival time so that
+// window assignment downstream reflects when the data became available
+// here (network latency included, exactly the effect §7.4 studies).
+func (n *Node) Enqueue(b *stream.Batch, now stream.Time) {
+	if b.Source < 0 {
+		if b.TS < now {
+			b.TS = now
+		}
+		for i := range b.Tuples {
+			if b.Tuples[i].TS < now {
+				b.Tuples[i].TS = now
+			}
+		}
+	}
+	n.ib = append(n.ib, b)
+	n.ibTuples += b.Len()
+	n.stats.ArrivedBatches++
+	n.stats.ArrivedTuples += int64(b.Len())
+}
+
+// splitOversized replaces every input-buffer batch larger than maxLen
+// with contiguous sub-batches of at most maxLen tuples. Sub-batches alias
+// the original tuple storage; headers are recomputed from their slices.
+func (n *Node) splitOversized(maxLen int) {
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	needSplit := false
+	for _, b := range n.ib {
+		if b.Len() > maxLen {
+			needSplit = true
+			break
+		}
+	}
+	if !needSplit {
+		return
+	}
+	out := make([]*stream.Batch, 0, len(n.ib))
+	for _, b := range n.ib {
+		if b.Len() <= maxLen {
+			out = append(out, b)
+			continue
+		}
+		for lo := 0; lo < b.Len(); lo += maxLen {
+			hi := lo + maxLen
+			if hi > b.Len() {
+				hi = b.Len()
+			}
+			part := &stream.Batch{
+				Query: b.Query, Frag: b.Frag, Port: b.Port,
+				Source: b.Source, TS: b.Tuples[lo].TS, Tuples: b.Tuples[lo:hi],
+			}
+			part.RecomputeSIC()
+			out = append(out, part)
+		}
+	}
+	n.ib = out
+}
+
+// emitSources runs the node's sources for [from, to), stamps SIC values
+// per Eq. (1), and enqueues the batches.
+func (n *Node) emitSources(from, to stream.Time) {
+	for _, src := range n.srcs {
+		est := n.rateEst[src.ID]
+		numSources := n.frags[n.srcQuery[src.ID]].numSources
+		src.Emit(from, to, func(b *stream.Batch) {
+			est.Observe(b.TS, b.Len())
+			per := sic.SourceTupleSIC(est.PerSTW(b.TS), numSources)
+			for i := range b.Tuples {
+				b.Tuples[i].SIC = per
+			}
+			b.RecomputeSIC()
+			n.Enqueue(b, from)
+		})
+	}
+}
+
+// Tick advances the node by one shedding interval starting at t:
+// sources emit, the overload detector checks the input buffer against the
+// cost model's capacity estimate, the shedder discards excess batches,
+// and the hosted fragments process what remains.
+func (n *Node) Tick(t stream.Time) {
+	n.TickSpan(t, t.Add(n.cfg.Interval))
+}
+
+// TickSpan advances the node over the arbitrary span [from, to). The
+// virtual-time simulator always passes exact shedding intervals; the
+// wall-clock TCP transport passes measured spans, which drift slightly
+// around the nominal interval — the cost model's capacity estimate scales
+// with the span, so shedding stays calibrated either way.
+func (n *Node) TickSpan(from, to stream.Time) {
+	if to <= from {
+		return
+	}
+	n.emitSources(from, to)
+	now := to
+
+	// Overload detection (§6): shed only when the input buffer exceeds
+	// the estimated capacity for this span.
+	capacity := n.cost.Capacity(to.Sub(from))
+	kept := n.ib
+	if n.ibTuples > capacity {
+		// Split batches larger than the capacity so the shedder can
+		// accept a partial batch (Algorithm 1 line 17: "only accepts as
+		// many as possible without exceeding the node's capacity").
+		// Without this, a node whose capacity estimate is below one
+		// batch size would shed everything forever and the cost model
+		// would never observe a processed tuple again.
+		n.splitOversized(capacity)
+		n.stats.ShedInvocations++
+		start := time.Now()
+		keepIdx := n.shedder.Select(n.ib, capacity, n.ResultSIC)
+		n.stats.SelectNanos += time.Since(start).Nanoseconds()
+		kept = make([]*stream.Batch, 0, len(keepIdx))
+		keepSet := make(map[int]bool, len(keepIdx))
+		for _, i := range keepIdx {
+			keepSet[i] = true
+			kept = append(kept, n.ib[i])
+		}
+		for i, b := range n.ib {
+			if !keepSet[i] {
+				n.stats.ShedBatches++
+				n.stats.ShedTuples += int64(b.Len())
+			}
+		}
+	}
+
+	// Report accepted-SIC deltas to coordinators: fresh credit for source
+	// batches, and a debit for any pre-credited derived batch that was
+	// shed (net: kept SIC minus derived IB SIC per query). See
+	// coordinator.Acceptance.
+	derivedIn := make(map[stream.QueryID]float64)
+	for _, b := range n.ib {
+		if b.Source < 0 {
+			derivedIn[b.Query] += b.SIC
+		}
+	}
+	keptSIC := make(map[stream.QueryID]float64)
+	var processed int
+	for _, b := range kept {
+		keptSIC[b.Query] += b.SIC
+		processed += b.Len()
+		n.stats.KeptBatches++
+		n.stats.KeptTuples += int64(b.Len())
+	}
+	for q, v := range derivedIn {
+		keptSIC[q] -= v // debit what upstream already credited
+	}
+	for q, delta := range keptSIC {
+		if delta != 0 {
+			n.router.ReportAccepted(q, now, delta)
+		}
+	}
+
+	// Execute fragments over the kept batches.
+	for _, b := range kept {
+		key := fragKey{b.Query, b.Frag}
+		inst, ok := n.frags[key]
+		if !ok {
+			continue // fragment departed; drop silently
+		}
+		inst.exec.Push(b.Port, b.Tuples)
+	}
+	n.ib = n.ib[:0]
+	n.ibTuples = 0
+
+	// Tick every hosted fragment — windowed operators emit on time even
+	// with no fresh input.
+	for _, key := range n.fragOrder {
+		inst := n.frags[key]
+		outs := inst.exec.Tick(now)
+		for _, tuples := range outs {
+			if inst.downstream < 0 {
+				n.router.DeliverResult(key.q, now, tuples)
+			} else {
+				b := stream.DerivedBatch(key.q, inst.downstream, inst.downstreamPort, now, tuples)
+				n.router.RouteDownstream(n.id, b)
+			}
+		}
+	}
+
+	// Feed the cost model with the simulated processing time for this
+	// interval: true per-tuple cost plus measurement noise.
+	if processed > 0 {
+		perTupleMs := 1000 / n.cfg.CapacityPerSec
+		noise := 1.0
+		if n.cfg.CostNoise > 0 {
+			noise = 1 + n.cfg.CostNoise*n.rng.NormFloat64()
+			if noise < 0.1 {
+				noise = 0.1
+			}
+		}
+		elapsed := stream.Duration(float64(processed) * perTupleMs * noise)
+		if elapsed < 1 {
+			elapsed = 1
+		}
+		n.cost.Observe(processed, elapsed)
+	}
+}

@@ -1,0 +1,224 @@
+package operator
+
+import (
+	"repro/internal/sic"
+	"repro/internal/stream"
+)
+
+// windowed is the base for single-input windowed operators. It owns a
+// WindowBuffer and tracks the SIC share each emission consumes: for
+// tumbling windows every buffered tuple belongs to exactly one window;
+// for sliding windows a tuple appears in range/slide windows, so each
+// emission consumes slide/range of its SIC (§6: "we also provide a
+// practical way to divide the SIC value of an input tuple across all its
+// derived tuples per slide").
+type windowed struct {
+	win      *stream.WindowBuffer
+	sicShare float64
+}
+
+func newWindowed(spec stream.WindowSpec) windowed {
+	return windowed{
+		win:      stream.NewWindowBuffer(spec),
+		sicShare: float64(spec.Slide) / float64(spec.Range),
+	}
+}
+
+func (w *windowed) InPorts() int { return 1 }
+
+func (w *windowed) Push(port int, in []stream.Tuple) { w.win.Push(in) }
+
+// consumedSIC sums the SIC mass one emission of the given window contents
+// consumes.
+func (w *windowed) consumedSIC(win []stream.Tuple) float64 {
+	var total float64
+	for i := range win {
+		total += win[i].SIC
+	}
+	return total * w.sicShare
+}
+
+// AggKind selects the aggregate function of an Agg operator.
+type AggKind int
+
+// Aggregate kinds of the Table 1 workloads.
+const (
+	AggAvg AggKind = iota
+	AggMax
+	AggMin
+	AggSum
+	AggCount
+)
+
+// String names the kind.
+func (k AggKind) String() string {
+	switch k {
+	case AggAvg:
+		return "avg"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggSum:
+		return "sum"
+	default:
+		return "count"
+	}
+}
+
+// Agg is a windowed scalar aggregate over one payload field: AVG, MAX and
+// COUNT of Table 1's aggregate workload (plus MIN/SUM for completeness).
+// Each closed window emits exactly one tuple [value] carrying the window's
+// consumed SIC (Eq. 3 with |T_out| = 1). Empty windows emit a zero-count
+// tuple for COUNT (count of an empty set is 0) and nothing for the other
+// aggregates (their value is undefined on an empty window).
+type Agg struct {
+	windowed
+	kind  AggKind
+	field int
+	pred  Predicate // optional HAVING-style per-tuple predicate; may be nil
+}
+
+// NewAgg builds a windowed aggregate over the given field.
+func NewAgg(kind AggKind, spec stream.WindowSpec, field int, pred Predicate) *Agg {
+	return &Agg{windowed: newWindowed(spec), kind: kind, field: field, pred: pred}
+}
+
+// Name implements Operator.
+func (a *Agg) Name() string { return a.kind.String() }
+
+// Tick implements Operator.
+func (a *Agg) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	a.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
+		total := a.consumedSIC(win)
+		var sum, max, min float64
+		var n int
+		first := true
+		for i := range win {
+			if a.pred != nil && !a.pred(&win[i]) {
+				continue
+			}
+			v := win[i].V[a.field]
+			sum += v
+			if first || v > max {
+				max = v
+			}
+			if first || v < min {
+				min = v
+			}
+			first = false
+			n++
+		}
+		var value float64
+		switch a.kind {
+		case AggAvg:
+			if n == 0 {
+				return // undefined; SIC of the empty window is 0 anyway
+			}
+			value = sum / float64(n)
+		case AggMax:
+			if n == 0 {
+				return
+			}
+			value = max
+		case AggMin:
+			if n == 0 {
+				return
+			}
+			value = min
+		case AggSum:
+			value = sum
+		case AggCount:
+			value = float64(n)
+		}
+		if len(win) == 0 && a.kind != AggCount {
+			return
+		}
+		out := oneTuple(closeAt, total, value)
+		emit(out)
+	})
+}
+
+// oneTuple builds a single-tuple emission with the given SIC and values.
+func oneTuple(ts stream.Time, sicVal float64, values ...float64) []stream.Tuple {
+	b := make([]float64, len(values))
+	copy(b, values)
+	return []stream.Tuple{{TS: ts, SIC: sic.PropagateSIC(sicVal, 1), V: b}}
+}
+
+// GroupAgg is a windowed per-key aggregate: it groups window tuples by an
+// integer-valued key field and emits one (key, value) tuple per group.
+// The TOP-5 query uses two of these ("2 averages", Table 1) to average
+// CPU and free memory per node id before the join. Output tuples share
+// the window's consumed SIC per Eq. (3).
+type GroupAgg struct {
+	windowed
+	kind     AggKind
+	keyField int
+	valField int
+}
+
+// NewGroupAgg builds a windowed group-by aggregate.
+func NewGroupAgg(kind AggKind, spec stream.WindowSpec, keyField, valField int) *GroupAgg {
+	return &GroupAgg{windowed: newWindowed(spec), kind: kind, keyField: keyField, valField: valField}
+}
+
+// Name implements Operator.
+func (g *GroupAgg) Name() string { return "group-" + g.kind.String() }
+
+// Tick implements Operator.
+func (g *GroupAgg) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	g.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
+		if len(win) == 0 {
+			return
+		}
+		total := g.consumedSIC(win)
+		type acc struct {
+			sum, max, min float64
+			n             int
+		}
+		groups := make(map[int64]*acc)
+		order := make([]int64, 0, 8)
+		for i := range win {
+			k := int64(win[i].V[g.keyField])
+			a, ok := groups[k]
+			if !ok {
+				a = &acc{}
+				groups[k] = a
+				order = append(order, k)
+			}
+			v := win[i].V[g.valField]
+			a.sum += v
+			if a.n == 0 || v > a.max {
+				a.max = v
+			}
+			if a.n == 0 || v < a.min {
+				a.min = v
+			}
+			a.n++
+		}
+		out := make([]stream.Tuple, 0, len(order))
+		per := sic.PropagateSIC(total, len(order))
+		backing := make([]float64, 2*len(order))
+		for i, k := range order {
+			a := groups[k]
+			var v float64
+			switch g.kind {
+			case AggAvg:
+				v = a.sum / float64(a.n)
+			case AggMax:
+				v = a.max
+			case AggMin:
+				v = a.min
+			case AggSum:
+				v = a.sum
+			case AggCount:
+				v = float64(a.n)
+			}
+			row := backing[2*i : 2*i+2 : 2*i+2]
+			row[0], row[1] = float64(k), v
+			out = append(out, stream.Tuple{TS: closeAt, SIC: per, V: row})
+		}
+		emit(out)
+	})
+}

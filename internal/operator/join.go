@@ -1,0 +1,127 @@
+package operator
+
+import (
+	"repro/internal/sic"
+	"repro/internal/stream"
+)
+
+// Join is a windowed equi-join over two input streams, as used by the
+// TOP-5 query (Table 1: "Where ... AllSrcCPU.id = AllSrcMem.id"). Both
+// inputs are buffered in time-aligned windows; when a window pair closes,
+// matching tuples are joined and emitted atomically. The output schema is
+// the left tuple's fields followed by the right tuple's fields.
+//
+// SIC: the consumed SIC of both windows is redistributed over the joined
+// outputs (Eq. 3). A window pair that produces no matches loses its SIC —
+// the join discarded all derived information for that window.
+type Join struct {
+	left     *stream.WindowBuffer
+	right    *stream.WindowBuffer
+	sicShare float64
+	leftKey  int
+	rightKey int
+
+	// pending pairs window contents until both sides have closed the same
+	// window edge.
+	pendingLeft  []closedWin
+	pendingRight []closedWin
+}
+
+type closedWin struct {
+	at     stream.Time
+	tuples []stream.Tuple
+	sic    float64
+}
+
+// NewJoin builds an equi-join; both inputs use the same window spec, and
+// keys name the join fields on each side.
+func NewJoin(spec stream.WindowSpec, leftKey, rightKey int) *Join {
+	return &Join{
+		left:     stream.NewWindowBuffer(spec),
+		right:    stream.NewWindowBuffer(spec),
+		sicShare: float64(spec.Slide) / float64(spec.Range),
+		leftKey:  leftKey,
+		rightKey: rightKey,
+	}
+}
+
+// Name implements Operator.
+func (j *Join) Name() string { return "join" }
+
+// InPorts implements Operator.
+func (j *Join) InPorts() int { return 2 }
+
+// Push implements Operator.
+func (j *Join) Push(port int, in []stream.Tuple) {
+	if port == 0 {
+		j.left.Push(in)
+	} else {
+		j.right.Push(in)
+	}
+}
+
+// Tick implements Operator.
+func (j *Join) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	j.left.Tick(now, func(win []stream.Tuple, at stream.Time) {
+		j.pendingLeft = append(j.pendingLeft, capture(win, at, j.sicShare))
+	})
+	j.right.Tick(now, func(win []stream.Tuple, at stream.Time) {
+		j.pendingRight = append(j.pendingRight, capture(win, at, j.sicShare))
+	})
+	// Join window pairs in order. Window edges advance identically on
+	// both sides (same spec), so pairs align one-to-one.
+	for len(j.pendingLeft) > 0 && len(j.pendingRight) > 0 {
+		l := j.pendingLeft[0]
+		r := j.pendingRight[0]
+		j.pendingLeft = j.pendingLeft[1:]
+		j.pendingRight = j.pendingRight[1:]
+		j.joinPair(l, r, emit)
+	}
+}
+
+// capture copies a closed window out of the buffer (Tick emissions alias
+// buffer memory) and records its consumed SIC.
+func capture(win []stream.Tuple, at stream.Time, share float64) closedWin {
+	cp := make([]stream.Tuple, len(win))
+	copy(cp, win)
+	var total float64
+	for i := range win {
+		total += win[i].SIC
+	}
+	return closedWin{at: at, tuples: cp, sic: total * share}
+}
+
+func (j *Join) joinPair(l, r closedWin, emit func([]stream.Tuple)) {
+	if len(l.tuples) == 0 && len(r.tuples) == 0 {
+		return
+	}
+	// Hash the right side by key.
+	index := make(map[int64][]*stream.Tuple, len(r.tuples))
+	for i := range r.tuples {
+		k := int64(r.tuples[i].V[j.rightKey])
+		index[k] = append(index[k], &r.tuples[i])
+	}
+	var out []stream.Tuple
+	for i := range l.tuples {
+		lt := &l.tuples[i]
+		k := int64(lt.V[j.leftKey])
+		for _, rt := range index[k] {
+			v := make([]float64, 0, len(lt.V)+len(rt.V))
+			v = append(v, lt.V...)
+			v = append(v, rt.V...)
+			ts := lt.TS
+			if rt.TS > ts {
+				ts = rt.TS
+			}
+			out = append(out, stream.Tuple{TS: ts, V: v})
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	per := sic.PropagateSIC(l.sic+r.sic, len(out))
+	for i := range out {
+		out[i].SIC = per
+	}
+	emit(out)
+}

@@ -1,0 +1,178 @@
+// Package operator implements THEMIS's operator library and the SIC
+// propagation rule of Eq. (3).
+//
+// Operators are black boxes to the shedding machinery (§4: "We consider
+// queries as black-boxes"): the system never inspects operator semantics,
+// only the SIC meta-data flowing through them. Every operator processes
+// input atomically — either per pushed batch (stateless operators such as
+// filters and unions) or per window (aggregates, joins) — and distributes
+// the total SIC of the atomically-processed input across its output
+// tuples (Eq. 3).
+//
+// A consequence of atomic processing worth making explicit: a filter that
+// *examines* a window of tuples and emits only the passing subset assigns
+// the full input SIC to that subset. The rejected tuples were used towards
+// the result (the result correctly reflects their exclusion), so their
+// information is not lost. SIC is only lost when an operator emits nothing
+// for a window (e.g. a join that matches no pairs), which is exactly the
+// "derived tuples are lost" case discussed in §4.
+package operator
+
+import (
+	"repro/internal/sic"
+	"repro/internal/stream"
+)
+
+// Operator is a stateful stream operator. Push delivers input tuples to a
+// port; Tick advances logical time and emits derived tuples through emit.
+// Implementations are not safe for concurrent use — each fragment executor
+// owns its operators and drives them from a single goroutine.
+type Operator interface {
+	// Name identifies the operator kind for diagnostics and plans.
+	Name() string
+	// InPorts reports how many input ports the operator has.
+	InPorts() int
+	// Push buffers input tuples on the given port.
+	Push(port int, in []stream.Tuple)
+	// Tick advances to logical time now, emitting zero or more derived
+	// batches. Emitted slices are owned by the receiver.
+	Tick(now stream.Time, emit func(out []stream.Tuple))
+}
+
+// passThrough is the base for stateless single-input operators that
+// process each pushed batch atomically at the next tick.
+type passThrough struct {
+	pending []stream.Tuple
+}
+
+func (p *passThrough) InPorts() int { return 1 }
+
+func (p *passThrough) Push(port int, in []stream.Tuple) {
+	p.pending = append(p.pending, in...)
+}
+
+func (p *passThrough) take() []stream.Tuple {
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// Receive models a source data receiver (the "Src" / "AllSrcCPU" receivers
+// of Table 1). It forwards tuples unchanged; it exists as a distinct
+// operator so fragment operator counts and per-operator accounting match
+// the paper's query descriptions.
+type Receive struct{ passThrough }
+
+// NewReceive builds a receiver.
+func NewReceive() *Receive { return &Receive{} }
+
+// Name implements Operator.
+func (r *Receive) Name() string { return "receive" }
+
+// Tick implements Operator.
+func (r *Receive) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	if out := r.take(); len(out) > 0 {
+		emit(out)
+	}
+}
+
+// Union merges n input streams into one, preserving tuples and SIC. It
+// implements the AllSrc union of Table 1.
+type Union struct {
+	ports   int
+	pending []stream.Tuple
+}
+
+// NewUnion builds a union of the given number of input ports.
+func NewUnion(ports int) *Union {
+	if ports < 1 {
+		ports = 1
+	}
+	return &Union{ports: ports}
+}
+
+// Name implements Operator.
+func (u *Union) Name() string { return "union" }
+
+// InPorts implements Operator.
+func (u *Union) InPorts() int { return u.ports }
+
+// Push implements Operator.
+func (u *Union) Push(port int, in []stream.Tuple) {
+	u.pending = append(u.pending, in...)
+}
+
+// Tick implements Operator.
+func (u *Union) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	if len(u.pending) > 0 {
+		out := u.pending
+		u.pending = nil
+		emit(out)
+	}
+}
+
+// Output marks the root operator that emits the query result stream to
+// the user (§3: "There exists one root operator in the query graph to
+// emit the query result stream"). It forwards tuples unchanged.
+type Output struct{ passThrough }
+
+// NewOutput builds an output operator.
+func NewOutput() *Output { return &Output{} }
+
+// Name implements Operator.
+func (o *Output) Name() string { return "output" }
+
+// Tick implements Operator.
+func (o *Output) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	if out := o.take(); len(out) > 0 {
+		emit(out)
+	}
+}
+
+// Predicate tests one tuple.
+type Predicate func(t *stream.Tuple) bool
+
+// FieldAtLeast returns a predicate testing V[field] >= threshold, the
+// shape of Table 1's HAVING and WHERE clauses.
+func FieldAtLeast(field int, threshold float64) Predicate {
+	return func(t *stream.Tuple) bool { return t.V[field] >= threshold }
+}
+
+// Filter atomically processes each pushed batch and emits the tuples
+// matching the predicate. Per Eq. (3) the total SIC of the examined batch
+// is redistributed over the emitted subset; if nothing passes, the batch's
+// SIC is lost for this query's result.
+type Filter struct {
+	passThrough
+	pred Predicate
+}
+
+// NewFilter builds a filter with the given predicate.
+func NewFilter(pred Predicate) *Filter { return &Filter{pred: pred} }
+
+// Name implements Operator.
+func (f *Filter) Name() string { return "filter" }
+
+// Tick implements Operator.
+func (f *Filter) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	in := f.take()
+	if len(in) == 0 {
+		return
+	}
+	var totalSIC float64
+	out := make([]stream.Tuple, 0, len(in))
+	for i := range in {
+		totalSIC += in[i].SIC
+		if f.pred(&in[i]) {
+			out = append(out, in[i])
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	per := sic.PropagateSIC(totalSIC, len(out))
+	for i := range out {
+		out[i].SIC = per
+	}
+	emit(out)
+}

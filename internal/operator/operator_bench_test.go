@@ -1,0 +1,104 @@
+package operator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Micro-benchmarks for the operator hot paths: these dominate a node's
+// per-tuple processing cost, which the cost model abstracts as the
+// average time per tuple (§6).
+
+func benchInput(n int, arity int, rng *rand.Rand) []stream.Tuple {
+	backing := make([]float64, n*arity)
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		v := backing[i*arity : (i+1)*arity]
+		for j := range v {
+			v[j] = rng.Float64() * 100
+		}
+		out[i] = stream.Tuple{TS: stream.Time(i), SIC: 0.001, V: v}
+	}
+	return out
+}
+
+func drain(op Operator, now stream.Time) int {
+	n := 0
+	op.Tick(now, func(b []stream.Tuple) { n += len(b) })
+	return n
+}
+
+func BenchmarkAggAvgWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := benchInput(1000, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := NewAgg(AggAvg, stream.TumblingTime(stream.Second), 0, nil)
+		a.Push(0, in)
+		drain(a, 1000)
+	}
+}
+
+func BenchmarkFilterThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := benchInput(1000, 1, rng)
+	f := NewFilter(FieldAtLeast(0, 50))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Push(0, in)
+		drain(f, stream.Time(i))
+	}
+}
+
+func BenchmarkJoinWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	left := benchInput(200, 2, rng)
+	right := benchInput(200, 2, rng)
+	for i := range left {
+		left[i].V[0] = float64(i % 50)
+	}
+	for i := range right {
+		right[i].V[0] = float64(i % 50)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := NewJoin(stream.TumblingTime(stream.Second), 0, 0)
+		j.Push(0, left)
+		j.Push(1, right)
+		drain(j, 1000)
+	}
+}
+
+func BenchmarkTopKWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	in := benchInput(1000, 2, rng)
+	for i := range in {
+		in[i].V[0] = float64(i % 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := NewTopK(5, stream.TumblingTime(stream.Second), 0, 1)
+		k.Push(0, in)
+		drain(k, 1000)
+	}
+}
+
+func BenchmarkGroupAvgWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	in := benchInput(1000, 2, rng)
+	for i := range in {
+		in[i].V[0] = float64(i % 20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGroupAgg(AggAvg, stream.TumblingTime(stream.Second), 0, 1)
+		g.Push(0, in)
+		drain(g, 1000)
+	}
+}

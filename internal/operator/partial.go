@@ -1,0 +1,278 @@
+package operator
+
+import (
+	"repro/internal/stream"
+)
+
+// Partial aggregation operators implement the "incremental fashion" of the
+// complex workload's multi-fragment queries (§7: "Each fragment connects
+// to sources and contains the same operators, performing equivalent
+// processing as a single-fragment query in an incremental fashion").
+//
+// A PartialAvg emits mergeable (sum, count) tuples; AvgFinalize merges
+// partials — local and upstream — and emits the combined average (and,
+// in non-root chain fragments, re-emits the merged partial). PartialCov
+// and CovFinalize do the same for the covariance query using mergeable
+// (n, meanX, meanY, comoment) statistics.
+
+// PartialAvg is a windowed operator emitting one (sum, count) partial
+// tuple per window over the given field.
+type PartialAvg struct {
+	windowed
+	field int
+}
+
+// NewPartialAvg builds a partial average over the given field.
+func NewPartialAvg(spec stream.WindowSpec, field int) *PartialAvg {
+	return &PartialAvg{windowed: newWindowed(spec), field: field}
+}
+
+// Name implements Operator.
+func (p *PartialAvg) Name() string { return "partial-avg" }
+
+// Tick implements Operator.
+func (p *PartialAvg) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	p.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
+		if len(win) == 0 {
+			return
+		}
+		total := p.consumedSIC(win)
+		var sum float64
+		for i := range win {
+			sum += win[i].V[p.field]
+		}
+		emit(oneTuple(closeAt, total, sum, float64(len(win))))
+	})
+}
+
+// AvgMerge merges (sum, count) partial tuples arriving within a window —
+// its own fragment's partial plus any upstream fragments' partials — and
+// emits a combined partial (sum, count) tuple. The root fragment follows
+// it with an AvgFinalize to produce the user-facing average.
+type AvgMerge struct {
+	windowed
+}
+
+// NewAvgMerge builds a partial-average merge.
+func NewAvgMerge(spec stream.WindowSpec) *AvgMerge {
+	return &AvgMerge{windowed: newWindowed(spec)}
+}
+
+// Name implements Operator.
+func (m *AvgMerge) Name() string { return "avg-merge" }
+
+// Tick implements Operator.
+func (m *AvgMerge) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	m.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
+		if len(win) == 0 {
+			return
+		}
+		total := m.consumedSIC(win)
+		var sum, count float64
+		for i := range win {
+			sum += win[i].V[0]
+			count += win[i].V[1]
+		}
+		emit(oneTuple(closeAt, total, sum, count))
+	})
+}
+
+// AvgFinalize converts merged (sum, count) partials into [avg] result
+// tuples, one per input tuple, preserving SIC.
+type AvgFinalize struct{ passThrough }
+
+// NewAvgFinalize builds the finalizer.
+func NewAvgFinalize() *AvgFinalize { return &AvgFinalize{} }
+
+// Name implements Operator.
+func (f *AvgFinalize) Name() string { return "avg-finalize" }
+
+// Tick implements Operator.
+func (f *AvgFinalize) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	in := f.take()
+	if len(in) == 0 {
+		return
+	}
+	out := make([]stream.Tuple, 0, len(in))
+	for i := range in {
+		sum, count := in[i].V[0], in[i].V[1]
+		if count == 0 {
+			continue
+		}
+		out = append(out, stream.Tuple{TS: in[i].TS, SIC: in[i].SIC, V: []float64{sum / count}})
+	}
+	if len(out) > 0 {
+		emit(out)
+	}
+}
+
+// PartialCov is a windowed operator over paired streams of values: port 0
+// carries X tuples, port 1 carries Y tuples (Table 1's SrcCPU1 / SrcCPU2).
+// Per window it pairs tuples by position and emits one mergeable partial
+// (n, meanX, meanY, comoment) tuple.
+type PartialCov struct {
+	x        *stream.WindowBuffer
+	y        *stream.WindowBuffer
+	sicShare float64
+	pendX    []closedWin
+	pendY    []closedWin
+	fieldX   int
+	fieldY   int
+}
+
+// NewPartialCov builds a partial covariance over the given fields of the
+// two input streams.
+func NewPartialCov(spec stream.WindowSpec, fieldX, fieldY int) *PartialCov {
+	return &PartialCov{
+		x:        stream.NewWindowBuffer(spec),
+		y:        stream.NewWindowBuffer(spec),
+		sicShare: float64(spec.Slide) / float64(spec.Range),
+		fieldX:   fieldX,
+		fieldY:   fieldY,
+	}
+}
+
+// Name implements Operator.
+func (p *PartialCov) Name() string { return "partial-cov" }
+
+// InPorts implements Operator.
+func (p *PartialCov) InPorts() int { return 2 }
+
+// Push implements Operator.
+func (p *PartialCov) Push(port int, in []stream.Tuple) {
+	if port == 0 {
+		p.x.Push(in)
+	} else {
+		p.y.Push(in)
+	}
+}
+
+// Tick implements Operator.
+func (p *PartialCov) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	p.x.Tick(now, func(win []stream.Tuple, at stream.Time) {
+		p.pendX = append(p.pendX, capture(win, at, p.sicShare))
+	})
+	p.y.Tick(now, func(win []stream.Tuple, at stream.Time) {
+		p.pendY = append(p.pendY, capture(win, at, p.sicShare))
+	})
+	for len(p.pendX) > 0 && len(p.pendY) > 0 {
+		wx, wy := p.pendX[0], p.pendY[0]
+		p.pendX = p.pendX[1:]
+		p.pendY = p.pendY[1:]
+		n := len(wx.tuples)
+		if len(wy.tuples) < n {
+			n = len(wy.tuples)
+		}
+		if n == 0 {
+			continue
+		}
+		st := newCovState(wx.tuples[:n], wy.tuples[:n], p.fieldX, p.fieldY)
+		emit(oneTuple(wx.at, wx.sic+wy.sic, st.n, st.meanX, st.meanY, st.comoment))
+	}
+}
+
+// covState is the mergeable covariance statistic (n, meanX, meanY,
+// comoment). Merging two states follows the parallel Welford update.
+type covState struct {
+	n        float64
+	meanX    float64
+	meanY    float64
+	comoment float64
+}
+
+// newCovState computes the exact statistic over equal-length paired
+// windows.
+func newCovState(xs, ys []stream.Tuple, fx, fy int) covState {
+	n := len(xs)
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i].V[fx]
+		sy += ys[i].V[fy]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cm float64
+	for i := 0; i < n; i++ {
+		cm += (xs[i].V[fx] - mx) * (ys[i].V[fy] - my)
+	}
+	return covState{n: float64(n), meanX: mx, meanY: my, comoment: cm}
+}
+
+// merge combines another state into s (parallel covariance merge).
+func (s *covState) merge(o covState) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	dx := o.meanX - s.meanX
+	dy := o.meanY - s.meanY
+	s.comoment += o.comoment + dx*dy*s.n*o.n/n
+	s.meanX += dx * o.n / n
+	s.meanY += dy * o.n / n
+	s.n = n
+}
+
+// sampleCov converts a state into a sample covariance.
+func (s *covState) sampleCov() (float64, bool) {
+	if s.n < 2 {
+		return 0, false
+	}
+	return s.comoment / (s.n - 1), true
+}
+
+// CovMerge merges covariance partial tuples (n, meanX, meanY, comoment)
+// arriving within a window and re-emits the combined partial.
+type CovMerge struct{ windowed }
+
+// NewCovMerge builds a covariance partial merge.
+func NewCovMerge(spec stream.WindowSpec) *CovMerge {
+	return &CovMerge{windowed: newWindowed(spec)}
+}
+
+// Name implements Operator.
+func (m *CovMerge) Name() string { return "cov-merge" }
+
+// Tick implements Operator.
+func (m *CovMerge) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	m.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
+		if len(win) == 0 {
+			return
+		}
+		total := m.consumedSIC(win)
+		var st covState
+		for i := range win {
+			st.merge(covState{n: win[i].V[0], meanX: win[i].V[1], meanY: win[i].V[2], comoment: win[i].V[3]})
+		}
+		emit(oneTuple(closeAt, total, st.n, st.meanX, st.meanY, st.comoment))
+	})
+}
+
+// CovFinalize converts covariance partials into [cov] result tuples.
+type CovFinalize struct{ passThrough }
+
+// NewCovFinalize builds the finalizer.
+func NewCovFinalize() *CovFinalize { return &CovFinalize{} }
+
+// Name implements Operator.
+func (f *CovFinalize) Name() string { return "cov-finalize" }
+
+// Tick implements Operator.
+func (f *CovFinalize) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	in := f.take()
+	if len(in) == 0 {
+		return
+	}
+	out := make([]stream.Tuple, 0, len(in))
+	for i := range in {
+		st := covState{n: in[i].V[0], meanX: in[i].V[1], meanY: in[i].V[2], comoment: in[i].V[3]}
+		if cov, ok := st.sampleCov(); ok {
+			out = append(out, stream.Tuple{TS: in[i].TS, SIC: in[i].SIC, V: []float64{cov}})
+		}
+	}
+	if len(out) > 0 {
+		emit(out)
+	}
+}

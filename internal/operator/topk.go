@@ -1,0 +1,79 @@
+package operator
+
+import (
+	"sort"
+
+	"repro/internal/sic"
+	"repro/internal/stream"
+)
+
+// TopK is a windowed top-k operator over (key, value) tuples: per window
+// it emits the k tuples with the largest values, ordered descending
+// (Table 1: "top 5 nodes with largest available CPU"). Duplicate keys
+// within a window are collapsed to their best value, so the emitted list
+// ranks distinct keys — the form Kendall's top-k distance compares.
+//
+// TopK is naturally incremental: feeding it the union of local candidates
+// and an upstream fragment's top-k list yields the combined top-k, which
+// is exactly how chained TOP-5 fragments merge partial results (§7).
+type TopK struct {
+	windowed
+	k        int
+	keyField int
+	valField int
+}
+
+// NewTopK builds a top-k operator.
+func NewTopK(k int, spec stream.WindowSpec, keyField, valField int) *TopK {
+	if k < 1 {
+		panic("operator: top-k requires k >= 1")
+	}
+	return &TopK{windowed: newWindowed(spec), k: k, keyField: keyField, valField: valField}
+}
+
+// Name implements Operator.
+func (t *TopK) Name() string { return "top-k" }
+
+// Tick implements Operator.
+func (t *TopK) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	t.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
+		if len(win) == 0 {
+			return
+		}
+		total := t.consumedSIC(win)
+		best := make(map[int64]float64, len(win))
+		for i := range win {
+			k := int64(win[i].V[t.keyField])
+			v := win[i].V[t.valField]
+			if old, ok := best[k]; !ok || v > old {
+				best[k] = v
+			}
+		}
+		type kv struct {
+			k int64
+			v float64
+		}
+		ranked := make([]kv, 0, len(best))
+		for k, v := range best {
+			ranked = append(ranked, kv{k, v})
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].v != ranked[j].v {
+				return ranked[i].v > ranked[j].v
+			}
+			return ranked[i].k < ranked[j].k // deterministic tie-break
+		})
+		if len(ranked) > t.k {
+			ranked = ranked[:t.k]
+		}
+		per := sic.PropagateSIC(total, len(ranked))
+		backing := make([]float64, 2*len(ranked))
+		out := make([]stream.Tuple, len(ranked))
+		for i, e := range ranked {
+			row := backing[2*i : 2*i+2 : 2*i+2]
+			row[0], row[1] = float64(e.k), e.v
+			out[i] = stream.Tuple{TS: closeAt, SIC: per, V: row}
+		}
+		emit(out)
+	})
+}

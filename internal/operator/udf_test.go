@@ -1,0 +1,79 @@
+package operator
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestMedianOddEven(t *testing.T) {
+	m := NewMedian(stream.TumblingTime(stream.Second), 0)
+	if m.Name() != "median" {
+		t.Error("name")
+	}
+	m.Push(0, tuples(0.1, 1, 5, 1, 9))
+	out := tick(m, 1000)
+	if len(out) != 1 || out[0][0].V[0] != 5 {
+		t.Fatalf("odd median: %v", out)
+	}
+	// The single output tuple carries the whole window's SIC (Eq. 3).
+	if !almostEq(out[0][0].SIC, 0.3) {
+		t.Errorf("median SIC: %g, want 0.3", out[0][0].SIC)
+	}
+	m.Push(0, tuples(0.1, 1500, 1, 2, 3, 10))
+	out = tick(m, 2000)
+	if len(out) != 1 || out[0][0].V[0] != 2.5 {
+		t.Fatalf("even median: %v", out)
+	}
+}
+
+func TestUDFEmptyWindowAndDiscard(t *testing.T) {
+	u := NewUDF("drop-all", stream.TumblingTime(stream.Second), func(win []stream.Tuple) [][]float64 {
+		return nil // user code discards the window
+	})
+	u.Push(0, tuples(0.2, 1, 1, 2))
+	if out := tick(u, 1000); out != nil {
+		t.Errorf("discarding UDF emitted %v", out)
+	}
+	// Empty windows never reach the UDF.
+	called := false
+	u2 := NewUDF("probe", stream.TumblingTime(stream.Second), func(win []stream.Tuple) [][]float64 {
+		called = true
+		return nil
+	})
+	tick(u2, 1000)
+	if called {
+		t.Error("UDF invoked on empty window")
+	}
+}
+
+func TestUDFMultiRowOutputSharesSIC(t *testing.T) {
+	// A custom "spread" operator emitting min and max rows: each output
+	// gets half the window's SIC.
+	u := NewUDF("min-max", stream.TumblingTime(stream.Second), func(win []stream.Tuple) [][]float64 {
+		lo, hi := win[0].V[0], win[0].V[0]
+		for i := range win {
+			v := win[i].V[0]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		return [][]float64{{lo}, {hi}}
+	})
+	u.Push(0, tuples(0.1, 1, 4, 8, 2, 6))
+	out := tick(u, 1000)
+	if len(out) != 1 || len(out[0]) != 2 {
+		t.Fatalf("udf output: %v", out)
+	}
+	if out[0][0].V[0] != 2 || out[0][1].V[0] != 8 {
+		t.Errorf("min/max: %v", out[0])
+	}
+	for _, tp := range out[0] {
+		if !almostEq(tp.SIC, 0.2) {
+			t.Errorf("per-row SIC: %g, want 0.2", tp.SIC)
+		}
+	}
+}

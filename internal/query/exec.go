@@ -1,0 +1,76 @@
+package query
+
+import (
+	"repro/internal/operator"
+	"repro/internal/stream"
+)
+
+// FragmentExec is a running instance of a fragment plan: freshly
+// instantiated stateful operators plus the routing fabric between them.
+// It is single-goroutine; the owning node drives it.
+type FragmentExec struct {
+	plan *FragmentPlan
+	ops  []operator.Operator
+	// out accumulates the fragment output batches of the current tick.
+	out [][]stream.Tuple
+}
+
+// NewFragmentExec instantiates the plan's operators.
+func NewFragmentExec(p *FragmentPlan) *FragmentExec {
+	e := &FragmentExec{plan: p, ops: make([]operator.Operator, len(p.Ops))}
+	for i, spec := range p.Ops {
+		e.ops[i] = spec.New()
+	}
+	return e
+}
+
+// Plan returns the template this executor runs.
+func (e *FragmentExec) Plan() *FragmentPlan { return e.plan }
+
+// Push delivers input tuples to a fragment entry port. Unknown ports are
+// dropped — a shed upstream fragment may leave stale routes.
+func (e *FragmentExec) Push(port int, in []stream.Tuple) {
+	ent, ok := e.plan.Entries[port]
+	if !ok {
+		return
+	}
+	e.ops[ent.Op].Push(ent.Port, in)
+}
+
+// Tick advances every operator one step in topological order, routing
+// intermediate emissions, and returns the batches emitted by the
+// fragment's output operator. The returned slices are owned by the
+// caller.
+func (e *FragmentExec) Tick(now stream.Time) [][]stream.Tuple {
+	e.out = e.out[:0]
+	for i, op := range e.ops {
+		outs := e.plan.Ops[i].Outs
+		isOut := i == e.plan.OutOp
+		op.Tick(now, func(batch []stream.Tuple) {
+			if len(batch) == 0 {
+				return
+			}
+			if isOut {
+				e.out = append(e.out, batch)
+				return
+			}
+			for j, edge := range outs {
+				if j == len(outs)-1 {
+					e.ops[edge.To].Push(edge.Port, batch)
+				} else {
+					// Fan-out duplicates the batch per consumer so each
+					// operator owns its input.
+					cp := make([]stream.Tuple, len(batch))
+					copy(cp, batch)
+					e.ops[edge.To].Push(edge.Port, cp)
+				}
+			}
+		})
+	}
+	if len(e.out) == 0 {
+		return nil
+	}
+	res := make([][]stream.Tuple, len(e.out))
+	copy(res, e.out)
+	return res
+}

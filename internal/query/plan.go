@@ -1,0 +1,153 @@
+// Package query defines query graphs, their partitioning into fragments,
+// and the executors that run fragments on FSPS nodes (§3).
+//
+// A query q = (O, M) is a DAG of operators connected by streams. Upon
+// deployment the graph is partitioned into fragments — disjoint sets of
+// operators — each deployed on a different FSPS node. Fragment 0 is by
+// convention the root fragment, whose output operator emits the query
+// result stream. Multi-fragment queries are organised as chains (TOP-5,
+// COV) or trees (AVG-all) exactly as in §7: "a root fragment is connected
+// to all other fragments and centrally aggregates partial results ...
+// fragments form a chain, and the last fragment in the chain outputs the
+// query result".
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/operator"
+	"repro/internal/sources"
+)
+
+// Edge routes an operator's output to another operator's input port
+// within the same fragment.
+type Edge struct {
+	To   int // index of the consuming operator in FragmentPlan.Ops
+	Port int // input port on the consuming operator
+}
+
+// OpSpec declares one operator of a fragment plan. New constructs a fresh
+// stateful instance; Outs routes its emissions. The operator whose Outs is
+// empty is the fragment's output operator.
+type OpSpec struct {
+	Name string
+	New  func() operator.Operator
+	Outs []Edge
+}
+
+// Entry maps a fragment input port to an operator input.
+type Entry struct {
+	Op   int
+	Port int
+}
+
+// SourceSpec declares a data source feeding a fragment entry port.
+type SourceSpec struct {
+	// Port is the fragment entry port the source feeds.
+	Port int
+	// Arity is the source tuple payload width.
+	Arity int
+	// NewGen builds the source's value generator. idx is the index of
+	// the source within its query, letting trace-backed generators give
+	// every emulated host its own identity.
+	NewGen func(rng *rand.Rand, idx int) sources.ValueGen
+}
+
+// FragmentPlan is the template for one query fragment: its operators,
+// entry-port wiring, local sources, and the entry port on which upstream
+// fragments deliver partial results (-1 if none).
+type FragmentPlan struct {
+	Ops          []OpSpec
+	Entries      map[int]Entry
+	OutOp        int
+	Sources      []SourceSpec
+	UpstreamPort int
+}
+
+// Validate checks internal consistency of the plan.
+func (f *FragmentPlan) Validate() error {
+	if f.OutOp < 0 || f.OutOp >= len(f.Ops) {
+		return fmt.Errorf("query: out op %d out of range (%d ops)", f.OutOp, len(f.Ops))
+	}
+	for i, op := range f.Ops {
+		for _, e := range op.Outs {
+			if e.To <= i {
+				return fmt.Errorf("query: op %d (%s) feeds op %d: plans must be topologically ordered", i, op.Name, e.To)
+			}
+			if e.To >= len(f.Ops) {
+				return fmt.Errorf("query: op %d feeds missing op %d", i, e.To)
+			}
+		}
+	}
+	for port, ent := range f.Entries {
+		if ent.Op < 0 || ent.Op >= len(f.Ops) {
+			return fmt.Errorf("query: entry port %d targets missing op %d", port, ent.Op)
+		}
+	}
+	for _, s := range f.Sources {
+		if _, ok := f.Entries[s.Port]; !ok {
+			return fmt.Errorf("query: source feeds unmapped port %d", s.Port)
+		}
+	}
+	if f.UpstreamPort >= 0 {
+		if _, ok := f.Entries[f.UpstreamPort]; !ok {
+			return fmt.Errorf("query: upstream port %d unmapped", f.UpstreamPort)
+		}
+	}
+	return nil
+}
+
+// Plan is a complete query template: its fragments and inter-fragment
+// layout.
+type Plan struct {
+	// Type names the workload the query came from (e.g. "TOP-5").
+	Type string
+	// Fragments holds one plan per fragment; index 0 is the root.
+	Fragments []*FragmentPlan
+	// Downstream[i] is the fragment consuming fragment i's output, or -1
+	// for the root fragment. Chains set Downstream[i] = i-1; trees set
+	// Downstream[i] = 0.
+	Downstream []int
+}
+
+// NumFragments reports the fragment count.
+func (p *Plan) NumFragments() int { return len(p.Fragments) }
+
+// NumSources reports |S|, the total number of sources across all
+// fragments — the normaliser of Eq. (1).
+func (p *Plan) NumSources() int {
+	n := 0
+	for _, f := range p.Fragments {
+		n += len(f.Sources)
+	}
+	return n
+}
+
+// Validate checks the whole plan.
+func (p *Plan) Validate() error {
+	if len(p.Fragments) == 0 {
+		return fmt.Errorf("query: plan has no fragments")
+	}
+	if len(p.Downstream) != len(p.Fragments) {
+		return fmt.Errorf("query: downstream table has %d entries for %d fragments", len(p.Downstream), len(p.Fragments))
+	}
+	if p.Downstream[0] != -1 {
+		return fmt.Errorf("query: fragment 0 must be the root (downstream -1, got %d)", p.Downstream[0])
+	}
+	for i, f := range p.Fragments {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("fragment %d: %w", i, err)
+		}
+		if i > 0 {
+			d := p.Downstream[i]
+			if d < 0 || d >= len(p.Fragments) || d == i {
+				return fmt.Errorf("query: fragment %d has invalid downstream %d", i, d)
+			}
+			if p.Fragments[d].UpstreamPort < 0 {
+				return fmt.Errorf("query: fragment %d feeds fragment %d, which accepts no upstream input", i, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/operator"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Workload builders for Table 1 of the paper.
+//
+// Aggregate workload (single source, single fragment):
+//
+//	AVG:   Select Avg(t.v)   from Src[Range 1 sec]
+//	MAX:   Select Max(t.v)   from Src[Range 1 sec]
+//	COUNT: Select Count(t.v) from Src[Range 1 sec] Having t.v >= 50
+//
+// Complex workload (multi-source, multi-fragment):
+//
+//	AVG-all: average over the union of 10 sources per fragment; fragments
+//	         form a tree rooted at fragment 0 (partial averages merged
+//	         centrally).
+//	TOP-5:   top-5 node ids by average CPU where average free memory
+//	         >= 100,000, over 10 CPU + 10 memory sources per fragment;
+//	         fragments form a chain, each merging its local top-5
+//	         candidates with the upstream fragment's.
+//	COV:     covariance of two CPU streams (2 sources per fragment);
+//	         fragments form a chain merging partial covariance states.
+//
+// Operator counts per fragment track Table 1 (13 for AVG-all, ~29 for
+// TOP-5, 5 for COV); root fragments append a finalize and an output
+// operator on top of the shared structure.
+
+// Window is the tumbling window of all Table 1 queries ("every sec").
+var Window = stream.TumblingTime(stream.Second)
+
+// scalarGen adapts a dataset to a single-field SourceSpec generator.
+func scalarGen(d sources.Dataset) func(rng *rand.Rand, idx int) sources.ValueGen {
+	return func(rng *rand.Rand, idx int) sources.ValueGen {
+		if d == sources.PlanetLab {
+			return sources.NewTrace(rng, idx).ScalarGen()
+		}
+		return sources.NewValueGen(d, rng)
+	}
+}
+
+// NewAggregate builds a single-fragment aggregate query (AVG, MAX or
+// COUNT) over the given dataset. COUNT applies the paper's HAVING
+// t.v >= 50 predicate.
+func NewAggregate(kind operator.AggKind, d sources.Dataset) *Plan {
+	var pred operator.Predicate
+	if kind == operator.AggCount {
+		pred = operator.FieldAtLeast(0, 50)
+	}
+	frag := &FragmentPlan{
+		Ops: []OpSpec{
+			{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []Edge{{To: 1}}},
+			{Name: kind.String(), New: func() operator.Operator { return operator.NewAgg(kind, Window, 0, pred) }, Outs: []Edge{{To: 2}}},
+			{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+		},
+		Entries:      map[int]Entry{0: {Op: 0}},
+		OutOp:        2,
+		Sources:      []SourceSpec{{Port: 0, Arity: 1, NewGen: scalarGen(d)}},
+		UpstreamPort: -1,
+	}
+	return &Plan{
+		Type:       kind.String(),
+		Fragments:  []*FragmentPlan{frag},
+		Downstream: []int{-1},
+	}
+}
+
+// NewAvgAll builds the AVG-all query ("average CPU usage of nodes every
+// sec", 13 ops/fragment) with the given number of fragments, 10 sources
+// each, arranged as a tree: every non-root fragment sends its partial
+// (sum, count) to the root, which merges and finalizes.
+func NewAvgAll(fragments int, d sources.Dataset) *Plan {
+	if fragments < 1 {
+		panic("query: AVG-all needs at least one fragment")
+	}
+	const srcPerFrag = 10
+	plans := make([]*FragmentPlan, fragments)
+	downstream := make([]int, fragments)
+	for f := 0; f < fragments; f++ {
+		root := f == 0
+		fp := &FragmentPlan{Entries: map[int]Entry{}, UpstreamPort: -1}
+		// 10 receivers → union → partial-avg → merge [→ finalize → output].
+		union := srcPerFrag
+		for i := 0; i < srcPerFrag; i++ {
+			i := i
+			fp.Ops = append(fp.Ops, OpSpec{
+				Name: "receive",
+				New:  func() operator.Operator { return operator.NewReceive() },
+				Outs: []Edge{{To: union, Port: i}},
+			})
+			fp.Entries[i] = Entry{Op: i}
+			fp.Sources = append(fp.Sources, SourceSpec{Port: i, Arity: 1, NewGen: scalarGen(d)})
+		}
+		partial := union + 1
+		merge := union + 2
+		fp.Ops = append(fp.Ops,
+			OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(srcPerFrag) }, Outs: []Edge{{To: partial}}},
+			OpSpec{Name: "partial-avg", New: func() operator.Operator { return operator.NewPartialAvg(Window, 0) }, Outs: []Edge{{To: merge}}},
+		)
+		if root && fragments > 1 {
+			// Root merge also receives children partials.
+			fp.Entries[srcPerFrag] = Entry{Op: merge}
+			fp.UpstreamPort = srcPerFrag
+		}
+		if root {
+			fin := merge + 1
+			out := merge + 2
+			fp.Ops = append(fp.Ops,
+				OpSpec{Name: "avg-merge", New: func() operator.Operator { return operator.NewAvgMerge(Window) }, Outs: []Edge{{To: fin}}},
+				OpSpec{Name: "avg-finalize", New: func() operator.Operator { return operator.NewAvgFinalize() }, Outs: []Edge{{To: out}}},
+				OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+			)
+			fp.OutOp = out
+		} else {
+			fp.Ops = append(fp.Ops,
+				OpSpec{Name: "avg-merge", New: func() operator.Operator { return operator.NewAvgMerge(Window) }},
+			)
+			fp.OutOp = merge
+		}
+		plans[f] = fp
+		if root {
+			downstream[f] = -1
+		} else {
+			downstream[f] = 0 // tree: all partials flow to the root
+		}
+	}
+	return &Plan{Type: "AVG-all", Fragments: plans, Downstream: downstream}
+}
+
+// NewTop5 builds the TOP-5 query ("top 5 nodes with largest available CPU
+// and free memory >= 100 MB every sec", ~29 ops/fragment) with the given
+// number of fragments, 10 CPU + 10 memory sources each, arranged as a
+// chain: each fragment merges its local top-5 candidates with the
+// upstream fragment's candidates; the last fragment in the chain (root,
+// index 0) outputs the final top-5.
+func NewTop5(fragments int, d sources.Dataset) *Plan {
+	if fragments < 1 {
+		panic("query: TOP-5 needs at least one fragment")
+	}
+	const pairs = 10
+	// TOP-5 inputs are host metrics, so every dataset maps to the
+	// synthetic PlanetLab traces; the dataset still perturbs the trace
+	// seeds so that runs over nominally different datasets see different
+	// data (§7 plots TOP-5 across all five datasets).
+	seedOffset := int64(d) * 7919
+	plans := make([]*FragmentPlan, fragments)
+	downstream := make([]int, fragments)
+	for f := 0; f < fragments; f++ {
+		root := f == 0
+		fp := &FragmentPlan{Entries: map[int]Entry{}, UpstreamPort: -1}
+		// Layout: ops 0..9 CPU receivers, 10..19 mem receivers,
+		// 20 cpu-union, 21 mem-union, 22 mem-filter, 23 group-avg cpu,
+		// 24 group-avg mem, 25 join, 26 top-k, 27 output.
+		const (
+			cpuUnion = 2 * pairs
+			memUnion = 2*pairs + 1
+			memFilt  = 2*pairs + 2
+			gavgCPU  = 2*pairs + 3
+			gavgMem  = 2*pairs + 4
+			join     = 2*pairs + 5
+			topk     = 2*pairs + 6
+			out      = 2*pairs + 7
+		)
+		fragIdx := f
+		for i := 0; i < pairs; i++ {
+			i := i
+			fp.Ops = append(fp.Ops, OpSpec{
+				Name: "receive-cpu",
+				New:  func() operator.Operator { return operator.NewReceive() },
+				Outs: []Edge{{To: cpuUnion, Port: i}},
+			})
+			fp.Entries[i] = Entry{Op: i}
+			fp.Sources = append(fp.Sources, SourceSpec{Port: i, Arity: 2,
+				NewGen: func(rng *rand.Rand, idx int) sources.ValueGen {
+					r := rand.New(rand.NewSource(rng.Int63() + seedOffset))
+					return sources.NewTrace(r, fragIdx*pairs+i).CPUGen()
+				}})
+		}
+		for i := 0; i < pairs; i++ {
+			i := i
+			fp.Ops = append(fp.Ops, OpSpec{
+				Name: "receive-mem",
+				New:  func() operator.Operator { return operator.NewReceive() },
+				Outs: []Edge{{To: memUnion, Port: i}},
+			})
+			fp.Entries[pairs+i] = Entry{Op: pairs + i}
+			fp.Sources = append(fp.Sources, SourceSpec{Port: pairs + i, Arity: 2,
+				NewGen: func(rng *rand.Rand, idx int) sources.ValueGen {
+					r := rand.New(rand.NewSource(rng.Int63() + seedOffset))
+					return sources.NewTrace(r, fragIdx*pairs+i).MemGen()
+				}})
+		}
+		fp.Ops = append(fp.Ops,
+			OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(pairs) }, Outs: []Edge{{To: gavgCPU}}},
+			OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(pairs) }, Outs: []Edge{{To: memFilt}}},
+			OpSpec{Name: "filter", New: func() operator.Operator { return operator.NewFilter(operator.FieldAtLeast(1, 100_000)) }, Outs: []Edge{{To: gavgMem}}},
+			OpSpec{Name: "group-avg", New: func() operator.Operator { return operator.NewGroupAgg(operator.AggAvg, Window, 0, 1) }, Outs: []Edge{{To: join, Port: 0}}},
+			OpSpec{Name: "group-avg", New: func() operator.Operator { return operator.NewGroupAgg(operator.AggAvg, Window, 0, 1) }, Outs: []Edge{{To: join, Port: 1}}},
+			// Join output is (id, avgCPU, id, avgFree); top-k ranks ids by
+			// avgCPU (fields 0, 1).
+			OpSpec{Name: "join", New: func() operator.Operator { return operator.NewJoin(Window, 0, 0) }, Outs: []Edge{{To: topk}}},
+			OpSpec{Name: "top-k", New: func() operator.Operator { return operator.NewTopK(5, Window, 0, 1) }, Outs: []Edge{{To: out}}},
+			OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+		)
+		fp.OutOp = out
+		// Upstream candidates (id, value) from the previous chain
+		// fragment feed the top-k directly.
+		fp.Entries[2*pairs] = Entry{Op: topk}
+		fp.UpstreamPort = 2 * pairs
+		if fragments == 1 {
+			fp.UpstreamPort = -1
+			delete(fp.Entries, 2*pairs)
+		}
+		plans[f] = fp
+		if root {
+			downstream[f] = -1
+		} else {
+			downstream[f] = f - 1 // chain towards the root
+		}
+	}
+	// The first fragment of the chain (the highest index) has no
+	// upstream; keep its port mapped anyway — pushes simply never arrive.
+	return &Plan{Type: "TOP-5", Fragments: plans, Downstream: downstream}
+}
+
+// NewCov builds the COV query ("covariance of CPU usage of two nodes
+// every sec", 5 ops/fragment) with the given number of fragments, 2
+// sources each, arranged as a chain merging partial covariance states.
+func NewCov(fragments int, d sources.Dataset) *Plan {
+	if fragments < 1 {
+		panic("query: COV needs at least one fragment")
+	}
+	plans := make([]*FragmentPlan, fragments)
+	downstream := make([]int, fragments)
+	for f := 0; f < fragments; f++ {
+		root := f == 0
+		fp := &FragmentPlan{Entries: map[int]Entry{}, UpstreamPort: -1}
+		// ops: 0,1 receivers → 2 partial-cov → 3 cov-merge [→ 4 finalize → 5 output]
+		fp.Ops = append(fp.Ops,
+			OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []Edge{{To: 2, Port: 0}}},
+			OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []Edge{{To: 2, Port: 1}}},
+			OpSpec{Name: "partial-cov", New: func() operator.Operator { return operator.NewPartialCov(Window, 0, 0) }, Outs: []Edge{{To: 3}}},
+		)
+		fp.Entries[0] = Entry{Op: 0}
+		fp.Entries[1] = Entry{Op: 1}
+		fp.Sources = append(fp.Sources,
+			SourceSpec{Port: 0, Arity: 1, NewGen: scalarGen(d)},
+			SourceSpec{Port: 1, Arity: 1, NewGen: scalarGen(d)},
+		)
+		if root {
+			fp.Ops = append(fp.Ops,
+				OpSpec{Name: "cov-merge", New: func() operator.Operator { return operator.NewCovMerge(Window) }, Outs: []Edge{{To: 4}}},
+				OpSpec{Name: "cov-finalize", New: func() operator.Operator { return operator.NewCovFinalize() }, Outs: []Edge{{To: 5}}},
+				OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+			)
+			fp.OutOp = 5
+		} else {
+			fp.Ops = append(fp.Ops,
+				OpSpec{Name: "cov-merge", New: func() operator.Operator { return operator.NewCovMerge(Window) }},
+			)
+			fp.OutOp = 3
+		}
+		if fragments > 1 {
+			fp.Entries[2] = Entry{Op: 3}
+			fp.UpstreamPort = 2
+		}
+		plans[f] = fp
+		if root {
+			downstream[f] = -1
+		} else {
+			downstream[f] = f - 1
+		}
+	}
+	return &Plan{Type: "COV", Fragments: plans, Downstream: downstream}
+}
+
+// ComplexKind names one of the complex-workload query types.
+type ComplexKind int
+
+// Complex workload query types (Table 1).
+const (
+	KindAvgAll ComplexKind = iota
+	KindTop5
+	KindCov
+)
+
+// String names the kind as in Table 1.
+func (k ComplexKind) String() string {
+	switch k {
+	case KindAvgAll:
+		return "AVG-all"
+	case KindTop5:
+		return "TOP-5"
+	default:
+		return "COV"
+	}
+}
+
+// NewComplex builds a complex-workload query of the given kind.
+func NewComplex(kind ComplexKind, fragments int, d sources.Dataset) *Plan {
+	switch kind {
+	case KindAvgAll:
+		return NewAvgAll(fragments, d)
+	case KindTop5:
+		return NewTop5(fragments, d)
+	case KindCov:
+		return NewCov(fragments, d)
+	default:
+		panic(fmt.Sprintf("query: unknown complex kind %d", kind))
+	}
+}
+
+// MixedComplex cycles through the three complex query types, the mixture
+// used throughout §7.2-§7.4.
+func MixedComplex(i, fragments int, d sources.Dataset) *Plan {
+	switch i % 3 {
+	case 0:
+		return NewAvgAll(fragments, d)
+	case 1:
+		return NewTop5(fragments, d)
+	default:
+		return NewCov(fragments, d)
+	}
+}

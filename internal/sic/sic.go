@@ -1,0 +1,169 @@
+// Package sic implements the source information content (SIC) metric of
+// the THEMIS paper (§4) and its practical approximations (§6).
+//
+// SIC quantifies, in a query-independent way, how much of the source data
+// generated during a source time window (STW) actually contributed to a
+// query's result. A source tuple from source s is assigned
+//
+//	SIC = 1 / (|T^S_s| · |S|)            (Eq. 1)
+//
+// where |T^S_s| is the number of tuples source s generates during the STW
+// and |S| the number of sources of the query. Operators propagate SIC
+// bottom-up: a derived tuple receives the sum of the SIC of the input
+// tuples processed atomically with it, divided by the number of outputs
+// (Eq. 3). The query's result SIC is the sum of result-tuple SIC values
+// over the STW (Eq. 4) and lies in [0, 1]: 1 means perfect processing,
+// 0 means everything was shed.
+package sic
+
+import "repro/internal/stream"
+
+// SourceTupleSIC assigns the SIC value of a single source tuple per
+// Eq. (1), given the (estimated) number of tuples its source generates
+// during one STW and the number of sources feeding the query.
+//
+// A zero or negative tuple count or source count yields SIC 0 — a source
+// that generates nothing contributes nothing.
+func SourceTupleSIC(tuplesPerSTW float64, numSources int) float64 {
+	if tuplesPerSTW <= 0 || numSources <= 0 {
+		return 0
+	}
+	return 1 / (tuplesPerSTW * float64(numSources))
+}
+
+// PropagateSIC distributes the total SIC of an atomically-processed input
+// set across nOut derived tuples per Eq. (3). When an operator emits no
+// tuples for a window the input SIC is lost — exactly the "derived tuples
+// are lost" effect the paper describes for empty join and filter outputs.
+func PropagateSIC(totalIn float64, nOut int) float64 {
+	if nOut <= 0 {
+		return 0
+	}
+	return totalIn / float64(nOut)
+}
+
+// Accumulator maintains a sliding-window sum of SIC contributions over one
+// STW, the paper's approximation of the source time window concept (§6:
+// "THEMIS uses the concept of a sliding window to implement a STW, i.e.
+// the STW logically slides continuously over time").
+//
+// Contributions are bucketed by slide; Sum reports the total over the most
+// recent STW worth of slides. The same structure backs (a) the measured
+// result SIC of a query at its root fragment, (b) the coordinator's
+// optimistic accepted-SIC estimate, and (c) per-source rate estimation.
+type Accumulator struct {
+	slide   stream.Duration
+	buckets []float64
+	// head is the index of the bucket covering curSlide.
+	head     int
+	curSlide int64 // slide sequence number currently accumulating
+	total    float64
+}
+
+// NewAccumulator builds an accumulator covering stw with the given slide.
+// stw is rounded up to a whole number of slides; both must be positive.
+func NewAccumulator(stw, slide stream.Duration) *Accumulator {
+	if slide <= 0 {
+		panic("sic: non-positive slide")
+	}
+	n := int((stw + slide - 1) / slide)
+	if n < 1 {
+		n = 1
+	}
+	return &Accumulator{slide: slide, buckets: make([]float64, n)}
+}
+
+// slideOf maps a timestamp to its slide sequence number.
+func (a *Accumulator) slideOf(t stream.Time) int64 { return int64(t) / int64(a.slide) }
+
+// advance rotates the ring forward to the slide containing t, expiring
+// buckets that fall out of the STW.
+func (a *Accumulator) advance(t stream.Time) {
+	s := a.slideOf(t)
+	for a.curSlide < s {
+		a.curSlide++
+		a.head++
+		if a.head == len(a.buckets) {
+			a.head = 0
+		}
+		a.total -= a.buckets[a.head]
+		a.buckets[a.head] = 0
+	}
+}
+
+// Add records a SIC contribution v at time t. Timestamps must be
+// non-decreasing across calls; late contributions land in the current
+// slide, mirroring the prototype's treatment of processing delay.
+func (a *Accumulator) Add(t stream.Time, v float64) {
+	a.advance(t)
+	a.buckets[a.head] += v
+	a.total += v
+}
+
+// Sum reports the total contribution over the STW ending at time t.
+func (a *Accumulator) Sum(t stream.Time) float64 {
+	a.advance(t)
+	// Guard against floating-point drift from incremental expiry.
+	if a.total < 0 {
+		a.total = 0
+	}
+	return a.total
+}
+
+// Slide returns the accumulator's slide duration.
+func (a *Accumulator) Slide() stream.Duration { return a.slide }
+
+// Window returns the covered STW duration (slides × slide).
+func (a *Accumulator) Window() stream.Duration {
+	return stream.Duration(len(a.buckets)) * a.slide
+}
+
+// Reset clears all buckets and restarts the window at time zero.
+func (a *Accumulator) Reset() {
+	for i := range a.buckets {
+		a.buckets[i] = 0
+	}
+	a.head, a.curSlide, a.total = 0, 0, 0
+}
+
+// RateEstimator estimates |T^S_s| — the tuples a source generates per
+// STW — online, relaxing Assumption 2 (§6: "THEMIS uses the STW
+// approximation of sliding windows to update the SIC values of all source
+// tuples per slide online"). It is an Accumulator counting tuples instead
+// of SIC mass, with a warm-start extrapolation while the window fills so
+// that early tuples are not wildly over-valued.
+type RateEstimator struct {
+	acc     *Accumulator
+	started bool
+	first   stream.Time
+}
+
+// NewRateEstimator builds an estimator over the given STW and slide.
+func NewRateEstimator(stw, slide stream.Duration) *RateEstimator {
+	return &RateEstimator{acc: NewAccumulator(stw, slide)}
+}
+
+// Observe records that the source generated n tuples at time t.
+func (r *RateEstimator) Observe(t stream.Time, n int) {
+	if !r.started {
+		r.started = true
+		r.first = t
+	}
+	r.acc.Add(t, float64(n))
+}
+
+// PerSTW estimates the number of tuples the source generates during one
+// STW, as of time t. While fewer than one full STW of observations exist
+// the count is linearly extrapolated from the observed span.
+func (r *RateEstimator) PerSTW(t stream.Time) float64 {
+	if !r.started {
+		return 0
+	}
+	count := r.acc.Sum(t)
+	span := t.Sub(r.first) + r.acc.Slide() // span covered so far, ≥ one slide
+	win := r.acc.Window()
+	if span <= 0 || span >= win {
+		return count
+	}
+	return count * float64(win) / float64(span)
+}

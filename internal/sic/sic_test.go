@@ -1,0 +1,207 @@
+package sic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+func TestSourceTupleSIC(t *testing.T) {
+	// Figure 2's example: two sources; one generates 4 tuples per STW
+	// (SIC 0.125 each), the other 2 (SIC 0.25 each).
+	if got := SourceTupleSIC(4, 2); got != 0.125 {
+		t.Errorf("4 tuples, 2 sources: %g", got)
+	}
+	if got := SourceTupleSIC(2, 2); got != 0.25 {
+		t.Errorf("2 tuples, 2 sources: %g", got)
+	}
+	if got := SourceTupleSIC(0, 2); got != 0 {
+		t.Errorf("no tuples: %g", got)
+	}
+	if got := SourceTupleSIC(10, 0); got != 0 {
+		t.Errorf("no sources: %g", got)
+	}
+}
+
+// Property: the SIC values of all of a query's source tuples in one STW
+// sum to 1 (Eq. 1 + Eq. 2 with nothing shed).
+func TestSourceSICSumsToOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSources := rng.Intn(20) + 1
+		total := 0.0
+		for s := 0; s < nSources; s++ {
+			count := rng.Intn(500) + 1
+			total += float64(count) * SourceTupleSIC(float64(count), nSources)
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropagateSIC(t *testing.T) {
+	// Figure 2, operator b: 4 inputs of 0.125 → 2 outputs of 0.25.
+	if got := PropagateSIC(4*0.125, 2); got != 0.25 {
+		t.Errorf("operator b: %g", got)
+	}
+	// Empty output loses the input SIC.
+	if got := PropagateSIC(0.5, 0); got != 0 {
+		t.Errorf("no outputs: %g", got)
+	}
+}
+
+func TestAccumulatorSlidingExpiry(t *testing.T) {
+	// STW 1 s, slide 250 ms → 4 buckets.
+	a := NewAccumulator(stream.Second, 250*stream.Millisecond)
+	a.Add(0, 1)
+	a.Add(250, 2)
+	a.Add(500, 3)
+	a.Add(750, 4)
+	if got := a.Sum(750); got != 10 {
+		t.Fatalf("full window: %g", got)
+	}
+	// Advancing one slide expires the first bucket.
+	if got := a.Sum(1000); got != 9 {
+		t.Errorf("after one slide: %g, want 9", got)
+	}
+	if got := a.Sum(1750); got != 0 {
+		t.Errorf("fully expired: %g, want 0", got)
+	}
+}
+
+func TestAccumulatorSameSlideAccumulates(t *testing.T) {
+	a := NewAccumulator(stream.Second, 250*stream.Millisecond)
+	a.Add(10, 1)
+	a.Add(20, 2)
+	a.Add(240, 3)
+	if got := a.Sum(240); got != 6 {
+		t.Errorf("same slide: %g", got)
+	}
+}
+
+func TestAccumulatorWindowRounding(t *testing.T) {
+	a := NewAccumulator(900*stream.Millisecond, 250*stream.Millisecond)
+	// 900 ms rounds up to 4 buckets = 1 s.
+	if got := a.Window(); got != stream.Second {
+		t.Errorf("window: %v", got)
+	}
+	if got := a.Slide(); got != 250*stream.Millisecond {
+		t.Errorf("slide: %v", got)
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	a := NewAccumulator(stream.Second, 250*stream.Millisecond)
+	a.Add(100, 5)
+	a.Reset()
+	if got := a.Sum(100); got != 0 {
+		t.Errorf("after reset: %g", got)
+	}
+}
+
+func TestAccumulatorZeroSlidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero slide should panic")
+		}
+	}()
+	NewAccumulator(stream.Second, 0)
+}
+
+// Property: the accumulator's sliding sum equals a direct sum over the
+// events within the window, bucketed by slide.
+func TestAccumulatorMatchesDirectSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const slide = 100
+		nBuckets := rng.Intn(10) + 1
+		stw := stream.Duration(nBuckets * slide)
+		a := NewAccumulator(stw, slide)
+		type ev struct {
+			t stream.Time
+			v float64
+		}
+		var evs []ev
+		now := stream.Time(0)
+		for i := 0; i < 100; i++ {
+			now += stream.Time(rng.Intn(120))
+			v := rng.Float64()
+			a.Add(now, v)
+			evs = append(evs, ev{now, v})
+		}
+		got := a.Sum(now)
+		// Direct: events whose slide index is within the last nBuckets
+		// slides ending at now's slide.
+		cur := int64(now) / slide
+		var want float64
+		for _, e := range evs {
+			s := int64(e.t) / slide
+			if s > cur-int64(nBuckets) && s <= cur {
+				want += e.v
+			}
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRateEstimatorSteadyState(t *testing.T) {
+	// 100 tuples/sec observed in 25-tuple ticks; STW 10 s → 1000/STW.
+	r := NewRateEstimator(10*stream.Second, 250*stream.Millisecond)
+	now := stream.Time(0)
+	for i := 0; i < 80; i++ { // 20 s — window full
+		r.Observe(now, 25)
+		now += 250
+	}
+	got := r.PerSTW(now)
+	if math.Abs(got-1000) > 30 {
+		t.Errorf("steady state: %g, want ~1000", got)
+	}
+}
+
+func TestRateEstimatorWarmStart(t *testing.T) {
+	// After only 1 s of a 10 s window, extrapolation should already be
+	// near the true per-STW count, not 10× below it.
+	r := NewRateEstimator(10*stream.Second, 250*stream.Millisecond)
+	now := stream.Time(0)
+	for i := 0; i < 4; i++ {
+		r.Observe(now, 25)
+		now += 250
+	}
+	got := r.PerSTW(now)
+	if got < 500 || got > 2000 {
+		t.Errorf("warm start: %g, want within 2x of 1000", got)
+	}
+}
+
+func TestRateEstimatorEmpty(t *testing.T) {
+	r := NewRateEstimator(10*stream.Second, 250*stream.Millisecond)
+	if got := r.PerSTW(0); got != 0 {
+		t.Errorf("no observations: %g", got)
+	}
+}
+
+func TestRateEstimatorTracksRateChange(t *testing.T) {
+	r := NewRateEstimator(2*stream.Second, 250*stream.Millisecond)
+	now := stream.Time(0)
+	for i := 0; i < 16; i++ { // 4 s at 40/s
+		r.Observe(now, 10)
+		now += 250
+	}
+	for i := 0; i < 16; i++ { // 4 s at 400/s
+		r.Observe(now, 100)
+		now += 250
+	}
+	got := r.PerSTW(now)
+	want := 800.0 // 400/s × 2 s window
+	if math.Abs(got-want) > 110 {
+		t.Errorf("after rate change: %g, want ~%g", got, want)
+	}
+}

@@ -1,0 +1,80 @@
+package stream
+
+// Batch is a group of tuples emitted atomically, preceded by a single
+// header (§6: "A batch contains a sequence of tuples preceded by a single
+// header with the following fields: (a) the SIC value; (b) a unique
+// identifier of the query that these tuples belong to; and (c) a
+// timestamp").
+//
+// Batches are the unit of transfer between sources, fragments and nodes,
+// and the unit of shedding: the tuple shedder discards whole batches until
+// the input buffer fits the node capacity (§6).
+type Batch struct {
+	// Query is the query the tuples belong to.
+	Query QueryID
+	// Frag is the destination fragment within the query.
+	Frag FragID
+	// Port is the input port of the destination fragment. Port 0 carries
+	// local source data; higher ports carry partial results from upstream
+	// fragments (chain and tree layouts, §7).
+	Port int
+	// Source is the origin source for source batches, or -1 for batches
+	// of derived tuples.
+	Source SourceID
+	// TS is the creation timestamp of the batch.
+	TS Time
+	// SIC is the aggregate source information content of the batch: the
+	// sum of the SIC values of its tuples. It is the header field the
+	// BALANCE-SIC shedder reads without touching tuple payloads.
+	SIC float64
+	// Tuples holds the batch payload. Tuple V slices alias a single
+	// backing array owned by the batch (see NewBatch).
+	Tuples []Tuple
+}
+
+// Len reports the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// RecomputeSIC recomputes the header SIC from the tuples. Operators call
+// it after assigning per-tuple SIC values.
+func (b *Batch) RecomputeSIC() {
+	sum := 0.0
+	for i := range b.Tuples {
+		sum += b.Tuples[i].SIC
+	}
+	b.SIC = sum
+}
+
+// NewBatch allocates a batch of n tuples with arity payload fields each.
+// All tuple V slices alias a single backing array, so building a batch
+// performs exactly two allocations regardless of n. Tuples are zeroed;
+// the caller fills timestamps, SIC values and payloads.
+func NewBatch(query QueryID, frag FragID, src SourceID, ts Time, n, arity int) *Batch {
+	b := &Batch{Query: query, Frag: frag, Source: src, TS: ts}
+	b.Tuples = make([]Tuple, n)
+	if arity > 0 {
+		backing := make([]float64, n*arity)
+		for i := range b.Tuples {
+			b.Tuples[i].V = backing[i*arity : (i+1)*arity : (i+1)*arity]
+		}
+	}
+	return b
+}
+
+// DerivedBatch wraps an operator's output tuples into a batch addressed to
+// the given query/fragment/port, recomputing the SIC header.
+func DerivedBatch(query QueryID, frag FragID, port int, ts Time, tuples []Tuple) *Batch {
+	b := &Batch{Query: query, Frag: frag, Port: port, Source: -1, TS: ts, Tuples: tuples}
+	b.RecomputeSIC()
+	return b
+}
+
+// HeaderBytes is the wire size of a batch SIC header in the prototype:
+// 10 bytes store the SIC value and its scale per batch (§7.6). The
+// constant is exported so the overhead experiment can report meta-data
+// cost exactly as the paper does.
+const HeaderBytes = 10
+
+// CoordinatorMsgBytes is the wire size of one query-coordinator result-SIC
+// update message (§7.6: "This creates a message of 30 bytes").
+const CoordinatorMsgBytes = 30

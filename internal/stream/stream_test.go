@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	base := Time(1000)
+	if got := base.Add(250 * Millisecond); got != 1250 {
+		t.Errorf("Add: got %d, want 1250", got)
+	}
+	if got := Time(1250).Sub(base); got != 250 {
+		t.Errorf("Sub: got %d, want 250", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds: got %g, want 1.5", got)
+	}
+	if Second != 1000*Millisecond || Minute != 60*Second {
+		t.Error("duration constants inconsistent")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("id", "cpu", "mem")
+	if s.Arity() != 3 {
+		t.Fatalf("arity: got %d", s.Arity())
+	}
+	if i, ok := s.Index("cpu"); !ok || i != 1 {
+		t.Errorf("Index(cpu): got %d, %v", i, ok)
+	}
+	if _, ok := s.Index("nope"); ok {
+		t.Error("Index(nope) should miss")
+	}
+	if got := s.MustIndex("mem"); got != 2 {
+		t.Errorf("MustIndex(mem): got %d", got)
+	}
+	if got := s.String(); got != "(id, cpu, mem)" {
+		t.Errorf("String: got %q", got)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate field should panic")
+		}
+	}()
+	NewSchema("a", "a")
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing field should panic")
+		}
+	}()
+	NewSchema("a").MustIndex("b")
+}
+
+func TestNewBatchLayout(t *testing.T) {
+	b := NewBatch(7, 2, 3, 100, 4, 2)
+	if b.Query != 7 || b.Frag != 2 || b.Source != 3 || b.TS != 100 {
+		t.Errorf("header mismatch: %+v", b)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len: got %d", b.Len())
+	}
+	// Payload slices must be disjoint views of one backing array.
+	b.Tuples[0].V[0] = 1
+	b.Tuples[0].V[1] = 2
+	b.Tuples[1].V[0] = 3
+	if b.Tuples[0].V[0] != 1 || b.Tuples[0].V[1] != 2 || b.Tuples[1].V[0] != 3 {
+		t.Error("payload views overlap or lost writes")
+	}
+	for i := range b.Tuples {
+		if len(b.Tuples[i].V) != 2 {
+			t.Errorf("tuple %d arity %d", i, len(b.Tuples[i].V))
+		}
+		if cap(b.Tuples[i].V) != 2 {
+			t.Errorf("tuple %d cap %d: views must be capped to prevent cross-tuple append", i, cap(b.Tuples[i].V))
+		}
+	}
+}
+
+func TestNewBatchZeroArity(t *testing.T) {
+	b := NewBatch(1, 0, 0, 0, 3, 0)
+	if b.Len() != 3 {
+		t.Fatalf("len: got %d", b.Len())
+	}
+	if b.Tuples[0].V != nil {
+		t.Error("zero-arity tuples should have nil payloads")
+	}
+}
+
+func TestRecomputeSIC(t *testing.T) {
+	b := NewBatch(1, 0, 0, 0, 3, 1)
+	b.Tuples[0].SIC = 0.25
+	b.Tuples[1].SIC = 0.5
+	b.Tuples[2].SIC = 0.125
+	b.RecomputeSIC()
+	if b.SIC != 0.875 {
+		t.Errorf("SIC: got %g, want 0.875", b.SIC)
+	}
+}
+
+func TestDerivedBatch(t *testing.T) {
+	tuples := []Tuple{{TS: 5, SIC: 0.1}, {TS: 6, SIC: 0.2}}
+	b := DerivedBatch(3, 1, 4, 10, tuples)
+	if b.Source != -1 {
+		t.Errorf("derived batch source: got %d, want -1", b.Source)
+	}
+	if b.Port != 4 || b.Query != 3 || b.Frag != 1 {
+		t.Errorf("addressing mismatch: %+v", b)
+	}
+	if got := b.SIC; got < 0.2999 || got > 0.3001 {
+		t.Errorf("SIC header: got %g, want 0.3", got)
+	}
+}
+
+// Property: RecomputeSIC always equals the sum of tuple SICs.
+func TestRecomputeSICProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		b := NewBatch(1, 0, 0, 0, len(raw), 0)
+		var want float64
+		for i, s := range raw {
+			// Map arbitrary floats into [0, 1): SIC values are bounded
+			// per Eq. (1), and unbounded inputs only test FP overflow.
+			s = math.Abs(math.Mod(s, 1))
+			if math.IsNaN(s) {
+				s = 0
+			}
+			b.Tuples[i].SIC = s
+			want += s
+		}
+		b.RecomputeSIC()
+		diff := b.SIC - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

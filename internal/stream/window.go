@@ -1,0 +1,172 @@
+package stream
+
+import "fmt"
+
+// WindowKind selects between time-based and count-based windows.
+type WindowKind int
+
+const (
+	// TimeWindow groups tuples by logical timestamp ranges.
+	TimeWindow WindowKind = iota
+	// CountWindow groups tuples by arrival count.
+	CountWindow
+)
+
+// WindowSpec describes the window that atomically emits tuples for an
+// operator to process (§3: "for each operator o ∈ O, there exists a time
+// or count window that atomically emits tuples for processing by o").
+//
+// For time windows Range and Slide are Durations in milliseconds; for
+// count windows they are tuple counts. Slide == Range yields a tumbling
+// window; Slide < Range a sliding window.
+type WindowSpec struct {
+	Kind  WindowKind
+	Range int64
+	Slide int64
+}
+
+// TumblingTime returns a tumbling time window of the given range.
+func TumblingTime(r Duration) WindowSpec {
+	return WindowSpec{Kind: TimeWindow, Range: int64(r), Slide: int64(r)}
+}
+
+// SlidingTime returns a sliding time window.
+func SlidingTime(r, s Duration) WindowSpec {
+	return WindowSpec{Kind: TimeWindow, Range: int64(r), Slide: int64(s)}
+}
+
+// TumblingCount returns a tumbling count window of n tuples.
+func TumblingCount(n int) WindowSpec {
+	return WindowSpec{Kind: CountWindow, Range: int64(n), Slide: int64(n)}
+}
+
+// Validate reports whether the spec is well formed.
+func (w WindowSpec) Validate() error {
+	if w.Range <= 0 {
+		return fmt.Errorf("stream: window range must be positive, got %d", w.Range)
+	}
+	if w.Slide <= 0 || w.Slide > w.Range {
+		return fmt.Errorf("stream: window slide must be in (0, range], got slide=%d range=%d", w.Slide, w.Range)
+	}
+	return nil
+}
+
+// String renders the spec in CQL-like syntax.
+func (w WindowSpec) String() string {
+	switch w.Kind {
+	case TimeWindow:
+		if w.Slide == w.Range {
+			return fmt.Sprintf("[Range %g sec]", Duration(w.Range).Seconds())
+		}
+		return fmt.Sprintf("[Range %g sec Slide %g sec]", Duration(w.Range).Seconds(), Duration(w.Slide).Seconds())
+	default:
+		if w.Slide == w.Range {
+			return fmt.Sprintf("[Rows %d]", w.Range)
+		}
+		return fmt.Sprintf("[Rows %d Slide %d]", w.Range, w.Slide)
+	}
+}
+
+// WindowBuffer accumulates input tuples and emits window contents
+// atomically. Operators own one buffer per input port; calling Tick
+// advances logical time and returns the closed windows, oldest first.
+//
+// Time windows align to slide boundaries: the window covering
+// [e-Range, e) closes at every e that is a multiple of Slide. Count
+// windows close every Slide tuples and cover the last Range tuples.
+//
+// Time-window extraction scans the whole buffer rather than assuming
+// global timestamp order: batches from different sources interleave
+// within a tick, so the buffer is only approximately sorted. The engine
+// guarantees that all tuples with TS < e are pushed before Tick(e) is
+// called, which makes the scan exact.
+type WindowBuffer struct {
+	spec WindowSpec
+	buf  []Tuple
+	// nextEdge is the next emission boundary: a timestamp for time
+	// windows, a cumulative tuple count for count windows.
+	nextEdge int64
+	seen     int64   // total tuples pushed (count windows)
+	scratch  []Tuple // reused emission buffer for time windows
+}
+
+// NewWindowBuffer builds a buffer for the given spec. It panics on an
+// invalid spec: specs are validated when plans are built.
+func NewWindowBuffer(spec WindowSpec) *WindowBuffer {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &WindowBuffer{spec: spec, nextEdge: spec.Slide}
+}
+
+// Spec returns the window specification.
+func (wb *WindowBuffer) Spec() WindowSpec { return wb.spec }
+
+// Len reports the number of buffered tuples.
+func (wb *WindowBuffer) Len() int { return len(wb.buf) }
+
+// Push appends input tuples to the buffer. Tuples must arrive in
+// timestamp order for time windows.
+func (wb *WindowBuffer) Push(in []Tuple) {
+	wb.buf = append(wb.buf, in...)
+	wb.seen += int64(len(in))
+}
+
+// Tick advances the buffer to logical time now and invokes emit once per
+// closed window with that window's contents. The emitted slice aliases the
+// internal buffer and is only valid during the call.
+//
+// For tumbling windows each tuple appears in exactly one emission; for
+// sliding windows a tuple appears in every window that covers it, and the
+// per-window SIC division of Eq. (3) is handled by the operator (§6:
+// "divide the SIC value of an input tuple across all its derived tuples
+// per slide").
+func (wb *WindowBuffer) Tick(now Time, emit func(win []Tuple, closeAt Time)) {
+	switch wb.spec.Kind {
+	case TimeWindow:
+		for wb.nextEdge <= int64(now) {
+			edge := wb.nextEdge
+			start := edge - wb.spec.Range
+			// Collect tuples with start <= TS < edge.
+			wb.scratch = wb.scratch[:0]
+			for i := range wb.buf {
+				ts := int64(wb.buf[i].TS)
+				if ts >= start && ts < edge {
+					wb.scratch = append(wb.scratch, wb.buf[i])
+				}
+			}
+			emit(wb.scratch, Time(edge))
+			// Retire tuples that can no longer appear in any future
+			// window: TS < edge+Slide-Range.
+			retire := edge + wb.spec.Slide - wb.spec.Range
+			kept := wb.buf[:0]
+			for i := range wb.buf {
+				if int64(wb.buf[i].TS) >= retire {
+					kept = append(kept, wb.buf[i])
+				}
+			}
+			wb.buf = kept
+			wb.nextEdge += wb.spec.Slide
+		}
+	case CountWindow:
+		for wb.seen >= wb.nextEdge {
+			n := len(wb.buf)
+			// Window covers the Range most recent tuples at this edge.
+			consumed := wb.nextEdge - (wb.seen - int64(n))
+			hi := int(consumed)
+			lo := hi - int(wb.spec.Range)
+			if lo < 0 {
+				lo = 0
+			}
+			emit(wb.buf[lo:hi], wb.buf[hi-1].TS)
+			retire := hi - int(wb.spec.Range) + int(wb.spec.Slide)
+			if retire > 0 {
+				if retire > len(wb.buf) {
+					retire = len(wb.buf)
+				}
+				wb.buf = append(wb.buf[:0], wb.buf[retire:]...)
+			}
+			wb.nextEdge += wb.spec.Slide
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkTuples(times ...int64) []Tuple {
+	out := make([]Tuple, len(times))
+	for i, ts := range times {
+		out[i] = Tuple{TS: Time(ts), SIC: 1}
+	}
+	return out
+}
+
+func collect(wb *WindowBuffer, now Time) (wins [][]Time, edges []Time) {
+	wb.Tick(now, func(win []Tuple, at Time) {
+		ts := make([]Time, len(win))
+		for i := range win {
+			ts[i] = win[i].TS
+		}
+		wins = append(wins, ts)
+		edges = append(edges, at)
+	})
+	return
+}
+
+func TestWindowSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec WindowSpec
+		ok   bool
+	}{
+		{TumblingTime(Second), true},
+		{SlidingTime(10*Second, Second), true},
+		{TumblingCount(5), true},
+		{WindowSpec{Kind: TimeWindow, Range: 0, Slide: 1}, false},
+		{WindowSpec{Kind: TimeWindow, Range: 10, Slide: 0}, false},
+		{WindowSpec{Kind: TimeWindow, Range: 10, Slide: 20}, false},
+	}
+	for _, c := range cases {
+		if err := c.spec.Validate(); (err == nil) != c.ok {
+			t.Errorf("%v: Validate() = %v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestWindowSpecString(t *testing.T) {
+	if got := TumblingTime(Second).String(); got != "[Range 1 sec]" {
+		t.Errorf("tumbling: %q", got)
+	}
+	if got := SlidingTime(10*Second, Second).String(); got != "[Range 10 sec Slide 1 sec]" {
+		t.Errorf("sliding: %q", got)
+	}
+	if got := TumblingCount(5).String(); got != "[Rows 5]" {
+		t.Errorf("count: %q", got)
+	}
+}
+
+func TestTumblingTimeWindows(t *testing.T) {
+	wb := NewWindowBuffer(TumblingTime(1000))
+	wb.Push(mkTuples(0, 100, 999))
+	wins, edges := collect(wb, 1000)
+	if len(wins) != 1 || len(wins[0]) != 3 {
+		t.Fatalf("first window: got %v", wins)
+	}
+	if edges[0] != 1000 {
+		t.Errorf("edge: got %d", edges[0])
+	}
+	// Tuples at exactly the edge belong to the next window.
+	wb.Push(mkTuples(1000, 1500))
+	wins, _ = collect(wb, 2000)
+	if len(wins) != 1 || len(wins[0]) != 2 {
+		t.Fatalf("second window: got %v", wins)
+	}
+	// An idle period still closes (empty) windows.
+	wins, edges = collect(wb, 4000)
+	if len(wins) != 2 {
+		t.Fatalf("idle windows: got %d, want 2", len(wins))
+	}
+	for i, w := range wins {
+		if len(w) != 0 {
+			t.Errorf("idle window %d not empty: %v", i, w)
+		}
+	}
+	if edges[0] != 3000 || edges[1] != 4000 {
+		t.Errorf("idle edges: %v", edges)
+	}
+}
+
+func TestSlidingTimeWindows(t *testing.T) {
+	// Range 2s, slide 1s: each tuple appears in two windows.
+	wb := NewWindowBuffer(SlidingTime(2000, 1000))
+	wb.Push(mkTuples(500))
+	wins, _ := collect(wb, 1000)
+	if len(wins) != 1 || len(wins[0]) != 1 {
+		t.Fatalf("window 1: %v", wins)
+	}
+	wb.Push(mkTuples(1500))
+	wins, _ = collect(wb, 2000)
+	if len(wins) != 1 || len(wins[0]) != 2 {
+		t.Fatalf("window 2 should hold both tuples: %v", wins)
+	}
+	wins, _ = collect(wb, 3000)
+	if len(wins) != 1 || len(wins[0]) != 1 || wins[0][0] != 1500 {
+		t.Fatalf("window 3 should hold only the 1500 tuple: %v", wins)
+	}
+}
+
+func TestTumblingWindowsWithUnsortedIntraTickPushes(t *testing.T) {
+	// Two sources' batches interleave: tuples are not globally sorted
+	// within a tick, but all land before their window's edge is ticked.
+	wb := NewWindowBuffer(TumblingTime(1000))
+	wb.Push(mkTuples(0, 250, 700))  // source A
+	wb.Push(mkTuples(10, 300, 800)) // source B
+	wins, _ := collect(wb, 1000)
+	if len(wins) != 1 || len(wins[0]) != 6 {
+		t.Fatalf("want all 6 tuples in one window, got %v", wins)
+	}
+}
+
+func TestCountWindows(t *testing.T) {
+	wb := NewWindowBuffer(TumblingCount(3))
+	wb.Push(mkTuples(1, 2))
+	wins, _ := collect(wb, 100)
+	if len(wins) != 0 {
+		t.Fatalf("window fired early: %v", wins)
+	}
+	wb.Push(mkTuples(3, 4, 5, 6))
+	wins, _ = collect(wb, 200)
+	if len(wins) != 2 || len(wins[0]) != 3 || len(wins[1]) != 3 {
+		t.Fatalf("count windows: %v", wins)
+	}
+	if wins[0][0] != 1 || wins[1][0] != 4 {
+		t.Fatalf("count window contents: %v", wins)
+	}
+}
+
+func TestSlidingCountWindows(t *testing.T) {
+	wb := NewWindowBuffer(WindowSpec{Kind: CountWindow, Range: 4, Slide: 2})
+	wb.Push(mkTuples(1, 2, 3, 4, 5, 6))
+	wins, _ := collect(wb, 0)
+	// Edges at counts 2, 4, 6: windows are the last 4 tuples (or fewer).
+	if len(wins) != 3 {
+		t.Fatalf("want 3 windows, got %v", wins)
+	}
+	if len(wins[0]) != 2 || len(wins[1]) != 4 || len(wins[2]) != 4 {
+		t.Fatalf("window sizes: %v", wins)
+	}
+	if wins[2][0] != 3 || wins[2][3] != 6 {
+		t.Fatalf("last window contents: %v", wins)
+	}
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid spec should panic")
+		}
+	}()
+	NewWindowBuffer(WindowSpec{Kind: TimeWindow, Range: -1, Slide: 1})
+}
+
+// Property: for tumbling time windows, every pushed tuple is emitted in
+// exactly one window, regardless of batch sizes, as long as pushes happen
+// before the covering edge is ticked.
+func TestTumblingPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wb := NewWindowBuffer(TumblingTime(1000))
+		pushed := 0
+		emitted := 0
+		now := Time(0)
+		for tick := 0; tick < 40; tick++ {
+			n := rng.Intn(5)
+			batch := make([]Tuple, n)
+			for i := range batch {
+				batch[i] = Tuple{TS: now + Time(rng.Intn(250))}
+			}
+			wb.Push(batch)
+			pushed += n
+			now += 250
+			wb.Tick(now, func(win []Tuple, _ Time) { emitted += len(win) })
+		}
+		// Flush the final partial window.
+		wb.Tick(now+1000, func(win []Tuple, _ Time) { emitted += len(win) })
+		return pushed == emitted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sliding time windows emit each tuple range/slide times.
+func TestSlidingMultiplicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const rangeMs, slideMs = 2000, 500
+		wb := NewWindowBuffer(SlidingTime(rangeMs, slideMs))
+		pushed := 0
+		emitted := 0
+		now := Time(0)
+		for tick := 0; tick < 20; tick++ {
+			n := rng.Intn(4)
+			batch := make([]Tuple, n)
+			for i := range batch {
+				batch[i] = Tuple{TS: now + Time(rng.Intn(500))}
+			}
+			wb.Push(batch)
+			pushed += n
+			now += 500
+			wb.Tick(now, func(win []Tuple, _ Time) { emitted += len(win) })
+		}
+		// Drain all remaining windows.
+		wb.Tick(now+rangeMs, func(win []Tuple, _ Time) { emitted += len(win) })
+		return emitted == pushed*rangeMs/slideMs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/coordinator"
+	"repro/internal/metrics"
+	"repro/internal/sic"
+	"repro/internal/stream"
+)
+
+// Controller plays the query-submission node and the per-query
+// coordinators of a networked THEMIS federation: it deploys query
+// fragments to node servers, starts them, ingests result/accepted
+// reports, broadcasts result-SIC updates every interval, and summarises
+// per-query SIC at the end.
+type Controller struct {
+	mu     sync.Mutex
+	nodes  []*conn
+	addrs  []string
+	coords map[stream.QueryID]*coordinator.Coordinator
+	accs   map[stream.QueryID]*sic.Accumulator
+	sums   map[stream.QueryID]*sampleStats
+	hosts  map[stream.QueryID][]int // node indices hosting the query
+	epoch  time.Time
+	stw    stream.Duration
+	ival   stream.Duration
+	nextQ  stream.QueryID
+	seed   int64
+
+	stats []StatsMsg
+}
+
+type sampleStats struct {
+	sum float64
+	n   int
+}
+
+// ControllerConfig parameterises the controller.
+type ControllerConfig struct {
+	// STW and Interval mirror the node settings (defaults 10 s / 250 ms).
+	STW      stream.Duration
+	Interval stream.Duration
+	// Seed derives per-deployment source seeds.
+	Seed int64
+}
+
+// NewController connects to the given node addresses.
+func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error) {
+	if cfg.STW <= 0 {
+		cfg.STW = 10 * stream.Second
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * stream.Millisecond
+	}
+	c := &Controller{
+		coords: make(map[stream.QueryID]*coordinator.Coordinator),
+		accs:   make(map[stream.QueryID]*sic.Accumulator),
+		sums:   make(map[stream.QueryID]*sampleStats),
+		hosts:  make(map[stream.QueryID][]int),
+		stw:    cfg.STW,
+		ival:   cfg.Interval,
+		seed:   cfg.Seed,
+	}
+	for _, addr := range nodeAddrs {
+		cn, err := dial(addr, "controller")
+		if err != nil {
+			c.CloseAll()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, cn)
+		c.addrs = append(c.addrs, addr)
+	}
+	return c, nil
+}
+
+// CloseAll closes all node connections.
+func (c *Controller) CloseAll() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+}
+
+// Deploy places a named workload query across the node indices in
+// placement (one fragment per node, fragment i on placement[i]) and
+// returns its query id.
+func (c *Controller) Deploy(workload string, fragments, dataset int, rate, batchesPerSec float64, placement []int) (stream.QueryID, error) {
+	if len(placement) != fragments {
+		return 0, fmt.Errorf("transport: placement has %d entries for %d fragments", len(placement), fragments)
+	}
+	c.mu.Lock()
+	q := c.nextQ
+	c.nextQ++
+	c.seed++
+	seed := c.seed
+	c.coords[q] = coordinator.New(q, coordinator.RootMeasured, c.stw, c.ival)
+	c.accs[q] = sic.NewAccumulator(c.stw, c.ival)
+	c.sums[q] = &sampleStats{}
+	peers := make(map[stream.FragID]string, fragments)
+	for f, ni := range placement {
+		peers[stream.FragID(f)] = c.addrs[ni]
+	}
+	seen := map[int]bool{}
+	for _, ni := range placement {
+		if !seen[ni] {
+			seen[ni] = true
+			c.hosts[q] = append(c.hosts[q], ni)
+		}
+	}
+	c.mu.Unlock()
+
+	var srcID stream.SourceID = stream.SourceID(int(q) * 1000)
+	for f, ni := range placement {
+		err := c.nodes[ni].send(&Envelope{Kind: KindDeploy, Deploy: &Deploy{
+			Query: q, Frag: stream.FragID(f),
+			Workload: workload, Fragments: fragments, Dataset: dataset,
+			Rate: rate, Batches: batchesPerSec,
+			Peers: peers, SourceSeed: seed + int64(f), FirstSourceID: srcID,
+		}})
+		if err != nil {
+			return 0, err
+		}
+		srcID += 100
+	}
+	return q, nil
+}
+
+// Run starts all nodes, processes reports for the given wall-clock
+// duration (samples are recorded after warmup), stops the nodes and
+// returns the per-query mean SIC plus fairness metrics.
+func (c *Controller) Run(duration, warmup time.Duration) (*NetResults, error) {
+	c.epoch = time.Now()
+	for _, n := range c.nodes {
+		if err := n.send(&Envelope{Kind: KindStart, Start: &Start{
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+		}}); err != nil {
+			return nil, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range c.nodes {
+		wg.Add(1)
+		go func(n *conn) {
+			defer wg.Done()
+			c.readLoop(n)
+		}(n)
+	}
+
+	// Broadcast result-SIC updates every interval, sample after warmup.
+	ticker := time.NewTicker(time.Duration(c.ival) * time.Millisecond)
+	deadline := time.After(duration)
+	defer ticker.Stop()
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			now := c.now()
+			c.mu.Lock()
+			for q, coord := range c.coords {
+				v := coord.Value(now)
+				for _, ni := range c.hosts[q] {
+					c.nodes[ni].send(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: q, Value: v}})
+				}
+				coord.NoteUpdateSent(len(c.hosts[q]))
+				if time.Since(c.epoch) > warmup {
+					st := c.sums[q]
+					st.sum += c.accs[q].Sum(now)
+					st.n++
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+
+	// Stop nodes; stats arrive on the same connections before they close.
+	for _, n := range c.nodes {
+		n.send(&Envelope{Kind: KindStop})
+	}
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(5 * time.Second):
+	}
+
+	return c.results(), nil
+}
+
+func (c *Controller) now() stream.Time {
+	return stream.Time(time.Since(c.epoch).Milliseconds())
+}
+
+// readLoop ingests reports from one node until its connection closes.
+func (c *Controller) readLoop(n *conn) {
+	dec := json.NewDecoder(n.c)
+	for {
+		var e Envelope
+		if err := dec.Decode(&e); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection teardown at stop time is expected.
+			}
+			return
+		}
+		switch e.Kind {
+		case KindReport:
+			r := e.Report
+			now := c.now()
+			c.mu.Lock()
+			if coord, ok := c.coords[r.Query]; ok {
+				if r.IsResult {
+					coord.ReportResult(now, r.Result)
+					c.accs[r.Query].Add(now, r.Result)
+				} else {
+					coord.ReportAccepted(now, r.Accepted)
+				}
+			}
+			c.mu.Unlock()
+		case KindStats:
+			c.mu.Lock()
+			c.stats = append(c.stats, *e.Stats)
+			c.mu.Unlock()
+		}
+	}
+}
+
+// NetResults summarises a networked run.
+type NetResults struct {
+	// PerQuery maps query id → time-averaged result SIC.
+	PerQuery map[stream.QueryID]float64
+	MeanSIC  float64
+	Jain     float64
+	Nodes    []StatsMsg
+}
+
+func (c *Controller) results() *NetResults {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := &NetResults{PerQuery: make(map[stream.QueryID]float64)}
+	var vals []float64
+	for q, st := range c.sums {
+		mean := 0.0
+		if st.n > 0 {
+			mean = st.sum / float64(st.n)
+		}
+		res.PerQuery[q] = mean
+		vals = append(vals, mean)
+	}
+	res.MeanSIC = metrics.Mean(vals)
+	res.Jain = metrics.Jain(vals)
+	res.Nodes = append(res.Nodes, c.stats...)
+	return res
+}

@@ -1,0 +1,186 @@
+// Package transport runs THEMIS nodes as network services: a JSON-over-
+// TCP protocol carries query deployment, tuple batches between fragments
+// on different machines, coordinator result-SIC updates, and result
+// streams back to the issuing user.
+//
+// The same node runtime (internal/node) that the virtual-time simulator
+// drives is driven here by wall-clock tickers, so everything the
+// evaluation measures — Algorithm 1, the cost model, SIC accounting — is
+// the code that actually ships bytes. The controller plays the role of
+// the query submission node plus the logically-centralised per-query
+// coordinators (§6).
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Envelope is the single wire message; Kind selects which payload field
+// is set.
+type Envelope struct {
+	Kind   string     `json:"kind"`
+	Hello  *Hello     `json:"hello,omitempty"`
+	Deploy *Deploy    `json:"deploy,omitempty"`
+	Start  *Start     `json:"start,omitempty"`
+	Batch  *BatchMsg  `json:"batch,omitempty"`
+	SIC    *SICMsg    `json:"sic,omitempty"`
+	Report *ReportMsg `json:"report,omitempty"`
+	Stats  *StatsMsg  `json:"stats,omitempty"`
+}
+
+// Message kinds.
+const (
+	KindHello  = "hello"
+	KindDeploy = "deploy"
+	KindStart  = "start"
+	KindBatch  = "batch"
+	KindSIC    = "sic"
+	KindReport = "report"
+	KindStats  = "stats"
+	KindStop   = "stop"
+)
+
+// Hello introduces a connection.
+type Hello struct {
+	From string `json:"from"`
+}
+
+// Deploy instructs a node to host one fragment of a query. Plans cannot
+// travel as code, so the workload is named: Kind + Fragments + Dataset
+// reconstruct the plan via the internal/query builders on the node.
+type Deploy struct {
+	Query     stream.QueryID `json:"query"`
+	Frag      stream.FragID  `json:"frag"`
+	Workload  string         `json:"workload"` // AVG-all | TOP-5 | COV | AVG | MAX | COUNT
+	Fragments int            `json:"fragments"`
+	Dataset   int            `json:"dataset"`
+	Rate      float64        `json:"rate"`
+	Batches   float64        `json:"batches_per_sec"`
+	// Peers maps every fragment of the query to the address of its host
+	// node, so derived batches can be routed directly site-to-site.
+	Peers map[stream.FragID]string `json:"peers"`
+	// SourceSeed derives deterministic per-source generators.
+	SourceSeed int64 `json:"source_seed"`
+	// FirstSourceID numbers this fragment's sources globally.
+	FirstSourceID stream.SourceID `json:"first_source_id"`
+}
+
+// Start begins real-time processing on a node.
+type Start struct {
+	IntervalMs int64 `json:"interval_ms"`
+	STWMs      int64 `json:"stw_ms"`
+}
+
+// BatchMsg carries one tuple batch between nodes. Tuples are flattened
+// column-wise to keep the JSON compact.
+type BatchMsg struct {
+	Query stream.QueryID `json:"query"`
+	Frag  stream.FragID  `json:"frag"`
+	Port  int            `json:"port"`
+	TS    stream.Time    `json:"ts"`
+	SIC   float64        `json:"sic"`
+	Arity int            `json:"arity"`
+	TSs   []stream.Time  `json:"tss"`
+	SICs  []float64      `json:"sics"`
+	Vals  []float64      `json:"vals"` // len = Arity × len(TSs)
+}
+
+// ToBatch reconstructs a stream batch (derived: Source -1).
+func (m *BatchMsg) ToBatch() *stream.Batch {
+	n := len(m.TSs)
+	b := stream.NewBatch(m.Query, m.Frag, -1, m.TS, n, m.Arity)
+	b.Port = m.Port
+	for i := 0; i < n; i++ {
+		b.Tuples[i].TS = m.TSs[i]
+		b.Tuples[i].SIC = m.SICs[i]
+		copy(b.Tuples[i].V, m.Vals[i*m.Arity:(i+1)*m.Arity])
+	}
+	b.SIC = m.SIC
+	return b
+}
+
+// FromBatch flattens a batch for the wire.
+func FromBatch(b *stream.Batch) *BatchMsg {
+	arity := 0
+	if len(b.Tuples) > 0 {
+		arity = len(b.Tuples[0].V)
+	}
+	m := &BatchMsg{
+		Query: b.Query, Frag: b.Frag, Port: b.Port, TS: b.TS, SIC: b.SIC,
+		Arity: arity,
+		TSs:   make([]stream.Time, len(b.Tuples)),
+		SICs:  make([]float64, len(b.Tuples)),
+		Vals:  make([]float64, len(b.Tuples)*arity),
+	}
+	for i := range b.Tuples {
+		m.TSs[i] = b.Tuples[i].TS
+		m.SICs[i] = b.Tuples[i].SIC
+		copy(m.Vals[i*arity:(i+1)*arity], b.Tuples[i].V)
+	}
+	return m
+}
+
+// SICMsg is a coordinator result-SIC update (30 bytes in the paper's
+// binary protocol; JSON here for debuggability).
+type SICMsg struct {
+	Query stream.QueryID `json:"query"`
+	Value float64        `json:"value"`
+}
+
+// ReportMsg flows node → controller: either an accepted-SIC delta or a
+// result-stream delivery.
+type ReportMsg struct {
+	Query    stream.QueryID `json:"query"`
+	Accepted float64        `json:"accepted,omitempty"`
+	Result   float64        `json:"result,omitempty"`
+	Tuples   int            `json:"tuples,omitempty"`
+	IsResult bool           `json:"is_result"`
+}
+
+// StatsMsg returns a node's final counters.
+type StatsMsg struct {
+	Node            string `json:"node"`
+	ArrivedTuples   int64  `json:"arrived_tuples"`
+	KeptTuples      int64  `json:"kept_tuples"`
+	ShedTuples      int64  `json:"shed_tuples"`
+	ShedInvocations int64  `json:"shed_invocations"`
+}
+
+// conn wraps a TCP connection with synchronised JSON encoding.
+type conn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *json.Encoder
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, enc: json.NewEncoder(c)}
+}
+
+// send writes one envelope; safe for concurrent use.
+func (c *conn) send(e *Envelope) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(e)
+}
+
+func (c *conn) Close() error { return c.c.Close() }
+
+// dial connects and sends a hello.
+func dial(addr, from string) (*conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := newConn(nc)
+	if err := c.send(&Envelope{Kind: KindHello, Hello: &Hello{From: from}}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}

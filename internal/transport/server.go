@@ -1,0 +1,353 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// NodeServer exposes one THEMIS node over TCP. It owns the node runtime,
+// ticks it with a wall-clock timer, routes derived batches to peer nodes,
+// and reports results and accepted-SIC deltas to the controller.
+type NodeServer struct {
+	Name string
+
+	ln      net.Listener
+	mu      sync.Mutex // guards nd, peers, started
+	nd      *node.Node
+	peers   map[peerKey]string
+	started bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	capacity float64
+	seed     int64
+	policy   string
+
+	ctrl  *conn
+	outMu sync.Mutex
+	outs  map[string]*conn // peer address → connection
+
+	epoch time.Time
+	logf  func(format string, args ...any)
+}
+
+type peerKey struct {
+	q stream.QueryID
+	f stream.FragID
+}
+
+// NodeServerConfig parameterises a served node.
+type NodeServerConfig struct {
+	// Name labels the node in stats and logs.
+	Name string
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// CapacityPerSec is the node's processing speed in tuples/sec.
+	CapacityPerSec float64
+	// Policy is "balance-sic" (default) or "random".
+	Policy string
+	// Seed drives shedding randomness.
+	Seed int64
+	// Quiet suppresses logging.
+	Quiet bool
+}
+
+// NewNodeServer starts listening (processing begins on Start).
+func NewNodeServer(cfg NodeServerConfig) (*NodeServer, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &NodeServer{
+		Name:     cfg.Name,
+		ln:       ln,
+		peers:    make(map[peerKey]string),
+		capacity: cfg.CapacityPerSec,
+		seed:     cfg.Seed,
+		policy:   cfg.Policy,
+		outs:     make(map[string]*conn),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		logf:     log.Printf,
+	}
+	if cfg.Quiet {
+		s.logf = func(string, ...any) {}
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *NodeServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *NodeServer) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	err := s.ln.Close()
+	s.outMu.Lock()
+	for _, c := range s.outs {
+		c.Close()
+	}
+	s.outMu.Unlock()
+	return err
+}
+
+func (s *NodeServer) acceptLoop() {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(nc)
+	}
+}
+
+// serveConn handles one inbound connection (controller or peer node).
+func (s *NodeServer) serveConn(nc net.Conn) {
+	defer nc.Close()
+	dec := json.NewDecoder(nc)
+	out := newConn(nc)
+	for {
+		var e Envelope
+		if err := dec.Decode(&e); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("themis-node %s: decode: %v", s.Name, err)
+			}
+			return
+		}
+		switch e.Kind {
+		case KindHello:
+			// Connections are identified per message; nothing to do.
+		case KindDeploy:
+			if err := s.handleDeploy(e.Deploy); err != nil {
+				s.logf("themis-node %s: deploy: %v", s.Name, err)
+			}
+		case KindStart:
+			s.ctrl = out
+			s.handleStart(e.Start)
+		case KindBatch:
+			s.mu.Lock()
+			if s.nd != nil {
+				s.nd.Enqueue(e.Batch.ToBatch(), s.now())
+			}
+			s.mu.Unlock()
+		case KindSIC:
+			s.mu.Lock()
+			if s.nd != nil {
+				s.nd.SetResultSIC(e.SIC.Query, e.SIC.Value)
+			}
+			s.mu.Unlock()
+		case KindStop:
+			s.handleStop(out)
+			return
+		}
+	}
+}
+
+// buildPlan reconstructs a workload plan from its wire descriptor.
+func buildPlan(workload string, fragments, dataset int) (*query.Plan, error) {
+	d := sources.Dataset(dataset)
+	switch workload {
+	case "AVG-all":
+		return query.NewAvgAll(fragments, d), nil
+	case "TOP-5":
+		return query.NewTop5(fragments, d), nil
+	case "COV":
+		return query.NewCov(fragments, d), nil
+	case "AVG":
+		return query.NewAggregate(0, d), nil // operator.AggAvg
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+func (s *NodeServer) handleDeploy(d *Deploy) error {
+	if d == nil {
+		return errors.New("empty deploy")
+	}
+	plan, err := buildPlan(d.Workload, d.Fragments, d.Dataset)
+	if err != nil {
+		return err
+	}
+	if int(d.Frag) >= plan.NumFragments() {
+		return fmt.Errorf("fragment %d out of range", d.Frag)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nd == nil {
+		s.initNode()
+	}
+	fp := plan.Fragments[d.Frag]
+	downstream := stream.FragID(-1)
+	downstreamPort := -1
+	if dn := plan.Downstream[d.Frag]; dn >= 0 {
+		downstream = stream.FragID(dn)
+		downstreamPort = plan.Fragments[dn].UpstreamPort
+	}
+	s.nd.HostFragment(d.Query, d.Frag, query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort)
+	for f, addr := range d.Peers {
+		s.peers[peerKey{d.Query, f}] = addr
+	}
+	rng := rand.New(rand.NewSource(d.SourceSeed))
+	sid := d.FirstSourceID
+	for i, ss := range fp.Sources {
+		gen := ss.NewGen(rand.New(rand.NewSource(rng.Int63())), int(d.Frag)*len(fp.Sources)+i)
+		src := sources.New(sid, d.Query, d.Frag, ss.Port, d.Rate, d.Batches, ss.Arity, gen, rng.Int63())
+		sid++
+		s.nd.AttachSource(src)
+	}
+	return nil
+}
+
+func (s *NodeServer) initNode() {
+	var shedder core.Shedder
+	if s.policy == "random" {
+		shedder = core.NewRandom(s.seed)
+	} else {
+		shedder = core.NewBalanceSIC(s.seed)
+	}
+	s.nd = node.New(0, node.Config{
+		CapacityPerSec: s.capacity,
+		Seed:           s.seed,
+	}, shedder, s)
+}
+
+// now maps wall clock to the node's logical milliseconds.
+func (s *NodeServer) now() stream.Time {
+	if s.epoch.IsZero() {
+		return 0
+	}
+	return stream.Time(time.Since(s.epoch).Milliseconds())
+}
+
+func (s *NodeServer) handleStart(st *Start) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.nd == nil {
+		return
+	}
+	s.started = true
+	interval := 250 * time.Millisecond
+	if st != nil && st.IntervalMs > 0 {
+		interval = time.Duration(st.IntervalMs) * time.Millisecond
+	}
+	s.epoch = time.Now()
+	go s.tickLoop(interval)
+}
+
+func (s *NodeServer) tickLoop(interval time.Duration) {
+	defer close(s.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	last := stream.Time(0)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			now := s.now()
+			// Tick covers [last, now): the node emits its sources over
+			// that span and sheds/processes.
+			s.nd.TickSpan(last, now)
+			last = now
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *NodeServer) handleStop(out *conn) {
+	s.mu.Lock()
+	var stats node.Stats
+	if s.nd != nil {
+		stats = s.nd.Stats()
+	}
+	s.mu.Unlock()
+	out.send(&Envelope{Kind: KindStats, Stats: &StatsMsg{
+		Node:            s.Name,
+		ArrivedTuples:   stats.ArrivedTuples,
+		KeptTuples:      stats.KeptTuples,
+		ShedTuples:      stats.ShedTuples,
+		ShedInvocations: stats.ShedInvocations,
+	}})
+	s.Close()
+}
+
+// peerConn returns (dialling if needed) the connection to a peer address.
+func (s *NodeServer) peerConn(addr string) (*conn, error) {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	if c, ok := s.outs[addr]; ok {
+		return c, nil
+	}
+	c, err := dial(addr, s.Name)
+	if err != nil {
+		return nil, err
+	}
+	s.outs[addr] = c
+	return c, nil
+}
+
+// --- node.Router implementation (wall-clock federation) ---
+
+// RouteDownstream implements node.Router by shipping the batch to the
+// peer hosting the destination fragment.
+func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
+	addr, ok := s.peers[peerKey{b.Query, b.Frag}]
+	if !ok {
+		return
+	}
+	if addr == s.Addr() {
+		// Local fragment: loop straight back into the input buffer.
+		s.nd.Enqueue(b, s.now())
+		return
+	}
+	c, err := s.peerConn(addr)
+	if err != nil {
+		s.logf("themis-node %s: route: %v", s.Name, err)
+		return
+	}
+	if err := c.send(&Envelope{Kind: KindBatch, Batch: FromBatch(b)}); err != nil {
+		s.logf("themis-node %s: send: %v", s.Name, err)
+	}
+}
+
+// DeliverResult implements node.Router by forwarding result SIC mass and
+// tuple counts to the controller.
+func (s *NodeServer) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple) {
+	if s.ctrl == nil {
+		return
+	}
+	var total float64
+	for i := range tuples {
+		total += tuples[i].SIC
+	}
+	s.ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{
+		Query: q, Result: total, Tuples: len(tuples), IsResult: true,
+	}})
+}
+
+// ReportAccepted implements node.Router.
+func (s *NodeServer) ReportAccepted(q stream.QueryID, _ stream.Time, delta float64) {
+	if s.ctrl == nil {
+		return
+	}
+	s.ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{Query: q, Accepted: delta}})
+}

@@ -1,0 +1,108 @@
+// Public API tests: everything an external user of the themis package
+// touches, exercised through the façade only.
+package themis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	themis "repro"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := themis.Defaults()
+	cfg.Duration = 30 * themis.Second
+	cfg.Warmup = 10 * themis.Second
+	engine, node := themis.LocalTestbed(cfg, 1000)
+
+	catalog := themis.DefaultCatalog(themis.Gaussian)
+	plan, err := themis.ParseQuery(`Select Avg(t.v) From Src[Range 1 sec]`, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.DeployQuery(plan, []themis.NodeID{node}, 400); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.DeployQuery(themis.NewCountQuery(themis.Uniform), []themis.NodeID{node}, 800); err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run()
+	if len(res.Queries) != 2 {
+		t.Fatalf("queries: %d", len(res.Queries))
+	}
+	if res.MeanSIC <= 0.3 || res.MeanSIC > 1.05 {
+		t.Errorf("mean SIC %.3f implausible for ~20%% overload", res.MeanSIC)
+	}
+	if res.Jain < 0.8 {
+		t.Errorf("Jain %.3f", res.Jain)
+	}
+}
+
+func TestPublicMultiSiteFlow(t *testing.T) {
+	cfg := themis.Defaults()
+	cfg.Duration = 30 * themis.Second
+	cfg.Warmup = 10 * themis.Second
+	cfg.Policy = themis.BalanceSIC
+	cfg.Burst = &themis.DefaultBurst
+	engine := themis.Emulab(cfg, 4, 2000)
+
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		placement := themis.UniformPlacement(rng, 4, 2)
+		if _, err := engine.DeployQuery(themis.NewTop5Query(2, themis.PlanetLab), placement, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	z := themis.ZipfPlacement(rng, 4, 3, 1.5)
+	if _, err := engine.DeployQuery(themis.NewAvgAllQuery(3, themis.PlanetLab), z, 20); err != nil {
+		t.Fatal(err)
+	}
+
+	var feedback int
+	engine.OnResult(0, func(now themis.Time, tuples []themis.Tuple) { feedback += len(tuples) })
+
+	res := engine.Run()
+	if len(res.Queries) != 5 {
+		t.Fatalf("queries: %d", len(res.Queries))
+	}
+	if feedback == 0 {
+		t.Error("no user feedback delivered")
+	}
+	if res.Jain < 0.6 {
+		t.Errorf("Jain %.3f", res.Jain)
+	}
+}
+
+func TestPublicJainIndex(t *testing.T) {
+	if got := themis.JainIndex([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("JainIndex: %g", got)
+	}
+}
+
+func TestPublicQueryBuilders(t *testing.T) {
+	plans := []*themis.Plan{
+		themis.NewAvgQuery(themis.Gaussian),
+		themis.NewMaxQuery(themis.Exponential),
+		themis.NewCountQuery(themis.Mixed),
+		themis.NewAvgAllQuery(2, themis.Uniform),
+		themis.NewTop5Query(3, themis.PlanetLab),
+		themis.NewCovQuery(2, themis.PlanetLab),
+	}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Type, err)
+		}
+	}
+}
+
+func TestPublicParseErrors(t *testing.T) {
+	if _, err := themis.ParseQuery("not cql", themis.DefaultCatalog(themis.Gaussian)); err == nil {
+		t.Error("garbage accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseQuery should panic")
+		}
+	}()
+	themis.MustParseQuery("still not cql", themis.DefaultCatalog(themis.Gaussian))
+}

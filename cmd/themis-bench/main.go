@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "root random seed")
 	run := flag.String("run", "all", "comma-separated experiment list or 'all'")
 	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
+	stepBench := flag.String("stepbench", "", "measure Engine.Step across worker counts and write the JSON comparison to this file")
 	flag.Parse()
+
+	if *stepBench != "" {
+		r := experiments.StepBench([]int{1, 2, 4, 8}, 200)
+		fmt.Println(r.Render())
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*stepBench, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: stepbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var csv *experiments.CSVWriter
 	if *csvDir != "" {

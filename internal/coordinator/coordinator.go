@@ -81,6 +81,22 @@ func (c *Coordinator) ReportAccepted(t stream.Time, delta float64) {
 	c.accepted.Add(t, delta)
 }
 
+// ReportAcceptedBatch records one exchange round's accepted-SIC deltas
+// (gathered across nodes in a fixed order) with a single accumulator
+// update, touching the sliding accumulator once per tick instead of once
+// per node. When the batch is the target bucket's first contribution —
+// true for the engine, which reports each tick's deltas in one call and
+// slides one bucket per tick — the left-to-right sum is bit-identical to
+// reporting each delta individually; if the bucket already holds mass,
+// batching regroups the float additions and may differ in the last ULPs.
+func (c *Coordinator) ReportAcceptedBatch(t stream.Time, deltas []float64) {
+	var sum float64
+	for _, d := range deltas {
+		sum += d
+	}
+	c.accepted.Add(t, sum)
+}
+
 // ReportResult records SIC that reached the root fragment's result stream.
 func (c *Coordinator) ReportResult(t stream.Time, delta float64) {
 	c.measured.Add(t, delta)

@@ -43,15 +43,21 @@ func Ablation(scale Scale, seed int64) *AblationResult {
 		return FairnessRow{Label: label, MeanSIC: r.MeanSIC, Jain: r.Jain, StdSIC: r.StdSIC}
 	}
 
-	res := &AblationResult{}
-	res.Rows = append(res.Rows,
-		run("full BALANCE-SIC", func(*federation.Config) {}),
-		run("no updateSIC (Fig 4 top)", func(c *federation.Config) { c.DisableUpdates = true }),
-		run("no local projection", func(c *federation.Config) { c.DisableProjection = true }),
-		run("acceptance-mode updates", func(c *federation.Config) { c.UpdateMode = coordinator.Acceptance }),
-		run("no max(x_SIC) rule", func(c *federation.Config) { c.DisableMaxSIC = true }),
-		run("random shedding", func(c *federation.Config) { c.Policy = federation.PolicyRandom }),
-	)
+	variants := []struct {
+		label  string
+		mutate func(*federation.Config)
+	}{
+		{"full BALANCE-SIC", func(*federation.Config) {}},
+		{"no updateSIC (Fig 4 top)", func(c *federation.Config) { c.DisableUpdates = true }},
+		{"no local projection", func(c *federation.Config) { c.DisableProjection = true }},
+		{"acceptance-mode updates", func(c *federation.Config) { c.UpdateMode = coordinator.Acceptance }},
+		{"no max(x_SIC) rule", func(c *federation.Config) { c.DisableMaxSIC = true }},
+		{"random shedding", func(c *federation.Config) { c.Policy = federation.PolicyRandom }},
+	}
+	res := &AblationResult{Rows: make([]FairnessRow, len(variants))}
+	forEach(len(variants), func(i int) {
+		res.Rows[i] = run(variants[i].label, variants[i].mutate)
+	})
 	return res
 }
 

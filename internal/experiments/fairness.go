@@ -77,7 +77,9 @@ func Fig8(scale Scale, seed int64) *FairnessResult {
 	counts := []int{30, 60, 90, 120, 150, 180, 210, 240, 270, 300, 330}
 	base := scale.queries(30)
 	capacity := capacityFor(base, scale.Rate, 1, 0.95)
-	for _, paperN := range counts {
+	res.Rows = make([]FairnessRow, len(counts))
+	forEach(len(counts), func(i int) {
+		paperN := counts[i]
 		n := scale.queries(paperN)
 		cfg := scale.baseConfig(seed)
 		e := federation.NewEngine(cfg)
@@ -88,13 +90,13 @@ func Fig8(scale Scale, seed int64) *FairnessResult {
 			panic(err)
 		}
 		r := e.Run()
-		res.Rows = append(res.Rows, FairnessRow{
+		res.Rows[i] = FairnessRow{
 			Label:   fmt.Sprint(paperN),
 			MeanSIC: r.MeanSIC,
 			Jain:    r.Jain,
 			StdSIC:  r.StdSIC,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -108,8 +110,17 @@ func Fig9(scale Scale, seed int64) *FairnessResult {
 	}
 	const nodes = 6
 	n := scale.queries(200)
+	intervals := []int{25, 50, 100, 150, 200, 250}
+	// Pre-draw the per-interval placement seeds so the parallel sweep
+	// consumes the shared rng in the same order as the sequential loop.
 	rng := rand.New(rand.NewSource(seed))
-	for _, ivalMs := range []int{25, 50, 100, 150, 200, 250} {
+	placeSeeds := make([]int64, len(intervals))
+	for i := range placeSeeds {
+		placeSeeds[i] = rng.Int63()
+	}
+	res.Rows = make([]FairnessRow, len(intervals))
+	forEach(len(intervals), func(i int) {
+		ivalMs := intervals[i]
 		cfg := scale.baseConfig(seed)
 		cfg.Interval = stream.Duration(ivalMs) * stream.Millisecond
 		e := federation.NewEngine(cfg)
@@ -119,18 +130,18 @@ func Fig9(scale Scale, seed int64) *FairnessResult {
 			total += frags(i)
 		}
 		e.AddNodes(nodes, capacityFor(total, scale.Rate, nodes, 0.4))
-		place := uniformPlacer(rand.New(rand.NewSource(rng.Int63())), nodes)
+		place := uniformPlacer(rand.New(rand.NewSource(placeSeeds[i])), nodes)
 		if _, err := mixedDeployment(e, n, frags, place, sources.PlanetLab); err != nil {
 			panic(err)
 		}
 		r := e.Run()
-		res.Rows = append(res.Rows, FairnessRow{
+		res.Rows[i] = FairnessRow{
 			Label:   fmt.Sprint(ivalMs),
 			MeanSIC: r.MeanSIC,
 			Jain:    r.Jain,
 			StdSIC:  r.StdSIC,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -165,7 +176,9 @@ func Fig10(scale Scale, seed int64) *Fig10Result {
 		{"6", func(int) int { return 6 }, 6},
 		{"mixed", func(i int) int { return 1 + i%6 }, 3.5},
 	}
-	for _, c := range configs {
+	res.Rows = make([]Fig10Row, len(configs))
+	forEach(len(configs), func(ci int) {
+		c := configs[ci]
 		n := int(float64(totalFrags)/c.per + 0.5)
 		runPolicy := func(pol federation.Policy) FairnessRow {
 			cfg := scale.baseConfig(seed)
@@ -178,12 +191,12 @@ func Fig10(scale Scale, seed int64) *Fig10Result {
 			r := e.Run()
 			return FairnessRow{Label: c.label, MeanSIC: r.MeanSIC, Jain: r.Jain, StdSIC: r.StdSIC}
 		}
-		res.Rows = append(res.Rows, Fig10Row{
+		res.Rows[ci] = Fig10Row{
 			Fragments: c.label,
 			Balance:   runPolicy(federation.PolicyBalanceSIC),
 			Random:    runPolicy(federation.PolicyRandom),
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -222,7 +235,10 @@ func Fig11(scale Scale, seed int64) *FairnessResult {
 	}
 	const nodes = 10
 	totalFrags := scale.queries(2000)
-	for _, ratio := range []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0} {
+	ratios := []float64{0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	res.Rows = make([]FairnessRow, len(ratios))
+	forEach(len(ratios), func(ri int) {
+		ratio := ratios[ri]
 		// q queries, fraction ratio with 3 fragments: q(3r + (1-r)) = total.
 		q := int(float64(totalFrags)/(3*ratio+(1-ratio)) + 0.5)
 		threshold := int(float64(q)*ratio + 0.5)
@@ -242,13 +258,13 @@ func Fig11(scale Scale, seed int64) *FairnessResult {
 			panic(err)
 		}
 		r := e.Run()
-		res.Rows = append(res.Rows, FairnessRow{
+		res.Rows[ri] = FairnessRow{
 			Label:   fmt.Sprintf("%.1f", ratio),
 			MeanSIC: r.MeanSIC,
 			Jain:    r.Jain,
 			StdSIC:  r.StdSIC,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -269,7 +285,10 @@ func Fig12(scale Scale, seed int64) *FairnessResult {
 	// Capacity is per node and fixed: more nodes = more total capacity,
 	// which is exactly the effect the figure shows.
 	perNode := capacityFor(total, scale.Rate, 18, 0.35)
-	for _, nodes := range []int{9, 12, 18, 24} {
+	nodeCounts := []int{9, 12, 18, 24}
+	res.Rows = make([]FairnessRow, len(nodeCounts))
+	forEach(len(nodeCounts), func(i int) {
+		nodes := nodeCounts[i]
 		cfg := scale.baseConfig(seed)
 		e := federation.Emulab(cfg, nodes, perNode)
 		place := zipfPlacer(rand.New(rand.NewSource(seed+29)), nodes, 1.05)
@@ -277,13 +296,13 @@ func Fig12(scale Scale, seed int64) *FairnessResult {
 			panic(err)
 		}
 		r := e.Run()
-		res.Rows = append(res.Rows, FairnessRow{
+		res.Rows[i] = FairnessRow{
 			Label:   fmt.Sprint(nodes),
 			MeanSIC: r.MeanSIC,
 			Jain:    r.Jain,
 			StdSIC:  r.StdSIC,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -304,7 +323,10 @@ func Fig13(scale Scale, seed int64) *FairnessResult {
 		midTotal += frags(i)
 	}
 	perNode := capacityFor(midTotal, scale.Rate, nodes, 0.35)
-	for _, paperN := range []int{180, 300, 420, 540, 660, 780, 900} {
+	counts := []int{180, 300, 420, 540, 660, 780, 900}
+	res.Rows = make([]FairnessRow, len(counts))
+	forEach(len(counts), func(i int) {
+		paperN := counts[i]
 		n := scale.queries(paperN)
 		cfg := scale.baseConfig(seed)
 		e := federation.Emulab(cfg, nodes, perNode)
@@ -313,13 +335,13 @@ func Fig13(scale Scale, seed int64) *FairnessResult {
 			panic(err)
 		}
 		r := e.Run()
-		res.Rows = append(res.Rows, FairnessRow{
+		res.Rows[i] = FairnessRow{
 			Label:   fmt.Sprint(paperN),
 			MeanSIC: r.MeanSIC,
 			Jain:    r.Jain,
 			StdSIC:  r.StdSIC,
-		})
-	}
+		}
+	})
 	return res
 }
 
@@ -344,35 +366,45 @@ func Fig14(scale Scale, seed int64) *FairnessResult {
 		{"LAN bursty", 5 * stream.Millisecond, &sources.DefaultBurst},
 		{"FSPS bursty", 50 * stream.Millisecond, &sources.DefaultBurst},
 	}
+	type job struct {
+		d      deploy
+		paperN int
+	}
+	var jobs []job
 	for _, d := range deployments {
 		for _, paperN := range []int{20, 40} {
-			n := scale.queries(paperN)
-			cfg := scale.baseConfig(seed)
-			cfg.Latency = d.latency
-			cfg.Burst = d.burst
-			total := 2 * n
-			// Bursty sources offer 0.9 + 0.1×10 = 1.9× the steady volume;
-			// provision capacity against offered load so the four
-			// deployments are compared at equal relative overload and the
-			// figure isolates the effect of variance and latency, as the
-			// paper's comparison does.
-			rate := scale.Rate
-			if d.burst != nil {
-				rate *= (1 - d.burst.Prob) + d.burst.Prob*d.burst.Factor
-			}
-			e := federation.Emulab(cfg, nodes, capacityFor(total, rate, nodes, 0.4))
-			place := uniformPlacer(rand.New(rand.NewSource(seed+37)), nodes)
-			if _, err := mixedDeployment(e, n, func(int) int { return 2 }, place, sources.PlanetLab); err != nil {
-				panic(err)
-			}
-			r := e.Run()
-			res.Rows = append(res.Rows, FairnessRow{
-				Label:   fmt.Sprintf("%s/%dq", d.name, paperN),
-				MeanSIC: r.MeanSIC,
-				Jain:    r.Jain,
-				StdSIC:  r.StdSIC,
-			})
+			jobs = append(jobs, job{d, paperN})
 		}
 	}
+	res.Rows = make([]FairnessRow, len(jobs))
+	forEach(len(jobs), func(ji int) {
+		d, paperN := jobs[ji].d, jobs[ji].paperN
+		n := scale.queries(paperN)
+		cfg := scale.baseConfig(seed)
+		cfg.Latency = d.latency
+		cfg.Burst = d.burst
+		total := 2 * n
+		// Bursty sources offer 0.9 + 0.1×10 = 1.9× the steady volume;
+		// provision capacity against offered load so the four
+		// deployments are compared at equal relative overload and the
+		// figure isolates the effect of variance and latency, as the
+		// paper's comparison does.
+		rate := scale.Rate
+		if d.burst != nil {
+			rate *= (1 - d.burst.Prob) + d.burst.Prob*d.burst.Factor
+		}
+		e := federation.Emulab(cfg, nodes, capacityFor(total, rate, nodes, 0.4))
+		place := uniformPlacer(rand.New(rand.NewSource(seed+37)), nodes)
+		if _, err := mixedDeployment(e, n, func(int) int { return 2 }, place, sources.PlanetLab); err != nil {
+			panic(err)
+		}
+		r := e.Run()
+		res.Rows[ji] = FairnessRow{
+			Label:   fmt.Sprintf("%s/%dq", d.name, paperN),
+			MeanSIC: r.MeanSIC,
+			Jain:    r.Jain,
+			StdSIC:  r.StdSIC,
+		}
+	})
 	return res
 }

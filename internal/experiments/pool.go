@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/parallel"
+)
+
+// sweepWorkers is the experiment-level parallelism budget, shared by
+// every sweep in this package. The fairness and correlation experiments
+// run many independent engine instances (one per x-axis point, policy or
+// dataset); spending the core budget across those whole runs beats
+// parallelising inside each small engine, so sweep engines are configured
+// with Workers=1 and the sweeps fan out up to GOMAXPROCS runs at a time.
+var sweepWorkers = runtime.GOMAXPROCS(0)
+
+// forEach runs fn(0), …, fn(n-1) on up to sweepWorkers goroutines and
+// waits for all of them. Iterations must be independent: callers pre-draw
+// any shared random values and write into index i of an output slice, so
+// sweep output is identical to the sequential loop regardless of
+// scheduling. Panics (e.g. a failed deployment) propagate to the caller.
+func forEach(n int, fn func(i int)) {
+	parallel.ForEach(n, sweepWorkers, fn)
+}

@@ -35,6 +35,9 @@ func Sec76(scale Scale, seed int64) *Sec76Result {
 
 	run := func(pol federation.Policy) (nsPerBatch float64, msgs, traffic int64) {
 		cfg := scale.baseConfig(seed)
+		// Deliberately sequential (Workers=1 from baseConfig, no forEach):
+		// SelectNanos is a wall-clock measurement and concurrent runs would
+		// add scheduler noise to the §7.6 overhead comparison.
 		cfg.Policy = pol
 		e := federation.Emulab(cfg, nodes, capacityFor(totalFrags, scale.Rate, nodes, 0.35))
 		place := uniformPlacer(rand.New(rand.NewSource(seed+43)), nodes)

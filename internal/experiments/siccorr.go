@@ -103,6 +103,7 @@ func runCorr(spec corrSpec, d sources.Dataset, scale Scale, seed int64) []CorrPo
 			cfg.Warmup = scale.Warmup
 			cfg.Policy = policy
 			cfg.Seed = seed
+			cfg.Workers = 1 // the sweep itself is parallel (see forEach)
 			cfg.SourceRate = spec.rate
 			cfg.BatchesPerSec = 5
 			e, nd := federation.LocalTestbed(cfg, cap)
@@ -276,8 +277,8 @@ func Fig7(scale Scale, seed int64) []*CorrResult {
 }
 
 func corrResults(specs []corrSpec, scale Scale, seed int64) []*CorrResult {
-	out := make([]*CorrResult, 0, len(specs))
-	for _, spec := range specs {
+	out := make([]*CorrResult, len(specs))
+	for si, spec := range specs {
 		r := &CorrResult{QueryType: spec.name}
 		switch spec.metric {
 		case errKendall:
@@ -287,16 +288,28 @@ func corrResults(specs []corrSpec, scale Scale, seed int64) []*CorrResult {
 		default:
 			r.Metric = "mean absolute error"
 		}
-		for _, d := range sources.AllDatasets {
-			pts := runCorr(spec, d, scale, seed)
-			r.Series = append(r.Series, CorrSeries{
-				Dataset:  d.String(),
-				Points:   pts,
-				Bucketed: bucketise(pts),
-			})
-		}
-		out = append(out, r)
+		r.Series = make([]CorrSeries, len(sources.AllDatasets))
+		out[si] = r
 	}
+	// Every (query type, dataset) cell is an independent degraded/perfect
+	// run pair; sweep the cells concurrently under the shared budget.
+	type cell struct{ si, di int }
+	cells := make([]cell, 0, len(specs)*len(sources.AllDatasets))
+	for si := range specs {
+		for di := range sources.AllDatasets {
+			cells = append(cells, cell{si, di})
+		}
+	}
+	forEach(len(cells), func(k int) {
+		c := cells[k]
+		d := sources.AllDatasets[c.di]
+		pts := runCorr(specs[c.si], d, scale, seed)
+		out[c.si].Series[c.di] = CorrSeries{
+			Dataset:  d.String(),
+			Points:   pts,
+			Bucketed: bucketise(pts),
+		}
+	})
 	return out
 }
 

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/query"
+	"repro/internal/sources"
+)
+
+// StepBenchRow is one worker count's measurement.
+type StepBenchRow struct {
+	Workers   int     `json:"workers"`
+	NsPerStep float64 `json:"ns_per_step"`
+	// Speedup is relative to the first (sequential) row.
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// StepBenchResult records a baseline-vs-parallel comparison of the
+// two-phase Engine.Step, the perf trajectory subsequent changes are
+// measured against (see BENCH_step.json).
+type StepBenchResult struct {
+	Nodes      int            `json:"nodes"`
+	Queries    int            `json:"queries"`
+	Ticks      int            `json:"ticks"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Rows       []StepBenchRow `json:"rows"`
+}
+
+// StepBenchNodes and StepBenchQueries fix the benchmark deployment shape
+// shared by StepBench and BenchmarkStepParallel.
+const (
+	StepBenchNodes   = 24
+	StepBenchQueries = 48
+)
+
+// NewStepBenchEngine builds the canonical step-benchmark deployment — a
+// 24-node Emulab-style federation running 48 mixed complex queries of
+// 1-3 fragments — primed past warm-up into steady state, with the given
+// compute-phase worker count. Both StepBench and the repo-level
+// BenchmarkStepParallel measure this engine so their numbers are
+// comparable.
+func NewStepBenchEngine(workers int) *federation.Engine {
+	cfg := federation.Defaults()
+	cfg.Workers = workers
+	cfg.Seed = 7
+	e := federation.Emulab(cfg, StepBenchNodes, 2000)
+	next := 0
+	for i := 0; i < StepBenchQueries; i++ {
+		k := 1 + i%3
+		plan := query.MixedComplex(i, k, sources.PlanetLab)
+		if _, err := e.DeployQuery(plan, federation.RoundRobinPlacement(&next, StepBenchNodes, k), 0); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 40; i++ { // prime past warm-up into steady state
+		e.Step()
+	}
+	return e
+}
+
+// StepBench measures steady-state Engine.Step wall time across worker
+// counts on the NewStepBenchEngine deployment. Every configuration
+// computes bit-identical results (see
+// TestDeterministicAcrossWorkerCounts); only the wall time differs.
+func StepBench(workers []int, ticks int) *StepBenchResult {
+	res := &StepBenchResult{
+		Nodes: StepBenchNodes, Queries: StepBenchQueries, Ticks: ticks,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	var baseline float64
+	for _, w := range workers {
+		e := NewStepBenchEngine(w)
+		start := time.Now()
+		for i := 0; i < ticks; i++ {
+			e.Step()
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(ticks)
+		row := StepBenchRow{Workers: w, NsPerStep: ns}
+		if baseline == 0 {
+			baseline = ns
+		}
+		if ns > 0 {
+			row.Speedup = baseline / ns
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the comparison as a text table.
+func (r *StepBenchResult) Render() string {
+	header := []string{"workers", "ms/step", "speedup"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.Workers),
+			fmt.Sprintf("%.3f", row.NsPerStep/1e6),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Engine.Step: %d nodes, %d queries, %d ticks (GOMAXPROCS=%d)\n",
+		r.Nodes, r.Queries, r.Ticks, r.GOMAXPROCS)
+	b.WriteString(table(header, rows))
+	return b.String()
+}

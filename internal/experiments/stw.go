@@ -36,7 +36,9 @@ func STW(scale Scale, seed int64) *STWValidation {
 		durations = []stream.Duration{30 * stream.Second, 45 * stream.Second}
 	}
 	res := &STWValidation{}
-	for i, stw := range stws {
+	res.Rows = make([]STWRow, len(stws))
+	forEach(len(stws), func(i int) {
+		stw := stws[i]
 		cfg := scale.baseConfig(seed)
 		cfg.STW = stw
 		cfg.Duration = durations[i]
@@ -55,8 +57,8 @@ func STW(scale Scale, seed int64) *STWValidation {
 		for j, qr := range r.Queries {
 			per[j] = qr.MeanSIC
 		}
-		res.Rows = append(res.Rows, STWRow{STW: stw, MeanSIC: metrics.Mean(per), StdSIC: metrics.Std(per)})
-	}
+		res.Rows[i] = STWRow{STW: stw, MeanSIC: metrics.Mean(per), StdSIC: metrics.Std(per)}
+	})
 	return res
 }
 

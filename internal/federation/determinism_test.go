@@ -1,0 +1,130 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// detConfig is a deployment big enough to exercise multi-node routing,
+// shedding and coordinator feedback, small enough to run in milliseconds.
+func detConfig(policy Policy, workers int) Config {
+	cfg := Defaults()
+	cfg.Duration = 12 * stream.Second
+	cfg.Warmup = 4 * stream.Second
+	cfg.SourceRate = 20
+	cfg.Policy = policy
+	cfg.KeepSamples = true
+	cfg.Workers = workers
+	cfg.Seed = 42
+	return cfg
+}
+
+// detRun builds a 16-node deployment with 24 mixed queries of 1-3
+// fragments and runs it to completion.
+func detRun(t *testing.T, cfg Config) *Results {
+	t.Helper()
+	const nodes = 16
+	e := Emulab(cfg, nodes, 400)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 24; i++ {
+		k := 1 + i%3
+		plan := query.MixedComplex(i, k, sources.PlanetLab)
+		if _, err := e.DeployQuery(plan, UniformPlacement(rng, nodes, k), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e.Run()
+}
+
+// normalize zeroes the wall-clock timing fields, the only parts of
+// Results that legitimately differ between runs.
+func normalize(r *Results) *Results {
+	r.SelectNanosPerInvocation = 0
+	for i := range r.Nodes {
+		r.Nodes[i].SelectNanos = 0
+	}
+	return r
+}
+
+// TestDeterministicAcrossRuns verifies that a fixed seed produces
+// identical Results — per-query mean SIC and samples, fairness metrics,
+// node shedding counters, coordinator traffic — on repeated runs, for
+// every policy.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	for _, pol := range []Policy{PolicyBalanceSIC, PolicyRandom, PolicyKeepAll} {
+		t.Run(pol.String(), func(t *testing.T) {
+			a := normalize(detRun(t, detConfig(pol, 1)))
+			b := normalize(detRun(t, detConfig(pol, 1)))
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("two sequential runs with seed %d differ:\n%+v\nvs\n%+v", detConfig(pol, 1).Seed, a, b)
+			}
+		})
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts verifies the tentpole guarantee:
+// the parallel compute phase produces bit-identical Results to the
+// sequential one, for every policy and several worker counts.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	for _, pol := range []Policy{PolicyBalanceSIC, PolicyRandom, PolicyKeepAll} {
+		t.Run(pol.String(), func(t *testing.T) {
+			seq := normalize(detRun(t, detConfig(pol, 1)))
+			for _, w := range []int{2, 8, runtime.GOMAXPROCS(0)} {
+				par := normalize(detRun(t, detConfig(pol, w)))
+				if !reflect.DeepEqual(seq, par) {
+					t.Errorf("Workers=%d diverges from Workers=1:\n%+v\nvs\n%+v", w, par, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestStepEquivalentToRun guards the two-phase Step against drift: calling
+// Step tick by tick must equal one Run.
+func TestStepEquivalentToRun(t *testing.T) {
+	cfg := detConfig(PolicyBalanceSIC, 4)
+	build := func() *Engine {
+		e := Emulab(cfg, 4, 400)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 6; i++ {
+			k := 1 + i%2
+			plan := query.MixedComplex(i, k, sources.PlanetLab)
+			if _, err := e.DeployQuery(plan, UniformPlacement(rng, 4, k), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	a := build()
+	ra := normalize(a.Run())
+	b := build()
+	ticks := int64(cfg.Duration) / int64(cfg.Interval)
+	for i := int64(0); i < ticks; i++ {
+		b.Step()
+	}
+	rb := normalize(b.Results())
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("Step-by-step execution diverges from Run")
+	}
+}
+
+func ExampleConfig_workers() {
+	cfg := Defaults()
+	cfg.Duration = 2 * stream.Second
+	cfg.Workers = 4 // 0 defaults to GOMAXPROCS
+	e := Emulab(cfg, 4, 1000)
+	plan := query.NewCov(2, sources.Uniform)
+	if _, err := e.DeployQuery(plan, []stream.NodeID{0, 1}, 0); err != nil {
+		panic(err)
+	}
+	res := e.Run()
+	fmt.Println(len(res.Queries))
+	// Output: 1
+}

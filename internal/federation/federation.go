@@ -18,11 +18,13 @@ package federation
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/coordinator"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/node"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/sic"
 	"repro/internal/sources"
@@ -94,6 +96,13 @@ type Config struct {
 	// KeepSamples retains the per-tick SIC time series of every query in
 	// the results (costs memory on large runs).
 	KeepSamples bool
+	// Workers bounds the goroutines ticking nodes concurrently during the
+	// compute phase of each Step. Zero or negative defaults to
+	// runtime.GOMAXPROCS(0); 1 forces sequential execution. Results are
+	// bit-identical for every worker count under a fixed Seed: nodes tick
+	// against private state and their effects are applied in node-ID order
+	// during the exchange phase.
+	Workers int
 	// Seed drives all randomness in the deployment.
 	Seed int64
 }
@@ -157,6 +166,11 @@ type Engine struct {
 	inTransit map[int64][]delivery
 	updates   map[int64][]sicUpdate
 
+	// accBatch gathers each query's accepted-SIC deltas (in node order)
+	// during the exchange phase for one batched coordinator update per
+	// query per tick; slices are reused across ticks.
+	accBatch map[stream.QueryID][]float64
+
 	nextQuery  stream.QueryID
 	nextSource stream.SourceID
 }
@@ -185,6 +199,7 @@ func NewEngine(cfg Config) *Engine {
 		queries:   make(map[stream.QueryID]*queryRT),
 		inTransit: make(map[int64][]delivery),
 		updates:   make(map[int64][]sicUpdate),
+		accBatch:  make(map[stream.QueryID][]float64),
 	}
 }
 
@@ -221,7 +236,7 @@ func (e *Engine) AddNode(capacityPerSec float64) stream.NodeID {
 		CapacityPerSec: capacityPerSec,
 		CostNoise:      e.cfg.CostNoise,
 		Seed:           e.rng.Int63(),
-	}, e.newShedder(), e)
+	}, e.newShedder())
 	e.nodes = append(e.nodes, n)
 	return id
 }
@@ -335,7 +350,7 @@ func (e *Engine) OnResult(q stream.QueryID, fn func(now stream.Time, tuples []st
 	e.queries[q].resultFn = fn
 }
 
-// --- node.Router implementation ---
+// --- exchange-phase effect application ---
 
 // latencyTicks converts the link latency into a delivery delay in ticks:
 // a batch emitted at the end of tick k is available at the destination
@@ -344,8 +359,9 @@ func (e *Engine) latencyTicks() int64 {
 	return 1 + int64(e.cfg.Latency)/int64(e.cfg.Interval)
 }
 
-// RouteDownstream implements node.Router.
-func (e *Engine) RouteDownstream(from stream.NodeID, b *stream.Batch) {
+// routeDownstream schedules a derived batch for delivery to the node
+// hosting the destination fragment.
+func (e *Engine) routeDownstream(from stream.NodeID, b *stream.Batch) {
 	rt, ok := e.queries[b.Query]
 	if !ok || rt.removed || int(b.Frag) >= len(rt.placement) {
 		return
@@ -359,8 +375,9 @@ func (e *Engine) RouteDownstream(from stream.NodeID, b *stream.Batch) {
 	e.inTransit[at] = append(e.inTransit[at], delivery{to: dest, b: b})
 }
 
-// DeliverResult implements node.Router.
-func (e *Engine) DeliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple) {
+// deliverResult accumulates result SIC reaching a root fragment and feeds
+// the query's coordinator and user callback.
+func (e *Engine) deliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple) {
 	rt, ok := e.queries[q]
 	if !ok || rt.removed {
 		return
@@ -378,16 +395,65 @@ func (e *Engine) DeliverResult(q stream.QueryID, now stream.Time, tuples []strea
 	}
 }
 
-// ReportAccepted implements node.Router.
-func (e *Engine) ReportAccepted(q stream.QueryID, now stream.Time, delta float64) {
-	if c, ok := e.coords[q]; ok {
-		c.ReportAccepted(now, delta)
+// --- run loop ---
+
+// workerCount resolves Config.Workers against GOMAXPROCS and the node
+// count.
+func (e *Engine) workerCount() int {
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(e.nodes) {
+		w = len(e.nodes)
+	}
+	return w
+}
+
+// computePhase runs every node's Tick for the interval starting at t.
+// Nodes touch only their own state during Tick — effects land in per-node
+// outboxes — so the ticks run concurrently on a bounded worker pool.
+// Completion order is irrelevant because the exchange phase drains
+// outboxes in node-ID order.
+func (e *Engine) computePhase(t stream.Time) {
+	parallel.ForEach(len(e.nodes), e.workerCount(), func(i int) {
+		e.nodes[i].Tick(t)
+	})
+}
+
+// exchangePhase drains every node's outbox in node-ID order: derived
+// batches enter the in-transit schedule, root results reach accumulators,
+// coordinators and callbacks, and accepted-SIC deltas are applied to each
+// coordinator as one batched update. The fixed drain order makes a
+// parallel compute phase bit-identical to a sequential one.
+func (e *Engine) exchangePhase(now stream.Time) {
+	for _, n := range e.nodes {
+		out := n.TakeOutbox()
+		for _, a := range out.Accepted {
+			e.accBatch[a.Query] = append(e.accBatch[a.Query], a.Delta)
+		}
+		for _, r := range out.Results {
+			e.deliverResult(r.Query, r.Now, r.Tuples)
+		}
+		for _, b := range out.Downstream {
+			e.routeDownstream(n.ID(), b)
+		}
+	}
+	for _, qid := range e.order {
+		deltas := e.accBatch[qid]
+		if len(deltas) == 0 {
+			continue
+		}
+		if c, ok := e.coords[qid]; ok {
+			c.ReportAcceptedBatch(now, deltas)
+		}
+		e.accBatch[qid] = deltas[:0]
 	}
 }
 
-// --- run loop ---
-
-// Step advances the federation by one shedding interval.
+// Step advances the federation by one shedding interval in two phases:
+// compute (all nodes tick concurrently against private state) and
+// exchange (their effects are applied in deterministic node-ID order).
 func (e *Engine) Step() {
 	t := stream.Time(e.tick * int64(e.cfg.Interval))
 	// Deliver in-transit batches and coordinator updates due this tick.
@@ -400,10 +466,9 @@ func (e *Engine) Step() {
 	}
 	delete(e.updates, e.tick)
 
-	for _, n := range e.nodes {
-		n.Tick(t)
-	}
+	e.computePhase(t)
 	now := t.Add(e.cfg.Interval)
+	e.exchangePhase(now)
 
 	// Coordinators broadcast updated result SIC values to all fragment
 	// hosts; updates arrive after the link latency (§6: "sent at regular

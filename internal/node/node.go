@@ -4,14 +4,18 @@
 // the node's hosted query fragments.
 //
 // The node is deliberately unaware of the rest of the federation: it
-// receives batches, coordinator updates and a clock, and it emits derived
-// batches through a Router. Both the in-process federation simulator and
-// the TCP transport drive nodes through this same interface, so the
-// shedding code under test is the code a real deployment runs.
+// receives batches, coordinator updates and a clock, and it writes its
+// effects — derived batches, root results, accepted-SIC deltas — into a
+// per-node Outbox. Both the in-process federation simulator and the TCP
+// transport drive nodes through this same interface, so the shedding code
+// under test is the code a real deployment runs. Because a ticking node
+// touches only its own state, drivers may tick many nodes concurrently
+// and drain their outboxes afterwards in a deterministic order.
 package node
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -21,8 +25,10 @@ import (
 	"repro/internal/stream"
 )
 
-// Router is the node's outbound interface, implemented by the federation
-// engine (in-process simulation) or the TCP transport.
+// Router consumes a node's outbound effects. Since the outbox refactor it
+// is no longer called during Tick: drivers drain the node's Outbox after
+// ticking, either directly (federation engine) or via Outbox.Replay (TCP
+// transport, tests).
 type Router interface {
 	// RouteDownstream ships a derived batch towards the node hosting the
 	// destination fragment.
@@ -93,7 +99,6 @@ type Node struct {
 	id      stream.NodeID
 	cfg     Config
 	shedder core.Shedder
-	router  Router
 	cost    *core.CostModel
 	rng     *rand.Rand
 
@@ -111,11 +116,23 @@ type Node struct {
 	// knownSIC holds the latest coordinator updates per hosted query.
 	knownSIC map[stream.QueryID]float64
 
+	// out and spare double-buffer the tick effects: Tick fills out,
+	// TakeOutbox hands it to the driver and recycles the previously
+	// drained buffer's storage.
+	out   *Outbox
+	spare *Outbox
+
+	// keepMark, keptBuf and qbuf are scratch buffers reused across
+	// shedding rounds (the per-tick hot path).
+	keepMark []bool
+	keptBuf  []*stream.Batch
+	qbuf     []stream.QueryID
+
 	stats Stats
 }
 
 // New builds a node.
-func New(id stream.NodeID, cfg Config, shedder core.Shedder, router Router) *Node {
+func New(id stream.NodeID, cfg Config, shedder core.Shedder) *Node {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 250 * stream.Millisecond
 	}
@@ -139,14 +156,27 @@ func New(id stream.NodeID, cfg Config, shedder core.Shedder, router Router) *Nod
 		id:       id,
 		cfg:      cfg,
 		shedder:  shedder,
-		router:   router,
 		cost:     core.NewCostModel(initial),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		frags:    make(map[fragKey]*fragInstance),
 		rateEst:  make(map[stream.SourceID]*sic.RateEstimator),
 		srcQuery: make(map[stream.SourceID]fragKey),
 		knownSIC: make(map[stream.QueryID]float64),
+		out:      &Outbox{},
+		spare:    &Outbox{},
 	}
+}
+
+// TakeOutbox returns the effects accumulated by ticks since the last
+// TakeOutbox and installs a fresh outbox, recycling the storage of the
+// buffer drained before that. The returned outbox is valid only until
+// the next TakeOutbox call, which resets it for reuse.
+func (n *Node) TakeOutbox() *Outbox {
+	o := n.out
+	n.out = n.spare
+	n.out.Reset()
+	n.spare = o
+	return o
 }
 
 // ID returns the node id.
@@ -381,18 +411,25 @@ func (n *Node) TickSpan(from, to stream.Time) {
 		start := time.Now()
 		keepIdx := n.shedder.Select(n.ib, capacity, n.ResultSIC)
 		n.stats.SelectNanos += time.Since(start).Nanoseconds()
-		kept = make([]*stream.Batch, 0, len(keepIdx))
-		keepSet := make(map[int]bool, len(keepIdx))
+		if cap(n.keepMark) < len(n.ib) {
+			n.keepMark = make([]bool, len(n.ib))
+		}
+		mark := n.keepMark[:len(n.ib)]
+		kept = n.keptBuf[:0]
 		for _, i := range keepIdx {
-			keepSet[i] = true
+			mark[i] = true
 			kept = append(kept, n.ib[i])
 		}
 		for i, b := range n.ib {
-			if !keepSet[i] {
+			if !mark[i] {
 				n.stats.ShedBatches++
 				n.stats.ShedTuples += int64(b.Len())
 			}
 		}
+		for _, i := range keepIdx {
+			mark[i] = false
+		}
+		n.keptBuf = kept
 	}
 
 	// Report accepted-SIC deltas to coordinators: fresh credit for source
@@ -416,9 +453,16 @@ func (n *Node) TickSpan(from, to stream.Time) {
 	for q, v := range derivedIn {
 		keptSIC[q] -= v // debit what upstream already credited
 	}
-	for q, delta := range keptSIC {
-		if delta != 0 {
-			n.router.ReportAccepted(q, now, delta)
+	// Emit deltas in ascending query order so the outbox contents are
+	// identical run to run (map iteration is randomised).
+	n.qbuf = n.qbuf[:0]
+	for q := range keptSIC {
+		n.qbuf = append(n.qbuf, q)
+	}
+	sort.Slice(n.qbuf, func(i, j int) bool { return n.qbuf[i] < n.qbuf[j] })
+	for _, q := range n.qbuf {
+		if delta := keptSIC[q]; delta != 0 {
+			n.out.Accepted = append(n.out.Accepted, AcceptedDelta{Query: q, Now: now, Delta: delta})
 		}
 	}
 
@@ -441,10 +485,10 @@ func (n *Node) TickSpan(from, to stream.Time) {
 		outs := inst.exec.Tick(now)
 		for _, tuples := range outs {
 			if inst.downstream < 0 {
-				n.router.DeliverResult(key.q, now, tuples)
+				n.out.Results = append(n.out.Results, ResultEmit{Query: key.q, Now: now, Tuples: tuples})
 			} else {
 				b := stream.DerivedBatch(key.q, inst.downstream, inst.downstreamPort, now, tuples)
-				n.router.RouteDownstream(n.id, b)
+				n.out.Downstream = append(n.out.Downstream, b)
 			}
 		}
 	}

@@ -46,7 +46,7 @@ func aggNode(t *testing.T, capacityPerSec, rate float64) (*Node, *fakeRouter) {
 		STW:            10 * stream.Second,
 		CapacityPerSec: capacityPerSec,
 		Seed:           1,
-	}, core.NewBalanceSIC(1), router)
+	}, core.NewBalanceSIC(1))
 	plan := query.NewAggregate(operator.AggAvg, sources.Uniform)
 	exec := query.NewFragmentExec(plan.Fragments[0])
 	n.HostFragment(7, 0, exec, plan.NumSources(), -1, -1)
@@ -56,15 +56,18 @@ func aggNode(t *testing.T, capacityPerSec, rate float64) (*Node, *fakeRouter) {
 	return n, router
 }
 
-func runTicks(n *Node, ticks int) {
+// runTicks advances the node and drains its outbox into the router after
+// every tick, the way a driver's exchange phase does.
+func runTicks(n *Node, r Router, ticks int) {
 	for i := 0; i < ticks; i++ {
 		n.Tick(stream.Time(i * 250))
+		n.TakeOutbox().Replay(n.ID(), r)
 	}
 }
 
 func TestNodeUnderloadedProcessesEverything(t *testing.T) {
 	n, router := aggNode(t, 1e6, 400)
-	runTicks(n, 40) // 10 s
+	runTicks(n, router, 40) // 10 s
 	st := n.Stats()
 	if st.ShedTuples != 0 || st.ShedInvocations != 0 {
 		t.Errorf("underloaded node shed: %+v", st)
@@ -82,8 +85,8 @@ func TestNodeUnderloadedProcessesEverything(t *testing.T) {
 }
 
 func TestNodeOverloadDetectorSheds(t *testing.T) {
-	n, _ := aggNode(t, 100, 400) // 4x overload
-	runTicks(n, 40)
+	n, router := aggNode(t, 100, 400) // 4x overload
+	runTicks(n, router, 40)
 	st := n.Stats()
 	if st.ShedInvocations == 0 || st.ShedTuples == 0 {
 		t.Fatalf("no shedding under 4x overload: %+v", st)
@@ -96,7 +99,7 @@ func TestNodeOverloadDetectorSheds(t *testing.T) {
 
 func TestNodeSICStampingMatchesEq1(t *testing.T) {
 	n, router := aggNode(t, 1e6, 400)
-	runTicks(n, 80) // 20 s — rate estimator converged
+	runTicks(n, router, 80) // 20 s — rate estimator converged
 	// Result SIC per 1 s window should approach rate·window/(rate·STW)·…
 	// summed = 1/STW · window… simpler: accepted SIC per STW ≈ 1, so per
 	// 20 s run ≈ 2.
@@ -106,8 +109,7 @@ func TestNodeSICStampingMatchesEq1(t *testing.T) {
 }
 
 func TestNodeDerivedBatchRestamping(t *testing.T) {
-	router := newFakeRouter()
-	n := New(1, Config{Interval: 250, STW: 10000, CapacityPerSec: 1000, Seed: 1}, core.KeepAll{}, router)
+	n := New(1, Config{Interval: 250, STW: 10000, CapacityPerSec: 1000, Seed: 1}, core.KeepAll{})
 	// A derived batch arriving late gets restamped to arrival time.
 	b := stream.DerivedBatch(1, 0, 0, 100, []stream.Tuple{{TS: 100, SIC: 0.1, V: []float64{1}}})
 	n.Enqueue(b, 1000)
@@ -124,7 +126,7 @@ func TestNodeDerivedBatchRestamping(t *testing.T) {
 
 func TestNodeRoutesDownstreamFragments(t *testing.T) {
 	router := newFakeRouter()
-	n := New(1, Config{Interval: 250, STW: 10 * stream.Second, CapacityPerSec: 1e6, Seed: 1}, core.KeepAll{}, router)
+	n := New(1, Config{Interval: 250, STW: 10 * stream.Second, CapacityPerSec: 1e6, Seed: 1}, core.KeepAll{})
 	plan := query.NewCov(2, sources.Uniform)
 	// Host the non-root fragment (index 1); its output goes downstream to
 	// fragment 0 on some other node.
@@ -135,7 +137,7 @@ func TestNodeRoutesDownstreamFragments(t *testing.T) {
 		src := sources.New(stream.SourceID(10+ss.Port), 9, 1, ss.Port, 100, 4, ss.Arity, gen, 5)
 		n.AttachSource(src)
 	}
-	runTicks(n, 12) // 3 s
+	runTicks(n, router, 12) // 3 s
 	if len(router.downstream) == 0 {
 		t.Fatal("no downstream batches emitted")
 	}
@@ -152,8 +154,7 @@ func TestNodeRoutesDownstreamFragments(t *testing.T) {
 }
 
 func TestNodeHostedQueriesAndLookup(t *testing.T) {
-	router := newFakeRouter()
-	n := New(1, Config{}, core.KeepAll{}, router)
+	n := New(1, Config{}, core.KeepAll{})
 	plan := query.NewAggregate(operator.AggMax, sources.Uniform)
 	n.HostFragment(3, 0, query.NewFragmentExec(plan.Fragments[0]), 1, -1, -1)
 	n.HostFragment(5, 0, query.NewFragmentExec(plan.Fragments[0]), 1, -1, -1)
@@ -167,8 +168,7 @@ func TestNodeHostedQueriesAndLookup(t *testing.T) {
 }
 
 func TestNodeCoordinatorUpdates(t *testing.T) {
-	router := newFakeRouter()
-	n := New(1, Config{}, core.KeepAll{}, router)
+	n := New(1, Config{}, core.KeepAll{})
 	n.SetResultSIC(4, 0.7)
 	if got := n.ResultSIC(4); got != 0.7 {
 		t.Errorf("ResultSIC: %g", got)
@@ -179,8 +179,7 @@ func TestNodeCoordinatorUpdates(t *testing.T) {
 }
 
 func TestAttachSourceForUnknownFragmentPanics(t *testing.T) {
-	router := newFakeRouter()
-	n := New(1, Config{}, core.KeepAll{}, router)
+	n := New(1, Config{}, core.KeepAll{})
 	defer func() {
 		if recover() == nil {
 			t.Error("attaching a source for an unhosted fragment should panic")
@@ -193,11 +192,49 @@ func TestAttachSourceForUnknownFragmentPanics(t *testing.T) {
 func TestNodeCostModelTracksCapacity(t *testing.T) {
 	// After warm-up the kept tuple volume per tick should approximate the
 	// configured capacity.
-	n, _ := aggNode(t, 200, 400) // capacity 200 t/s = 50/tick, demand 100/tick
-	runTicks(n, 60)
+	n, router := aggNode(t, 200, 400) // capacity 200 t/s = 50/tick, demand 100/tick
+	runTicks(n, router, 60)
 	st := n.Stats()
 	perTick := float64(st.KeptTuples) / 60
 	if math.Abs(perTick-50) > 12 {
 		t.Errorf("kept %.1f tuples/tick, want ~50", perTick)
+	}
+}
+
+func TestTakeOutboxDoubleBuffers(t *testing.T) {
+	n, _ := aggNode(t, 1e6, 400)
+	for i := 0; i < 8; i++ { // one full window so results exist
+		n.Tick(stream.Time(i * 250))
+	}
+	first := n.TakeOutbox()
+	if first.Empty() {
+		t.Fatal("outbox empty after eight ticks of an active source")
+	}
+	if len(first.Accepted) == 0 {
+		t.Error("no accepted-SIC deltas recorded")
+	}
+	if second := n.TakeOutbox(); !second.Empty() {
+		t.Error("second TakeOutbox without a tick should be empty")
+	}
+	if second := n.TakeOutbox(); second != first {
+		t.Error("TakeOutbox should recycle the previously drained buffer")
+	}
+}
+
+func TestOutboxReplayResets(t *testing.T) {
+	n, router := aggNode(t, 1e6, 400)
+	for i := 0; i < 8; i++ {
+		n.Tick(stream.Time(i * 250))
+	}
+	out := n.TakeOutbox()
+	out.Replay(n.ID(), router)
+	if !out.Empty() {
+		t.Error("Replay should reset the outbox")
+	}
+	if router.accepted[7] <= 0 {
+		t.Errorf("replayed accepted SIC: %g, want > 0", router.accepted[7])
+	}
+	if len(router.results[7]) == 0 {
+		t.Error("replayed no result tuples")
 	}
 }

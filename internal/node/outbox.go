@@ -1,0 +1,65 @@
+package node
+
+import "repro/internal/stream"
+
+// Outbox collects the externally-visible effects of one node tick. The
+// node fills it during Tick/TickSpan instead of calling into shared
+// federation state, so any number of nodes can tick concurrently; the
+// driver (federation engine or TCP transport) drains outboxes afterwards,
+// in a deterministic order, during its exchange phase.
+type Outbox struct {
+	// Downstream holds derived batches bound for the node hosting the
+	// consuming fragment, in fragment emission order.
+	Downstream []*stream.Batch
+	// Results holds root-fragment result emissions.
+	Results []ResultEmit
+	// Accepted holds per-query accepted-SIC deltas from this tick's
+	// shedding round, in ascending query order.
+	Accepted []AcceptedDelta
+}
+
+// ResultEmit is one root-fragment result emission.
+type ResultEmit struct {
+	Query  stream.QueryID
+	Now    stream.Time
+	Tuples []stream.Tuple
+}
+
+// AcceptedDelta is one query's accepted-SIC delta for a tick: positive
+// for freshly accepted source data, negative when pre-credited derived
+// data is shed (see coordinator.Acceptance).
+type AcceptedDelta struct {
+	Query stream.QueryID
+	Now   stream.Time
+	Delta float64
+}
+
+// Empty reports whether the outbox holds no effects.
+func (o *Outbox) Empty() bool {
+	return len(o.Downstream) == 0 && len(o.Results) == 0 && len(o.Accepted) == 0
+}
+
+// Reset truncates all three queues, keeping their storage for reuse.
+func (o *Outbox) Reset() {
+	o.Downstream = o.Downstream[:0]
+	o.Results = o.Results[:0]
+	o.Accepted = o.Accepted[:0]
+}
+
+// Replay feeds the outbox through a Router — accepted deltas first, then
+// result and downstream emissions — and resets it. It is the drop-in
+// bridge for drivers that consume effects one at a time, like the TCP
+// transport; the federation engine drains outboxes directly so it can
+// batch coordinator updates.
+func (o *Outbox) Replay(from stream.NodeID, r Router) {
+	for _, a := range o.Accepted {
+		r.ReportAccepted(a.Query, a.Now, a.Delta)
+	}
+	for _, re := range o.Results {
+		r.DeliverResult(re.Query, re.Now, re.Tuples)
+	}
+	for _, b := range o.Downstream {
+		r.RouteDownstream(from, b)
+	}
+	o.Reset()
+}

@@ -1,0 +1,59 @@
+// Package parallel provides the bounded worker-pool primitive shared by
+// the federation engine's compute phase and the experiment sweeps.
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0), …, fn(n-1) on up to workers goroutines and waits
+// for all of them; workers <= 1 degenerates to a plain sequential loop.
+// Iterations must be independent — callers that need deterministic
+// output write into index i of a result slice.
+//
+// If any fn panics, remaining indices are abandoned and the first panic
+// is re-raised on the calling goroutine after the pool drains, so
+// callers (tests, experiment runners) observe it as if the loop were
+// sequential instead of the process dying in a worker goroutine.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		stopped   atomic.Bool
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  any
+	)
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+					stopped.Store(true)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,37 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		var counts [n]atomic.Int32
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachPropagatesPanicToCaller(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(50, 4, func(i int) {
+		if i == 7 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}

@@ -25,7 +25,7 @@ type NodeServer struct {
 	Name string
 
 	ln      net.Listener
-	mu      sync.Mutex // guards nd, peers, started
+	mu      sync.Mutex // guards nd, peers, started, ctrl
 	nd      *node.Node
 	peers   map[peerKey]string
 	started bool
@@ -140,8 +140,7 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 				s.logf("themis-node %s: deploy: %v", s.Name, err)
 			}
 		case KindStart:
-			s.ctrl = out
-			s.handleStart(e.Start)
+			s.handleStart(e.Start, out)
 		case KindBatch:
 			s.mu.Lock()
 			if s.nd != nil {
@@ -226,7 +225,7 @@ func (s *NodeServer) initNode() {
 	s.nd = node.New(0, node.Config{
 		CapacityPerSec: s.capacity,
 		Seed:           s.seed,
-	}, shedder, s)
+	}, shedder)
 }
 
 // now maps wall clock to the node's logical milliseconds.
@@ -237,12 +236,13 @@ func (s *NodeServer) now() stream.Time {
 	return stream.Time(time.Since(s.epoch).Milliseconds())
 }
 
-func (s *NodeServer) handleStart(st *Start) {
+func (s *NodeServer) handleStart(st *Start, ctrl *conn) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started || s.nd == nil {
 		return
 	}
+	s.ctrl = ctrl
 	s.started = true
 	interval := 250 * time.Millisecond
 	if st != nil && st.IntervalMs > 0 {
@@ -267,8 +267,14 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 			// Tick covers [last, now): the node emits its sources over
 			// that span and sheds/processes.
 			s.nd.TickSpan(last, now)
+			out := s.nd.TakeOutbox()
 			last = now
 			s.mu.Unlock()
+			// Drain the outbox outside the node mutex: network sends to
+			// peers and the controller no longer block Enqueue/SetResultSIC
+			// handlers. tickLoop is the only goroutine ticking the node, so
+			// the outbox stays valid until the next iteration.
+			out.Replay(0, s)
 		}
 	}
 }
@@ -306,17 +312,26 @@ func (s *NodeServer) peerConn(addr string) (*conn, error) {
 }
 
 // --- node.Router implementation (wall-clock federation) ---
+//
+// These methods are no longer called mid-tick: tickLoop drains the node's
+// outbox through Outbox.Replay after releasing the node mutex, so they
+// run concurrently with inbound Enqueue/SetResultSIC handlers and must
+// take s.mu themselves where they touch the node.
 
 // RouteDownstream implements node.Router by shipping the batch to the
 // peer hosting the destination fragment.
 func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
+	s.mu.Lock()
 	addr, ok := s.peers[peerKey{b.Query, b.Frag}]
+	s.mu.Unlock()
 	if !ok {
 		return
 	}
 	if addr == s.Addr() {
 		// Local fragment: loop straight back into the input buffer.
+		s.mu.Lock()
 		s.nd.Enqueue(b, s.now())
+		s.mu.Unlock()
 		return
 	}
 	c, err := s.peerConn(addr)
@@ -332,22 +347,28 @@ func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 // DeliverResult implements node.Router by forwarding result SIC mass and
 // tuple counts to the controller.
 func (s *NodeServer) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple) {
-	if s.ctrl == nil {
+	s.mu.Lock()
+	ctrl := s.ctrl
+	s.mu.Unlock()
+	if ctrl == nil {
 		return
 	}
 	var total float64
 	for i := range tuples {
 		total += tuples[i].SIC
 	}
-	s.ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{
+	ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{
 		Query: q, Result: total, Tuples: len(tuples), IsResult: true,
 	}})
 }
 
 // ReportAccepted implements node.Router.
 func (s *NodeServer) ReportAccepted(q stream.QueryID, _ stream.Time, delta float64) {
-	if s.ctrl == nil {
+	s.mu.Lock()
+	ctrl := s.ctrl
+	s.mu.Unlock()
+	if ctrl == nil {
 		return
 	}
-	s.ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{Query: q, Accepted: delta}})
+	ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{Query: q, Accepted: delta}})
 }

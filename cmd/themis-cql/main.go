@@ -1,33 +1,57 @@
 // Command themis-cql runs an ad-hoc CQL query against synthetic sources
-// on a single THEMIS node and streams results — with their SIC values —
-// to stdout. It is the quickest way to see fair shedding react to
-// overload:
+// and streams results — with their SIC values — to stdout.
+//
+// By default the query runs on a single simulated THEMIS node in virtual
+// time, the quickest way to see fair shedding react to overload:
 //
 //	themis-cql -query 'Select Avg(t.v) From Src[Range 1 sec]' \
 //	           -rate 400 -capacity 200 -duration 30s
 //
-// With capacity below the source rate the node sheds; every printed
-// result line reports the window's value next to the SIC it was computed
-// from, the user feedback loop of §1.
+// With -net the same statement is parsed, partitioned into fragments and
+// deployed across live themis-node TCP servers; derived batches flow
+// node→node over the binary wire protocol and the per-query SIC streams
+// back once per second:
+//
+//	themis-node -listen 127.0.0.1:7101 & # ×3
+//	themis-cql -net 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 \
+//	           -query 'Select Avg(t.v) From AllSrc[Range 1 sec]' \
+//	           -fragments 3 -rate 40 -duration 20s
+//
+// With capacity below the source rate the nodes shed; every printed
+// result or SIC line reports the information content actually processed,
+// the user feedback loop of §1.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	themis "repro"
+	"repro/internal/stream"
+	"repro/internal/transport"
 )
 
 func main() {
 	queryText := flag.String("query", "Select Avg(t.v) From Src[Range 1 sec]", "CQL query (Table 1 syntax)")
 	dataset := flag.String("dataset", "gaussian", "source dataset: gaussian|uniform|exponential|mixed|planetlab")
 	rate := flag.Float64("rate", 400, "tuples/sec per source")
-	capacity := flag.Float64("capacity", 200, "node capacity in tuples/sec")
-	duration := flag.Duration("duration", 30*time.Second, "simulated run length")
-	quietFlag := flag.Bool("summary", false, "suppress per-result lines, print only the summary")
+	capacity := flag.Float64("capacity", 200, "node capacity in tuples/sec (local mode)")
+	duration := flag.Duration("duration", 30*time.Second, "run length")
+	quietFlag := flag.Bool("summary", false, "suppress per-result/per-SIC lines, print only the summary")
+
+	// Networked mode.
+	netAddrs := flag.String("net", "", "comma-separated themis-node addresses; deploys onto the live federation instead of the simulator")
+	fragments := flag.Int("fragments", 1, "number of fragments to partition the query into (-net mode)")
+	placement := flag.String("placement", "round-robin", "fragment site assignment: round-robin|uniform|zipf (-net mode)")
+	warmup := flag.Duration("warmup", 0, "measurement warmup (-net mode; defaults to duration/4)")
+	batches := flag.Float64("batches", 5, "source batches/sec (-net mode)")
+	stw := flag.Duration("stw", 10*time.Second, "source time window (-net mode)")
+	interval := flag.Duration("interval", 250*time.Millisecond, "shedding/update interval (-net mode)")
+	seed := flag.Int64("seed", 1, "deployment seed (-net mode)")
 	flag.Parse()
 
 	var ds themis.Dataset
@@ -45,6 +69,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "themis-cql: unknown dataset %q\n", *dataset)
 		os.Exit(2)
+	}
+
+	if *netAddrs != "" {
+		runNetworked(*netAddrs, *queryText, int(ds), *fragments, *placement,
+			*rate, *batches, *duration, *warmup, *stw, *interval, *seed, *quietFlag)
+		return
 	}
 
 	plan, err := themis.ParseQuery(*queryText, themis.DefaultCatalog(ds))
@@ -83,6 +113,86 @@ func main() {
 		ns.ArrivedTuples, ns.ShedTuples,
 		100*float64(ns.ShedTuples)/float64(max64(ns.ArrivedTuples, 1)),
 		ns.ShedInvocations)
+}
+
+// runNetworked deploys the statement across live themis-node servers and
+// streams per-query SIC values while the run progresses.
+func runNetworked(addrList, queryText string, dataset, fragments int, placement string,
+	rate, batchesPerSec float64, duration, warmup time.Duration,
+	stw, interval time.Duration, seed int64, quiet bool) {
+	addrs := strings.Split(addrList, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if warmup <= 0 {
+		warmup = duration / 4
+	}
+
+	ctrl, err := transport.NewController(transport.ControllerConfig{
+		STW:       stream.Duration(stw.Milliseconds()),
+		Interval:  stream.Duration(interval.Milliseconds()),
+		Seed:      seed,
+		Placement: placement,
+	}, addrs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "themis-cql: %v\n", err)
+		os.Exit(1)
+	}
+	defer ctrl.CloseAll()
+
+	// On any error after connecting, stop the federation before exiting:
+	// os.Exit skips defers, and the documented workflow backgrounds
+	// themis-node processes that should not outlive a failed session.
+	fail := func(code int, err error) {
+		fmt.Fprintf(os.Stderr, "themis-cql: %v\n", err)
+		ctrl.Shutdown()
+		os.Exit(code)
+	}
+
+	place, err := ctrl.AutoPlace(fragments)
+	if err != nil {
+		fail(2, err)
+	}
+	q, err := ctrl.DeployCQL(queryText, fragments, dataset, rate, batchesPerSec, place)
+	if err != nil {
+		fail(2, err)
+	}
+	fmt.Printf("themis-cql: deployed %q as query %d: fragment→node %v over %d live nodes\n",
+		queryText, q, place, ctrl.NumNodes())
+
+	if !quiet {
+		// Stream the coordinator's result-SIC estimate about once a second.
+		var lastPrint stream.Time
+		ctrl.OnSIC(func(q themis.QueryID, now stream.Time, v float64) {
+			if now-lastPrint < 1000 {
+				return
+			}
+			lastPrint = now
+			fmt.Printf("t=%6.2fs  q%d  result-SIC=%.4f\n", float64(now)/1000, q, v)
+		})
+	}
+
+	res, err := ctrl.Run(duration, warmup)
+	if err != nil {
+		fail(1, err)
+	}
+
+	fmt.Printf("\nnetworked run over %d nodes (%s placement)\n", ctrl.NumNodes(), placement)
+	qids := make([]themis.QueryID, 0, len(res.PerQuery))
+	for id := range res.PerQuery {
+		qids = append(qids, id)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	for _, id := range qids {
+		fmt.Printf("query %d mean SIC: %.3f   (1.0 = perfect processing)\n", id, res.PerQuery[id])
+	}
+	fmt.Printf("fairness (Jain): %.3f\n", res.Jain)
+	for _, ns := range res.Nodes {
+		fmt.Printf("node %-8s tuples: %d arrived, %d shed (%.0f%%), %d shedder invocations\n",
+			ns.Node, ns.ArrivedTuples, ns.ShedTuples,
+			100*float64(ns.ShedTuples)/float64(max64(ns.ArrivedTuples, 1)),
+			ns.ShedInvocations)
+	}
 }
 
 func max64(a, b int64) int64 {

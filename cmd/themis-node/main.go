@@ -7,8 +7,8 @@
 //
 //	themis-node -listen 127.0.0.1:7101 -capacity 4000 -policy balance-sic
 //
-// The node stays up until the controller sends a stop message or the
-// process is interrupted.
+// The node exits when the controller sends a stop message (after
+// delivering its final stats) or when the process is interrupted.
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 	policy := flag.String("policy", "balance-sic", "shedding policy: balance-sic or random")
 	name := flag.String("name", "", "node name for logs and stats (defaults to the listen address)")
 	seed := flag.Int64("seed", 1, "random seed for shedding decisions")
+	quiet := flag.Bool("quiet", false, "suppress per-event logging")
 	flag.Parse()
 
 	if *name == "" {
@@ -37,6 +38,7 @@ func main() {
 		CapacityPerSec: *capacity,
 		Policy:         *policy,
 		Seed:           *seed,
+		Quiet:          *quiet,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "themis-node: %v\n", err)
@@ -47,6 +49,10 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	<-sig
-	srv.Close()
+	select {
+	case <-sig:
+		srv.Close()
+	case <-srv.Stopped():
+		// Controller-initiated stop: stats are already delivered.
+	}
 }

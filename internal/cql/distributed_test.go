@@ -1,0 +1,158 @@
+package cql_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cql"
+	"repro/internal/federation"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// queriesByShape lists one statement per distributable aggregate shape.
+var distributable = []string{
+	"Select Avg(t.v) From Src[Range 1 sec]",
+	"Select Max(t.v) From Src[Range 1 sec]",
+	"Select Sum(t.v) From Src[Range 1 sec]",
+	"Select Count(t.v) From Src[Range 1 sec] Having t.v >= 50",
+	"Select Cov(SrcCPU1.value, SrcCPU2.value) From SrcCPU1[Range 1 sec], SrcCPU2[Range 1 sec]",
+	"Select Top5(AllSrcCPU.id) From AllSrcCPU[Range 1 sec], AllSrcMem[Range 1 sec] Where AllSrcCPU.id = AllSrcMem.id",
+}
+
+func TestPlanDistributedValidates(t *testing.T) {
+	cat := cql.DefaultCatalog(sources.Uniform)
+	for _, src := range distributable {
+		st, err := cql.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, frags := range []int{1, 2, 3, 4} {
+			p, err := cql.PlanDistributed(st, cat, frags)
+			if err != nil {
+				t.Fatalf("%s x%d: %v", src, frags, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s x%d: invalid plan: %v", src, frags, err)
+			}
+			if p.NumFragments() != frags {
+				t.Errorf("%s x%d: got %d fragments", src, frags, p.NumFragments())
+			}
+		}
+	}
+}
+
+// runDistributed deploys the statement across `frags` fragments on a
+// 3-node underloaded virtual federation and returns mean SIC and result
+// values.
+func runDistributed(t *testing.T, src string, frags int, rate float64) (float64, []float64) {
+	t.Helper()
+	cat := cql.DefaultCatalog(sources.Uniform)
+	st, err := cql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cql.PlanDistributed(st, cat, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := federation.Defaults()
+	// Short STW so the sliding SIC window fills well inside the warmup.
+	cfg.STW = 4 * stream.Second
+	cfg.Duration = 20 * stream.Second
+	cfg.Warmup = 8 * stream.Second
+	cfg.SourceRate = rate
+	cfg.BatchesPerSec = 4
+	cfg.Seed = 7
+	e := federation.NewEngine(cfg)
+	e.AddNodes(3, 100_000) // far above demand: nothing sheds
+	placement := make([]stream.NodeID, frags)
+	for i := range placement {
+		placement[i] = stream.NodeID(i % 3)
+	}
+	q, err := e.DeployQuery(plan, placement, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	e.OnResult(q, func(now stream.Time, tuples []stream.Tuple) {
+		if now < stream.Time(cfg.Warmup) {
+			return
+		}
+		for i := range tuples {
+			vals = append(vals, tuples[i].V[0])
+		}
+	})
+	res := e.Run()
+	return res.Queries[0].MeanSIC, vals
+}
+
+// TestDistributedCountAddsUp checks end-to-end semantics of the tree
+// merge: an underloaded distributed COUNT (no HAVING filter effect at
+// threshold 0) must count every source tuple across all fragments.
+func TestDistributedCountAddsUp(t *testing.T) {
+	const frags, rate = 3, 40.0
+	sic, vals := runDistributed(t,
+		"Select Count(t.v) From Src[Range 1 sec] Having t.v >= 0", frags, rate)
+	if sic < 0.85 {
+		t.Errorf("underloaded distributed COUNT: mean SIC %.3f", sic)
+	}
+	if len(vals) == 0 {
+		t.Fatal("no results")
+	}
+	// Each window should hold ~frags*rate tuples (1 source per fragment).
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	want := float64(frags) * rate
+	if math.Abs(mean-want) > want*0.25 {
+		t.Errorf("mean window count %.1f, want ~%.0f", mean, want)
+	}
+}
+
+// TestDistributedAvgMatchesSingle compares the distributed average
+// against the single-fragment plan of the same statement: same uniform
+// distribution, so the window averages must agree closely.
+func TestDistributedAvgMatchesSingle(t *testing.T) {
+	const src = "Select Avg(t.v) From Src[Range 1 sec]"
+	_, single := runDistributed(t, src, 1, 60)
+	sic, dist := runDistributed(t, src, 3, 60)
+	if sic < 0.85 {
+		t.Errorf("underloaded distributed AVG: mean SIC %.3f", sic)
+	}
+	if len(single) == 0 || len(dist) == 0 {
+		t.Fatalf("missing results: single %d, dist %d", len(single), len(dist))
+	}
+	m1, m2 := meanOf(single), meanOf(dist)
+	if math.Abs(m1-m2) > 5 { // uniform [0,100): means near 50
+		t.Errorf("single mean %.2f vs distributed mean %.2f", m1, m2)
+	}
+}
+
+// TestTopKProducesResults is the regression test for the catalog host-id
+// bug: CQL top-k plans used the deployer's query-global source index as
+// the trace host id, so CPU sources reported hosts 0..n-1 while mem
+// sources reported n..2n-1 and the equi-join matched nothing — zero
+// results forever. The planner now pins per-side host indices.
+func TestTopKProducesResults(t *testing.T) {
+	const src = "Select Top5(AllSrcCPU.id) From AllSrcCPU[Range 1 sec], AllSrcMem[Range 1 sec] Where AllSrcCPU.id = AllSrcMem.id"
+	for _, frags := range []int{1, 3} {
+		sic, vals := runDistributed(t, src, frags, 40)
+		if sic < 0.9 {
+			t.Errorf("frags=%d: underloaded TOP-5 SIC %.3f", frags, sic)
+		}
+		if len(vals) == 0 {
+			t.Errorf("frags=%d: TOP-5 emitted no results", frags)
+		}
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

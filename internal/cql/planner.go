@@ -71,9 +71,9 @@ func Plan(st *Statement, cat *Catalog) (*query.Plan, error) {
 	case "avg", "max", "min", "sum", "count":
 		return planScalarAgg(st, cat)
 	case "cov":
-		return planCov(st, cat)
+		return planCov(st, cat, 1)
 	case "top":
-		return planTopK(st, cat)
+		return planTopK(st, cat, 1)
 	default:
 		return nil, fmt.Errorf("cql: unsupported aggregate %q", st.Agg)
 	}
@@ -144,33 +144,9 @@ func predFromCond(c Cond, field int) (operator.Predicate, error) {
 // planScalarAgg handles the aggregate workload shape: one stream, one
 // scalar aggregate, optional HAVING.
 func planScalarAgg(st *Statement, cat *Catalog) (*query.Plan, error) {
-	if len(st.From) != 1 {
-		return nil, fmt.Errorf("cql: %s expects exactly one input stream, got %d", st.Agg, len(st.From))
-	}
-	if len(st.Args) != 1 {
-		return nil, fmt.Errorf("cql: %s expects one argument", st.Agg)
-	}
-	def, ok := cat.Lookup(st.From[0].Name)
-	if !ok {
-		return nil, fmt.Errorf("cql: unknown stream %q", st.From[0].Name)
-	}
-	field, err := resolveField(st.Args[0], def)
+	def, field, pred, err := scalarInputs(st, cat)
 	if err != nil {
 		return nil, err
-	}
-	var pred operator.Predicate
-	if st.Having != nil {
-		hf, err := resolveField(st.Having.Left, def)
-		if err != nil {
-			return nil, err
-		}
-		pred, err = predFromCond(*st.Having, hf)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(st.Where) > 0 {
-		return nil, fmt.Errorf("cql: WHERE on a single-stream aggregate is unsupported; use HAVING")
 	}
 	kind := aggKind(st.Agg)
 	win := st.From[0].Window
@@ -199,8 +175,11 @@ func planScalarAgg(st *Statement, cat *Catalog) (*query.Plan, error) {
 	return &query.Plan{Type: strings.ToUpper(st.Agg), Fragments: []*query.FragmentPlan{fp}, Downstream: []int{-1}}, nil
 }
 
-// planCov handles Cov(a.x, b.y) over two single-source streams.
-func planCov(st *Statement, cat *Catalog) (*query.Plan, error) {
+// planCov handles Cov(a.x, b.y) over two single-source streams. With
+// fragments > 1 the fragments form a chain merging partial covariance
+// states (NewCov's layout): each fragment pairs its own copy of the two
+// streams, and the root finalizes the merged state.
+func planCov(st *Statement, cat *Catalog, fragments int) (*query.Plan, error) {
 	if len(st.From) != 2 || len(st.Args) != 2 {
 		return nil, fmt.Errorf("cql: cov expects two arguments over two streams")
 	}
@@ -222,29 +201,53 @@ func planCov(st *Statement, cat *Catalog) (*query.Plan, error) {
 		fields[i] = f
 	}
 	win := st.From[0].Window
-	fp := &query.FragmentPlan{Entries: map[int]query.Entry{}, UpstreamPort: -1}
-	fp.Ops = append(fp.Ops,
-		query.OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []query.Edge{{To: 2, Port: 0}}},
-		query.OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []query.Edge{{To: 2, Port: 1}}},
-		query.OpSpec{Name: "partial-cov", New: func() operator.Operator { return operator.NewPartialCov(win, fields[0], fields[1]) }, Outs: []query.Edge{{To: 3}}},
-		query.OpSpec{Name: "cov-merge", New: func() operator.Operator { return operator.NewCovMerge(win) }, Outs: []query.Edge{{To: 4}}},
-		query.OpSpec{Name: "cov-finalize", New: func() operator.Operator { return operator.NewCovFinalize() }, Outs: []query.Edge{{To: 5}}},
-		query.OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
-	)
-	fp.Entries[0] = query.Entry{Op: 0}
-	fp.Entries[1] = query.Entry{Op: 1}
-	fp.Sources = append(fp.Sources,
-		query.SourceSpec{Port: 0, Arity: defs[0].Schema.Arity(), NewGen: defs[0].NewGen},
-		query.SourceSpec{Port: 1, Arity: defs[1].Schema.Arity(), NewGen: defs[1].NewGen},
-	)
-	fp.OutOp = 5
-	return &query.Plan{Type: "COV", Fragments: []*query.FragmentPlan{fp}, Downstream: []int{-1}}, nil
+	plans := make([]*query.FragmentPlan, fragments)
+	for f := 0; f < fragments; f++ {
+		root := f == 0
+		fp := &query.FragmentPlan{Entries: map[int]query.Entry{}, UpstreamPort: -1}
+		// ops: 0,1 receivers → 2 partial-cov → 3 cov-merge [root: → 4 finalize → 5 output]
+		fp.Ops = append(fp.Ops,
+			query.OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []query.Edge{{To: 2, Port: 0}}},
+			query.OpSpec{Name: "receive", New: func() operator.Operator { return operator.NewReceive() }, Outs: []query.Edge{{To: 2, Port: 1}}},
+			query.OpSpec{Name: "partial-cov", New: func() operator.Operator { return operator.NewPartialCov(win, fields[0], fields[1]) }, Outs: []query.Edge{{To: 3}}},
+		)
+		fp.Entries[0] = query.Entry{Op: 0}
+		fp.Entries[1] = query.Entry{Op: 1}
+		fp.Sources = append(fp.Sources,
+			query.SourceSpec{Port: 0, Arity: defs[0].Schema.Arity(), NewGen: defs[0].NewGen},
+			query.SourceSpec{Port: 1, Arity: defs[1].Schema.Arity(), NewGen: defs[1].NewGen},
+		)
+		if root {
+			fp.Ops = append(fp.Ops,
+				query.OpSpec{Name: "cov-merge", New: func() operator.Operator { return operator.NewCovMerge(win) }, Outs: []query.Edge{{To: 4}}},
+				query.OpSpec{Name: "cov-finalize", New: func() operator.Operator { return operator.NewCovFinalize() }, Outs: []query.Edge{{To: 5}}},
+				query.OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
+			)
+			fp.OutOp = 5
+		} else {
+			fp.Ops = append(fp.Ops,
+				query.OpSpec{Name: "cov-merge", New: func() operator.Operator { return operator.NewCovMerge(win) }},
+			)
+			fp.OutOp = 3
+		}
+		if fragments > 1 {
+			// Upstream partial states from the next chain fragment feed the
+			// merge.
+			fp.Entries[2] = query.Entry{Op: 3}
+			fp.UpstreamPort = 2
+		}
+		plans[f] = fp
+	}
+	return &query.Plan{Type: "COV", Fragments: plans, Downstream: query.ChainDownstream(fragments)}, nil
 }
 
 // planTopK handles the TOP-5 shape: TopK(stream.key) over two streams
 // with an equi-join on key and optional filters; ids are ranked by the
-// per-key average of the key stream's value field.
-func planTopK(st *Statement, cat *Catalog) (*query.Plan, error) {
+// per-key average of the key stream's value field. With fragments > 1 the
+// fragments form a chain (NewTop5's layout): each merges its local top-k
+// candidates with the upstream fragment's, and the root emits the final
+// ranking.
+func planTopK(st *Statement, cat *Catalog, fragments int) (*query.Plan, error) {
 	if len(st.Args) != 1 {
 		return nil, fmt.Errorf("cql: top-k expects one key argument")
 	}
@@ -356,6 +359,19 @@ func planTopK(st *Statement, cat *Catalog) (*query.Plan, error) {
 
 	win := st.From[0].Window
 	n := defs[0].NumSources
+	plans := make([]*query.FragmentPlan, fragments)
+	for frag := 0; frag < fragments; frag++ {
+		plans[frag] = topKFragment(st, defs, keyIdx, otherIdx, keyField, valField,
+			joinField, sidePred, win, n, frag, fragments > 1)
+	}
+	return &query.Plan{Type: fmt.Sprintf("TOP-%d", st.K), Fragments: plans, Downstream: query.ChainDownstream(fragments)}, nil
+}
+
+// topKFragment builds one fragment of the top-k plan. chained maps the
+// chain's candidate port (2n) into the top-k operator so upstream
+// fragments' candidates merge with the local ones.
+func topKFragment(st *Statement, defs []StreamDef, keyIdx, otherIdx, keyField, valField int,
+	joinField [2]int, sidePred [2]operator.Predicate, win stream.WindowSpec, n, fragIdx int, chained bool) *query.FragmentPlan {
 	fp := &query.FragmentPlan{Entries: map[int]query.Entry{}, UpstreamPort: -1}
 	// Receivers: key-side sources on ports 0..n-1, other side n..2n-1.
 	var (
@@ -363,7 +379,12 @@ func planTopK(st *Statement, cat *Catalog) (*query.Plan, error) {
 		unionOther = 2*n + 1
 		next       = 2*n + 2
 	)
-	addRecv := func(port, unionOp, unionPort int, def StreamDef) {
+	// hostIdx pins the generator identity per stream position rather than
+	// taking the deployer's query-global source index: the key and
+	// predicate streams must see the SAME host ids position for position
+	// (CPU source i and mem source i both report host i) or the equi-join
+	// never matches. Distinct fragments monitor distinct host ranges.
+	addRecv := func(port, unionOp, unionPort, hostIdx int, def StreamDef) {
 		op := len(fp.Ops)
 		fp.Ops = append(fp.Ops, query.OpSpec{
 			Name: "receive",
@@ -371,13 +392,17 @@ func planTopK(st *Statement, cat *Catalog) (*query.Plan, error) {
 			Outs: []query.Edge{{To: unionOp, Port: unionPort}},
 		})
 		fp.Entries[port] = query.Entry{Op: op}
-		fp.Sources = append(fp.Sources, query.SourceSpec{Port: port, Arity: def.Schema.Arity(), NewGen: def.NewGen})
+		gen := def.NewGen
+		fp.Sources = append(fp.Sources, query.SourceSpec{
+			Port: port, Arity: def.Schema.Arity(),
+			NewGen: func(rng *rand.Rand, _ int) sources.ValueGen { return gen(rng, hostIdx) },
+		})
 	}
 	for i := 0; i < n; i++ {
-		addRecv(i, unionKey, i, defs[keyIdx])
+		addRecv(i, unionKey, i, fragIdx*n+i, defs[keyIdx])
 	}
 	for i := 0; i < n; i++ {
-		addRecv(n+i, unionOther, i, defs[otherIdx])
+		addRecv(n+i, unionOther, i, fragIdx*n+i, defs[otherIdx])
 	}
 	fp.Ops = append(fp.Ops,
 		query.OpSpec{Name: "union", New: func() operator.Operator { return operator.NewUnion(n) }},
@@ -432,5 +457,12 @@ func planTopK(st *Statement, cat *Catalog) (*query.Plan, error) {
 		query.OpSpec{Name: "output", New: func() operator.Operator { return operator.NewOutput() }},
 	)
 	fp.OutOp = outOp
-	return &query.Plan{Type: fmt.Sprintf("TOP-%d", st.K), Fragments: []*query.FragmentPlan{fp}, Downstream: []int{-1}}, nil
+	if chained {
+		// Upstream candidates (id, value) feed the top-k directly; the
+		// first fragment of the chain keeps the port mapped — pushes simply
+		// never arrive.
+		fp.Entries[2*n] = query.Entry{Op: topkOp}
+		fp.UpstreamPort = 2 * n
+	}
+	return fp
 }

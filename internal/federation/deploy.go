@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/stream"
@@ -60,6 +61,52 @@ func ZipfPlacement(rng *rand.Rand, numNodes, k int, s float64) []stream.NodeID {
 		}
 	}
 	return out
+}
+
+// Placer is a stateful site-assignment helper wrapping the three
+// placement strategies behind one name-driven interface, so drivers
+// outside the virtual-time engine — notably the TCP transport controller
+// — assign fragments to sites exactly as the evaluation does.
+type Placer struct {
+	strategy string
+	numNodes int
+	rng      *rand.Rand
+	next     int
+	// Skew is the Zipf skew parameter (default 1.5; only read by "zipf").
+	Skew float64
+}
+
+// NewPlacer builds a placer over numNodes sites. strategy is
+// "round-robin" (default when empty), "uniform" or "zipf".
+func NewPlacer(strategy string, numNodes int, seed int64) (*Placer, error) {
+	if strategy == "" {
+		strategy = "round-robin"
+	}
+	switch strategy {
+	case "round-robin", "uniform", "zipf":
+	default:
+		return nil, fmt.Errorf("federation: unknown placement strategy %q", strategy)
+	}
+	if numNodes < 1 {
+		return nil, fmt.Errorf("federation: placer needs at least one node, got %d", numNodes)
+	}
+	return &Placer{strategy: strategy, numNodes: numNodes, rng: rand.New(rand.NewSource(seed)), Skew: 1.5}, nil
+}
+
+// Place assigns k fragments to distinct sites using the configured
+// strategy.
+func (p *Placer) Place(k int) ([]stream.NodeID, error) {
+	if k > p.numNodes {
+		return nil, fmt.Errorf("federation: cannot place %d fragments on %d nodes", k, p.numNodes)
+	}
+	switch p.strategy {
+	case "uniform":
+		return UniformPlacement(p.rng, p.numNodes, k), nil
+	case "zipf":
+		return ZipfPlacement(p.rng, p.numNodes, k, p.Skew), nil
+	default:
+		return RoundRobinPlacement(&p.next, p.numNodes, k), nil
+	}
 }
 
 // Table 2 presets.

@@ -114,6 +114,25 @@ type Plan struct {
 // NumFragments reports the fragment count.
 func (p *Plan) NumFragments() int { return len(p.Fragments) }
 
+// TreeDownstream builds the Downstream table of a tree layout: every
+// non-root fragment sends its partials straight to the root (AVG-all, §7).
+func TreeDownstream(fragments int) []int {
+	out := make([]int, fragments)
+	out[0] = -1
+	return out
+}
+
+// ChainDownstream builds the Downstream table of a chain layout: fragment
+// i feeds fragment i-1, and the root (fragment 0) outputs the result
+// (TOP-5, COV, §7).
+func ChainDownstream(fragments int) []int {
+	out := make([]int, fragments)
+	for i := range out {
+		out[i] = i - 1
+	}
+	return out
+}
+
 // NumSources reports |S|, the total number of sources across all
 // fragments — the normaliser of Eq. (1).
 func (p *Plan) NumSources() int {

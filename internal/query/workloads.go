@@ -82,7 +82,6 @@ func NewAvgAll(fragments int, d sources.Dataset) *Plan {
 	}
 	const srcPerFrag = 10
 	plans := make([]*FragmentPlan, fragments)
-	downstream := make([]int, fragments)
 	for f := 0; f < fragments; f++ {
 		root := f == 0
 		fp := &FragmentPlan{Entries: map[int]Entry{}, UpstreamPort: -1}
@@ -125,13 +124,8 @@ func NewAvgAll(fragments int, d sources.Dataset) *Plan {
 			fp.OutOp = merge
 		}
 		plans[f] = fp
-		if root {
-			downstream[f] = -1
-		} else {
-			downstream[f] = 0 // tree: all partials flow to the root
-		}
 	}
-	return &Plan{Type: "AVG-all", Fragments: plans, Downstream: downstream}
+	return &Plan{Type: "AVG-all", Fragments: plans, Downstream: TreeDownstream(fragments)}
 }
 
 // NewTop5 builds the TOP-5 query ("top 5 nodes with largest available CPU
@@ -151,9 +145,7 @@ func NewTop5(fragments int, d sources.Dataset) *Plan {
 	// data (§7 plots TOP-5 across all five datasets).
 	seedOffset := int64(d) * 7919
 	plans := make([]*FragmentPlan, fragments)
-	downstream := make([]int, fragments)
 	for f := 0; f < fragments; f++ {
-		root := f == 0
 		fp := &FragmentPlan{Entries: map[int]Entry{}, UpstreamPort: -1}
 		// Layout: ops 0..9 CPU receivers, 10..19 mem receivers,
 		// 20 cpu-union, 21 mem-union, 22 mem-filter, 23 group-avg cpu,
@@ -219,15 +211,10 @@ func NewTop5(fragments int, d sources.Dataset) *Plan {
 			delete(fp.Entries, 2*pairs)
 		}
 		plans[f] = fp
-		if root {
-			downstream[f] = -1
-		} else {
-			downstream[f] = f - 1 // chain towards the root
-		}
 	}
 	// The first fragment of the chain (the highest index) has no
 	// upstream; keep its port mapped anyway — pushes simply never arrive.
-	return &Plan{Type: "TOP-5", Fragments: plans, Downstream: downstream}
+	return &Plan{Type: "TOP-5", Fragments: plans, Downstream: ChainDownstream(fragments)}
 }
 
 // NewCov builds the COV query ("covariance of CPU usage of two nodes
@@ -238,7 +225,6 @@ func NewCov(fragments int, d sources.Dataset) *Plan {
 		panic("query: COV needs at least one fragment")
 	}
 	plans := make([]*FragmentPlan, fragments)
-	downstream := make([]int, fragments)
 	for f := 0; f < fragments; f++ {
 		root := f == 0
 		fp := &FragmentPlan{Entries: map[int]Entry{}, UpstreamPort: -1}
@@ -272,13 +258,8 @@ func NewCov(fragments int, d sources.Dataset) *Plan {
 			fp.UpstreamPort = 2
 		}
 		plans[f] = fp
-		if root {
-			downstream[f] = -1
-		} else {
-			downstream[f] = f - 1
-		}
 	}
-	return &Plan{Type: "COV", Fragments: plans, Downstream: downstream}
+	return &Plan{Type: "COV", Fragments: plans, Downstream: ChainDownstream(fragments)}
 }
 
 // ComplexKind names one of the complex-workload query types.

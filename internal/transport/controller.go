@@ -1,25 +1,30 @@
 package transport
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coordinator"
+	"repro/internal/cql"
+	"repro/internal/federation"
 	"repro/internal/metrics"
 	"repro/internal/sic"
+	"repro/internal/sources"
 	"repro/internal/stream"
 )
 
 // Controller plays the query-submission node and the per-query
 // coordinators of a networked THEMIS federation: it deploys query
-// fragments to node servers, starts them, ingests result/accepted
-// reports, broadcasts result-SIC updates every interval, and summarises
-// per-query SIC at the end.
+// fragments across node servers (placement mirrors the virtual-time
+// engine's site assignment via federation.Placer), starts them, ingests
+// result/accepted reports, broadcasts result-SIC updates every interval,
+// and summarises per-query SIC at the end. Derived batches never pass
+// through the controller — hosts ship them to each other directly.
 type Controller struct {
 	mu     sync.Mutex
 	nodes  []*conn
@@ -33,8 +38,17 @@ type Controller struct {
 	ival   stream.Duration
 	nextQ  stream.QueryID
 	seed   int64
+	placer *federation.Placer
 
-	stats []StatsMsg
+	sicFn func(q stream.QueryID, now stream.Time, v float64)
+
+	// stopping flips before the stop handshake; read-loop errors after
+	// that are expected connection teardown, errors before it are node
+	// failures surfaced from Run.
+	stopping atomic.Bool
+	fail     chan error
+	statsCh  chan struct{}
+	stats    []StatsMsg
 }
 
 type sampleStats struct {
@@ -47,8 +61,12 @@ type ControllerConfig struct {
 	// STW and Interval mirror the node settings (defaults 10 s / 250 ms).
 	STW      stream.Duration
 	Interval stream.Duration
-	// Seed derives per-deployment source seeds.
+	// Seed derives per-deployment source seeds and drives placement
+	// randomness.
 	Seed int64
+	// Placement selects the automatic site-assignment strategy used by
+	// AutoPlace: "round-robin" (default), "uniform" or "zipf".
+	Placement string
 }
 
 // NewController connects to the given node addresses.
@@ -60,13 +78,22 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		cfg.Interval = 250 * stream.Millisecond
 	}
 	c := &Controller{
-		coords: make(map[stream.QueryID]*coordinator.Coordinator),
-		accs:   make(map[stream.QueryID]*sic.Accumulator),
-		sums:   make(map[stream.QueryID]*sampleStats),
-		hosts:  make(map[stream.QueryID][]int),
-		stw:    cfg.STW,
-		ival:   cfg.Interval,
-		seed:   cfg.Seed,
+		coords:  make(map[stream.QueryID]*coordinator.Coordinator),
+		accs:    make(map[stream.QueryID]*sic.Accumulator),
+		sums:    make(map[stream.QueryID]*sampleStats),
+		hosts:   make(map[stream.QueryID][]int),
+		stw:     cfg.STW,
+		ival:    cfg.Interval,
+		seed:    cfg.Seed,
+		fail:    make(chan error, 1),
+		statsCh: make(chan struct{}, len(nodeAddrs)),
+	}
+	if len(nodeAddrs) > 0 {
+		p, err := federation.NewPlacer(cfg.Placement, len(nodeAddrs), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		c.placer = p
 	}
 	for _, addr := range nodeAddrs {
 		cn, err := dial(addr, "controller")
@@ -80,6 +107,9 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 	return c, nil
 }
 
+// NumNodes reports the number of connected node servers.
+func (c *Controller) NumNodes() int { return len(c.nodes) }
+
 // CloseAll closes all node connections.
 func (c *Controller) CloseAll() {
 	for _, n := range c.nodes {
@@ -87,12 +117,106 @@ func (c *Controller) CloseAll() {
 	}
 }
 
+// abort ends a run after a node failure: surviving nodes get a
+// best-effort stop (so their processes wind down instead of ticking
+// forever against dead peers), then every connection closes.
+func (c *Controller) abort() {
+	c.stopping.Store(true)
+	for _, n := range c.nodes {
+		n.send(&Envelope{Kind: KindStop})
+	}
+	c.CloseAll()
+}
+
+// Shutdown stops the federation without running: a best-effort stop to
+// every node followed by connection teardown. CLI front-ends use it on
+// error paths so background themis-node processes exit rather than
+// leaking.
+func (c *Controller) Shutdown() {
+	c.abort()
+}
+
+// OnSIC registers a callback invoked once per query per broadcast
+// interval with the coordinator's current result-SIC value. Register
+// before Run; the callback runs on the controller's ticker goroutine.
+func (c *Controller) OnSIC(fn func(q stream.QueryID, now stream.Time, v float64)) {
+	c.sicFn = fn
+}
+
+// AutoPlace assigns the given number of fragments to distinct node
+// indices using the configured placement strategy.
+func (c *Controller) AutoPlace(fragments int) ([]int, error) {
+	if c.placer == nil {
+		return nil, errors.New("transport: controller has no nodes to place on")
+	}
+	ids, err := c.placer.Place(fragments)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out, nil
+}
+
+// checkPlacement validates a placement against the connected nodes,
+// mirroring the virtual-time engine's rules (§3: fragments of one query
+// land on distinct nodes).
+func (c *Controller) checkPlacement(fragments int, placement []int) error {
+	if len(placement) != fragments {
+		return fmt.Errorf("transport: placement has %d entries for %d fragments", len(placement), fragments)
+	}
+	seen := make(map[int]bool, len(placement))
+	for _, ni := range placement {
+		if ni < 0 || ni >= len(c.nodes) {
+			return fmt.Errorf("transport: placement names missing node %d (%d connected)", ni, len(c.nodes))
+		}
+		if seen[ni] {
+			return errors.New("transport: fragments of one query must be placed on distinct nodes")
+		}
+		seen[ni] = true
+	}
+	return nil
+}
+
 // Deploy places a named workload query across the node indices in
 // placement (one fragment per node, fragment i on placement[i]) and
 // returns its query id.
 func (c *Controller) Deploy(workload string, fragments, dataset int, rate, batchesPerSec float64, placement []int) (stream.QueryID, error) {
-	if len(placement) != fragments {
-		return 0, fmt.Errorf("transport: placement has %d entries for %d fragments", len(placement), fragments)
+	return c.deploy(Deploy{
+		Workload: workload, Fragments: fragments, Dataset: dataset,
+		Rate: rate, Batches: batchesPerSec,
+	}, fragments, placement)
+}
+
+// DeployCQL parses and plans a CQL statement, partitions it into the
+// given number of fragments, and places the fragments across the node
+// indices in placement. The statement text travels on the wire; every
+// host node re-plans it deterministically.
+func (c *Controller) DeployCQL(cqlText string, fragments, dataset int, rate, batchesPerSec float64, placement []int) (stream.QueryID, error) {
+	st, err := cql.Parse(cqlText)
+	if err != nil {
+		return 0, err
+	}
+	// Plan locally first: reject malformed statements before any node
+	// sees them, and learn the workload label for results.
+	plan, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Dataset(dataset)), fragments)
+	if err != nil {
+		return 0, err
+	}
+	if err := plan.Validate(); err != nil {
+		return 0, err
+	}
+	return c.deploy(Deploy{
+		CQL: cqlText, Workload: plan.Type, Fragments: plan.NumFragments(), Dataset: dataset,
+		Rate: rate, Batches: batchesPerSec,
+	}, plan.NumFragments(), placement)
+}
+
+func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.QueryID, error) {
+	if err := c.checkPlacement(fragments, placement); err != nil {
+		return 0, err
 	}
 	c.mu.Lock()
 	q := c.nextQ
@@ -106,24 +230,20 @@ func (c *Controller) Deploy(workload string, fragments, dataset int, rate, batch
 	for f, ni := range placement {
 		peers[stream.FragID(f)] = c.addrs[ni]
 	}
-	seen := map[int]bool{}
-	for _, ni := range placement {
-		if !seen[ni] {
-			seen[ni] = true
-			c.hosts[q] = append(c.hosts[q], ni)
-		}
-	}
+	c.hosts[q] = append([]int(nil), placement...)
 	c.mu.Unlock()
 
 	var srcID stream.SourceID = stream.SourceID(int(q) * 1000)
 	for f, ni := range placement {
-		err := c.nodes[ni].send(&Envelope{Kind: KindDeploy, Deploy: &Deploy{
-			Query: q, Frag: stream.FragID(f),
-			Workload: workload, Fragments: fragments, Dataset: dataset,
-			Rate: rate, Batches: batchesPerSec,
-			Peers: peers, SourceSeed: seed + int64(f), FirstSourceID: srcID,
-		}})
-		if err != nil {
+		d := d // per-fragment copy of the shared descriptor
+		d.Query = q
+		d.Frag = stream.FragID(f)
+		d.Peers = peers
+		d.SourceSeed = seed + int64(f)
+		d.FirstSourceID = srcID
+		d.STWMs = int64(c.stw)
+		d.IntervalMs = int64(c.ival)
+		if err := c.nodes[ni].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
 			return 0, err
 		}
 		srcID += 100
@@ -133,24 +253,27 @@ func (c *Controller) Deploy(workload string, fragments, dataset int, rate, batch
 
 // Run starts all nodes, processes reports for the given wall-clock
 // duration (samples are recorded after warmup), stops the nodes and
-// returns the per-query mean SIC plus fairness metrics.
+// returns the per-query mean SIC plus fairness metrics. A node
+// disconnecting mid-run aborts the run: remaining connections are closed
+// and the failure is returned.
 func (c *Controller) Run(duration, warmup time.Duration) (*NetResults, error) {
 	c.epoch = time.Now()
 	for _, n := range c.nodes {
 		if err := n.send(&Envelope{Kind: KindStart, Start: &Start{
-			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+			IntervalMs: int64(c.ival),
 		}}); err != nil {
+			c.CloseAll()
 			return nil, err
 		}
 	}
 
 	var wg sync.WaitGroup
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
 		wg.Add(1)
-		go func(n *conn) {
+		go func(i int, n *conn) {
 			defer wg.Done()
-			c.readLoop(n)
-		}(n)
+			c.readLoop(i, n)
+		}(i, n)
 	}
 
 	// Broadcast result-SIC updates every interval, sample after warmup.
@@ -162,14 +285,24 @@ loop:
 		select {
 		case <-deadline:
 			break loop
+		case err := <-c.fail:
+			c.abort()
+			wg.Wait()
+			return nil, fmt.Errorf("transport: run aborted: %w", err)
 		case <-ticker.C:
 			now := c.now()
+			type bcast struct {
+				q     stream.QueryID
+				v     float64
+				hosts []int
+			}
+			var outs []bcast
 			c.mu.Lock()
 			for q, coord := range c.coords {
 				v := coord.Value(now)
-				for _, ni := range c.hosts[q] {
-					c.nodes[ni].send(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: q, Value: v}})
-				}
+				// Host slices are immutable after deploy, so they are safe
+				// to read outside the lock below.
+				outs = append(outs, bcast{q, v, c.hosts[q]})
 				coord.NoteUpdateSent(len(c.hosts[q]))
 				if time.Since(c.epoch) > warmup {
 					st := c.sums[q]
@@ -178,41 +311,85 @@ loop:
 				}
 			}
 			c.mu.Unlock()
+			// Network writes happen outside c.mu: a node with a full TCP
+			// send buffer must not stall readLoop's report ingestion.
+			for _, b := range outs {
+				for _, ni := range b.hosts {
+					c.nodes[ni].send(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: b.q, Value: b.v}})
+				}
+				if c.sicFn != nil {
+					c.sicFn(b.q, now, b.v)
+				}
+			}
 		}
 	}
 
-	// Stop nodes; stats arrive on the same connections before they close.
+	// A failure that raced the deadline still aborts: don't fold a dead
+	// node's absence into a successful-looking summary.
+	select {
+	case err := <-c.fail:
+		c.abort()
+		wg.Wait()
+		return nil, fmt.Errorf("transport: run aborted: %w", err)
+	default:
+	}
+
+	// Stop handshake: announce stop, then wait for every node's final
+	// stats frame (or a timeout) before tearing connections down, so the
+	// summary deterministically includes all node counters.
+	c.stopping.Store(true)
 	for _, n := range c.nodes {
 		n.send(&Envelope{Kind: KindStop})
 	}
-	waitDone := make(chan struct{})
-	go func() { wg.Wait(); close(waitDone) }()
-	select {
-	case <-waitDone:
-	case <-time.After(5 * time.Second):
+	stopDeadline := time.After(stopTimeout)
+wait:
+	for got := 0; got < len(c.nodes); got++ {
+		select {
+		case <-c.statsCh:
+		case <-stopDeadline:
+			break wait
+		}
 	}
-
+	c.CloseAll()
+	wg.Wait()
 	return c.results(), nil
 }
+
+// stopTimeout bounds the stop handshake's wait for node stats.
+const stopTimeout = 5 * time.Second
 
 func (c *Controller) now() stream.Time {
 	return stream.Time(time.Since(c.epoch).Milliseconds())
 }
 
 // readLoop ingests reports from one node until its connection closes.
-func (c *Controller) readLoop(n *conn) {
-	dec := json.NewDecoder(n.c)
+// Abnormal closes before the stop handshake are surfaced to Run.
+func (c *Controller) readLoop(idx int, n *conn) {
+	fr := newFrameReader(n.c)
 	for {
-		var e Envelope
-		if err := dec.Decode(&e); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection teardown at stop time is expected.
+		e, _, err := fr.next()
+		if err != nil {
+			if c.stopping.Load() {
+				return // teardown at stop time is expected
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				err = fmt.Errorf("connection closed: %w", err)
+			}
+			select {
+			case c.fail <- fmt.Errorf("node %s: %w", c.addrs[idx], err):
+			default:
 			}
 			return
+		}
+		if e == nil {
+			continue // batches are never routed through the controller
 		}
 		switch e.Kind {
 		case KindReport:
 			r := e.Report
+			if r == nil {
+				continue // malformed control frame; drop, don't crash
+			}
 			now := c.now()
 			c.mu.Lock()
 			if coord, ok := c.coords[r.Query]; ok {
@@ -225,9 +402,16 @@ func (c *Controller) readLoop(n *conn) {
 			}
 			c.mu.Unlock()
 		case KindStats:
+			if e.Stats == nil {
+				continue
+			}
 			c.mu.Lock()
 			c.stats = append(c.stats, *e.Stats)
 			c.mu.Unlock()
+			select {
+			case c.statsCh <- struct{}{}:
+			default:
+			}
 		}
 	}
 }

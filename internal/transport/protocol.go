@@ -1,7 +1,9 @@
-// Package transport runs THEMIS nodes as network services: a JSON-over-
-// TCP protocol carries query deployment, tuple batches between fragments
-// on different machines, coordinator result-SIC updates, and result
-// streams back to the issuing user.
+// Package transport runs THEMIS nodes as network services: a framed TCP
+// protocol carries query deployment, tuple batches between fragments on
+// different machines, coordinator result-SIC updates, and result streams
+// back to the issuing user. Control messages travel as JSON for
+// debuggability; tuple batches — the hot path — use a length-prefixed
+// binary codec (see codec.go).
 //
 // The same node runtime (internal/node) that the virtual-time simulator
 // drives is driven here by wall-clock tickers, so everything the
@@ -12,6 +14,8 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -51,13 +55,18 @@ type Hello struct {
 }
 
 // Deploy instructs a node to host one fragment of a query. Plans cannot
-// travel as code, so the workload is named: Kind + Fragments + Dataset
-// reconstruct the plan via the internal/query builders on the node.
+// travel as code, so the query is named: either CQL carries the statement
+// text, re-parsed and re-planned identically on every host node, or
+// Workload names a Table 1 builder. Fragments + Dataset complete the
+// reconstruction.
 type Deploy struct {
-	Query     stream.QueryID `json:"query"`
-	Frag      stream.FragID  `json:"frag"`
-	Workload  string         `json:"workload"` // AVG-all | TOP-5 | COV | AVG | MAX | COUNT
-	Fragments int            `json:"fragments"`
+	Query stream.QueryID `json:"query"`
+	Frag  stream.FragID  `json:"frag"`
+	// CQL is the statement text of an ad-hoc query; when set it takes
+	// precedence over Workload.
+	CQL       string `json:"cql,omitempty"`
+	Workload  string `json:"workload"` // AVG-all | TOP-5 | COV | AVG | MAX | COUNT
+	Fragments int    `json:"fragments"`
 	Dataset   int            `json:"dataset"`
 	Rate      float64        `json:"rate"`
 	Batches   float64        `json:"batches_per_sec"`
@@ -68,12 +77,21 @@ type Deploy struct {
 	SourceSeed int64 `json:"source_seed"`
 	// FirstSourceID numbers this fragment's sources globally.
 	FirstSourceID stream.SourceID `json:"first_source_id"`
+	// STWMs and IntervalMs configure the node runtime's source time
+	// window and shedding interval. They must arrive with the deploy —
+	// not just with Start — because the Eq. (1) rate estimators of the
+	// fragment's sources are built at attach time; a node left on its
+	// defaults would normalise SIC over the wrong window and skew every
+	// result-SIC measurement by controllerSTW/nodeSTW.
+	STWMs      int64 `json:"stw_ms"`
+	IntervalMs int64 `json:"interval_ms"`
 }
 
-// Start begins real-time processing on a node.
+// Start begins real-time processing on a node. The tick interval echoes
+// the deploy's; the STW travels only in Deploy (it is consumed when
+// sources attach, before Start ever arrives).
 type Start struct {
 	IntervalMs int64 `json:"interval_ms"`
-	STWMs      int64 `json:"stw_ms"`
 }
 
 // BatchMsg carries one tuple batch between nodes. Tuples are flattened
@@ -133,12 +151,14 @@ type SICMsg struct {
 }
 
 // ReportMsg flows node → controller: either an accepted-SIC delta or a
-// result-stream delivery.
+// result-stream delivery. The numeric fields deliberately avoid
+// omitempty: a zero-valued accepted delta or result is meaningful SIC
+// accounting data and must survive the round trip unchanged.
 type ReportMsg struct {
 	Query    stream.QueryID `json:"query"`
-	Accepted float64        `json:"accepted,omitempty"`
-	Result   float64        `json:"result,omitempty"`
-	Tuples   int            `json:"tuples,omitempty"`
+	Accepted float64        `json:"accepted"`
+	Result   float64        `json:"result"`
+	Tuples   int            `json:"tuples"`
 	IsResult bool           `json:"is_result"`
 }
 
@@ -151,22 +171,53 @@ type StatsMsg struct {
 	ShedInvocations int64  `json:"shed_invocations"`
 }
 
-// conn wraps a TCP connection with synchronised JSON encoding.
+// conn wraps a TCP connection with synchronised frame writing: JSON
+// frames for control envelopes, binary frames for batches. The scratch
+// buffer makes a steady-state batch send allocation-free.
 type conn struct {
 	mu  sync.Mutex
 	c   net.Conn
-	enc *json.Encoder
+	w   *bufio.Writer
+	buf []byte
 }
 
 func newConn(c net.Conn) *conn {
-	return &conn{c: c, enc: json.NewEncoder(c)}
+	return &conn{c: c, w: bufio.NewWriter(c)}
 }
 
-// send writes one envelope; safe for concurrent use.
+// writeFrameLocked writes one frame and flushes. Callers hold c.mu.
+func (c *conn) writeFrameLocked(kind byte, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// send writes one control envelope as a JSON frame; safe for concurrent
+// use.
 func (c *conn) send(e *Envelope) error {
+	p, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.enc.Encode(e)
+	return c.writeFrameLocked(frameJSON, p)
+}
+
+// sendBatch writes one tuple batch as a binary frame; safe for
+// concurrent use.
+func (c *conn) sendBatch(b *stream.Batch) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = appendWireBatch(c.buf[:0], b)
+	return c.writeFrameLocked(frameBatch, c.buf)
 }
 
 func (c *conn) Close() error { return c.c.Close() }

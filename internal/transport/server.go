@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cql"
 	"repro/internal/node"
 	"repro/internal/query"
 	"repro/internal/sources"
@@ -39,6 +39,13 @@ type NodeServer struct {
 	ctrl  *conn
 	outMu sync.Mutex
 	outs  map[string]*conn // peer address → connection
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{} // open inbound connections
+
+	stopOnce  sync.Once
+	closeOnce sync.Once
+	closed    chan struct{}
 
 	epoch time.Time
 	logf  func(format string, args ...any)
@@ -79,8 +86,10 @@ func NewNodeServer(cfg NodeServerConfig) (*NodeServer, error) {
 		seed:     cfg.Seed,
 		policy:   cfg.Policy,
 		outs:     make(map[string]*conn),
+		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		closed:   make(chan struct{}),
 		logf:     log.Printf,
 	}
 	if cfg.Quiet {
@@ -93,19 +102,35 @@ func NewNodeServer(cfg NodeServerConfig) (*NodeServer, error) {
 // Addr reports the bound listen address.
 func (s *NodeServer) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the server down.
+// Stopped returns a channel closed once the server has fully shut down —
+// after a controller-initiated stop has delivered the final stats, or
+// after Close. It is safe for a host process to exit when it fires.
+func (s *NodeServer) Stopped() <-chan struct{} { return s.closed }
+
+// signalStop closes the stop channel exactly once; Close and the stop
+// handshake may race from different goroutines (e.g. SIGINT against a
+// controller stop).
+func (s *NodeServer) signalStop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Close shuts the server down: the listener, outbound peer connections
+// and every open inbound connection, so peers and the controller observe
+// the shutdown exactly as they would a node crash.
 func (s *NodeServer) Close() error {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
+	s.signalStop()
 	err := s.ln.Close()
 	s.outMu.Lock()
 	for _, c := range s.outs {
 		c.Close()
 	}
 	s.outMu.Unlock()
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
+	s.closeOnce.Do(func() { close(s.closed) })
 	return err
 }
 
@@ -115,22 +140,35 @@ func (s *NodeServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		s.connMu.Lock()
+		s.conns[nc] = struct{}{}
+		s.connMu.Unlock()
 		go s.serveConn(nc)
 	}
 }
 
 // serveConn handles one inbound connection (controller or peer node).
 func (s *NodeServer) serveConn(nc net.Conn) {
-	defer nc.Close()
-	dec := json.NewDecoder(nc)
+	defer func() {
+		nc.Close()
+		s.connMu.Lock()
+		delete(s.conns, nc)
+		s.connMu.Unlock()
+	}()
+	fr := newFrameReader(nc)
 	out := newConn(nc)
 	for {
-		var e Envelope
-		if err := dec.Decode(&e); err != nil {
+		e, b, err := fr.next()
+		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("themis-node %s: decode: %v", s.Name, err)
 			}
 			return
+		}
+		if b != nil {
+			// Binary batch frame — the peer-to-peer hot path.
+			s.enqueue(b)
+			continue
 		}
 		switch e.Kind {
 		case KindHello:
@@ -142,12 +180,15 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 		case KindStart:
 			s.handleStart(e.Start, out)
 		case KindBatch:
-			s.mu.Lock()
-			if s.nd != nil {
-				s.nd.Enqueue(e.Batch.ToBatch(), s.now())
+			// JSON-framed batch: kept for debug tooling parity. A missing
+			// payload is a malformed frame, not a crash.
+			if e.Batch != nil {
+				s.enqueue(e.Batch.ToBatch())
 			}
-			s.mu.Unlock()
 		case KindSIC:
+			if e.SIC == nil {
+				continue
+			}
 			s.mu.Lock()
 			if s.nd != nil {
 				s.nd.SetResultSIC(e.SIC.Query, e.SIC.Value)
@@ -160,20 +201,38 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 	}
 }
 
-// buildPlan reconstructs a workload plan from its wire descriptor.
-func buildPlan(workload string, fragments, dataset int) (*query.Plan, error) {
-	d := sources.Dataset(dataset)
-	switch workload {
+func (s *NodeServer) enqueue(b *stream.Batch) {
+	s.mu.Lock()
+	if s.nd != nil {
+		s.nd.Enqueue(b, s.now())
+	}
+	s.mu.Unlock()
+}
+
+// buildPlan reconstructs a query plan from its wire descriptor: CQL text
+// is re-parsed and re-planned (deterministically, so every host node
+// derives the same fragment layout), named workloads go through the
+// Table 1 builders.
+func buildPlan(d *Deploy) (*query.Plan, error) {
+	ds := sources.Dataset(d.Dataset)
+	if d.CQL != "" {
+		st, err := cql.Parse(d.CQL)
+		if err != nil {
+			return nil, err
+		}
+		return cql.PlanDistributed(st, cql.DefaultCatalog(ds), d.Fragments)
+	}
+	switch d.Workload {
 	case "AVG-all":
-		return query.NewAvgAll(fragments, d), nil
+		return query.NewAvgAll(d.Fragments, ds), nil
 	case "TOP-5":
-		return query.NewTop5(fragments, d), nil
+		return query.NewTop5(d.Fragments, ds), nil
 	case "COV":
-		return query.NewCov(fragments, d), nil
+		return query.NewCov(d.Fragments, ds), nil
 	case "AVG":
-		return query.NewAggregate(0, d), nil // operator.AggAvg
+		return query.NewAggregate(0, ds), nil // operator.AggAvg
 	default:
-		return nil, fmt.Errorf("unknown workload %q", workload)
+		return nil, fmt.Errorf("unknown workload %q", d.Workload)
 	}
 }
 
@@ -181,7 +240,7 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 	if d == nil {
 		return errors.New("empty deploy")
 	}
-	plan, err := buildPlan(d.Workload, d.Fragments, d.Dataset)
+	plan, err := buildPlan(d)
 	if err != nil {
 		return err
 	}
@@ -191,7 +250,7 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.nd == nil {
-		s.initNode()
+		s.initNode(d.STWMs, d.IntervalMs)
 	}
 	fp := plan.Fragments[d.Frag]
 	downstream := stream.FragID(-1)
@@ -215,7 +274,9 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 	return nil
 }
 
-func (s *NodeServer) initNode() {
+// initNode builds the node runtime with the deployment's STW and
+// shedding interval (zero values fall back to the node defaults).
+func (s *NodeServer) initNode(stwMs, intervalMs int64) {
 	var shedder core.Shedder
 	if s.policy == "random" {
 		shedder = core.NewRandom(s.seed)
@@ -223,6 +284,8 @@ func (s *NodeServer) initNode() {
 		shedder = core.NewBalanceSIC(s.seed)
 	}
 	s.nd = node.New(0, node.Config{
+		STW:            stream.Duration(stwMs),
+		Interval:       stream.Duration(intervalMs),
 		CapacityPerSec: s.capacity,
 		Seed:           s.seed,
 	}, shedder)
@@ -262,6 +325,14 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+			// Re-check stop: once it closes, both select cases are ready
+			// and a random pick could otherwise squeeze in extra ticks
+			// while the stop handshake is waiting on done.
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
 			s.mu.Lock()
 			now := s.now()
 			// Tick covers [last, now): the node emits its sources over
@@ -279,7 +350,20 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 	}
 }
 
+// handleStop freezes the node and replies with its final stats. The
+// order matters for the stop handshake: the tick loop must have fully
+// exited before the counters are read, otherwise a tick racing the stop
+// can mutate them after the "final" stats left — or worse, ship batches
+// to peers that are already gone. Only after the stats frame is on the
+// wire does the server tear down its listener and peer connections.
 func (s *NodeServer) handleStop(out *conn) {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	s.signalStop()
+	if started {
+		<-s.done
+	}
 	s.mu.Lock()
 	var stats node.Stats
 	if s.nd != nil {
@@ -327,19 +411,12 @@ func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 	if !ok {
 		return
 	}
-	if addr == s.Addr() {
-		// Local fragment: loop straight back into the input buffer.
-		s.mu.Lock()
-		s.nd.Enqueue(b, s.now())
-		s.mu.Unlock()
-		return
-	}
 	c, err := s.peerConn(addr)
 	if err != nil {
 		s.logf("themis-node %s: route: %v", s.Name, err)
 		return
 	}
-	if err := c.send(&Envelope{Kind: KindBatch, Batch: FromBatch(b)}); err != nil {
+	if err := c.sendBatch(b); err != nil {
 		s.logf("themis-node %s: send: %v", s.Name, err)
 	}
 }

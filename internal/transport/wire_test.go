@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// adversarialFloats are values that break naive float formatting:
+// subnormals, extremes, negative zero, values needing all 17 digits.
+var adversarialFloats = []float64{
+	0, math.Copysign(0, -1), 1.0 / 3.0, 0.1, 1e-308, 5e-324, // subnormal
+	math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	1.0000000000000002, 0.30000000000000004, 2.2250738585072014e-308,
+}
+
+func randomBatch(rng *rand.Rand, n, arity int) *stream.Batch {
+	b := stream.NewBatch(stream.QueryID(rng.Int31()), stream.FragID(rng.Int31n(16)), -1,
+		stream.Time(rng.Int63n(1<<40)), n, arity)
+	b.Port = rng.Intn(32) - 1
+	pick := func() float64 {
+		if rng.Intn(3) == 0 {
+			return adversarialFloats[rng.Intn(len(adversarialFloats))]
+		}
+		return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(60)-30))
+	}
+	for i := 0; i < n; i++ {
+		b.Tuples[i].TS = stream.Time(rng.Int63n(1 << 40))
+		b.Tuples[i].SIC = math.Abs(pick())
+		for j := 0; j < arity; j++ {
+			b.Tuples[i].V[j] = pick()
+		}
+	}
+	b.RecomputeSIC()
+	if math.IsInf(b.SIC, 0) {
+		// Summing extreme tuple SICs can overflow; JSON has no Inf and
+		// real SIC headers are finite sums.
+		b.SIC = math.MaxFloat64
+	}
+	return b
+}
+
+func batchesEqualBits(t *testing.T, tag string, a, b *stream.Batch) {
+	t.Helper()
+	if a.Query != b.Query || a.Frag != b.Frag || a.Port != b.Port || a.TS != b.TS {
+		t.Fatalf("%s: header mismatch: %+v vs %+v", tag, a, b)
+	}
+	if math.Float64bits(a.SIC) != math.Float64bits(b.SIC) {
+		t.Fatalf("%s: header SIC %x vs %x", tag, math.Float64bits(a.SIC), math.Float64bits(b.SIC))
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		t.Fatalf("%s: %d vs %d tuples", tag, len(a.Tuples), len(b.Tuples))
+	}
+	for i := range a.Tuples {
+		at, bt := &a.Tuples[i], &b.Tuples[i]
+		if at.TS != bt.TS {
+			t.Fatalf("%s: tuple %d TS %d vs %d", tag, i, at.TS, bt.TS)
+		}
+		if math.Float64bits(at.SIC) != math.Float64bits(bt.SIC) {
+			t.Fatalf("%s: tuple %d SIC bits differ", tag, i)
+		}
+		if len(at.V) != len(bt.V) {
+			t.Fatalf("%s: tuple %d arity %d vs %d", tag, i, len(at.V), len(bt.V))
+		}
+		for j := range at.V {
+			if math.Float64bits(at.V[j]) != math.Float64bits(bt.V[j]) {
+				t.Fatalf("%s: tuple %d val %d bits %x vs %x", tag, i, j,
+					math.Float64bits(at.V[j]), math.Float64bits(bt.V[j]))
+			}
+		}
+	}
+}
+
+// TestWireRoundTripProperty drives random batches — seeded with the
+// float values that defeat naive formatters — through both codecs: the
+// binary frame encoding and the JSON BatchMsg envelope. Every float64
+// and every stream.Time must survive bit-exactly; zero values must not
+// vanish.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(20)
+		arity := rng.Intn(4)
+		if n > 0 && arity == 0 && rng.Intn(2) == 0 {
+			arity = 1
+		}
+		orig := randomBatch(rng, n, arity)
+
+		// Binary codec.
+		p := appendWireBatch(nil, orig)
+		got, err := decodeWireBatch(p)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		batchesEqualBits(t, "binary", orig, got)
+
+		// JSON envelope codec.
+		j, err := json.Marshal(&Envelope{Kind: KindBatch, Batch: FromBatch(orig)})
+		if err != nil {
+			t.Fatalf("trial %d: json: %v", trial, err)
+		}
+		var e Envelope
+		if err := json.Unmarshal(j, &e); err != nil {
+			t.Fatalf("trial %d: unjson: %v", trial, err)
+		}
+		batchesEqualBits(t, "json", orig, e.Batch.ToBatch())
+	}
+}
+
+// TestReportMsgKeepsZeroFields guards against omitempty creeping back
+// onto the numeric report fields: a zero accepted-SIC delta is data.
+func TestReportMsgKeepsZeroFields(t *testing.T) {
+	j, err := json.Marshal(&ReportMsg{Query: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"accepted", "result", "tuples"} {
+		if !strings.Contains(string(j), `"`+field+`"`) {
+			t.Errorf("zero-valued %q dropped from wire: %s", field, j)
+		}
+	}
+}
+
+func TestDecodeWireBatchRejectsCorrupt(t *testing.T) {
+	orig := randomBatch(rand.New(rand.NewSource(1)), 4, 2)
+	p := appendWireBatch(nil, orig)
+	if _, err := decodeWireBatch(p[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := decodeWireBatch(p[:len(p)-3]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// TestFrameReaderMixedStream interleaves JSON control frames and binary
+// batch frames on one byte stream, as a real connection does.
+func TestFrameReaderMixedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b1 := randomBatch(rng, 8, 2)
+	b2 := randomBatch(rng, 0, 0)
+
+	var buf bytes.Buffer
+	writeJSON := func(e *Envelope) {
+		p, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hdr [frameHeaderLen]byte
+		hdr[0] = frameJSON
+		hdr[1], hdr[2], hdr[3], hdr[4] = byte(len(p)>>24), byte(len(p)>>16), byte(len(p)>>8), byte(len(p))
+		buf.Write(hdr[:])
+		buf.Write(p)
+	}
+	writeBatch := func(b *stream.Batch) {
+		p := appendWireBatch(nil, b)
+		var hdr [frameHeaderLen]byte
+		hdr[0] = frameBatch
+		hdr[1], hdr[2], hdr[3], hdr[4] = byte(len(p)>>24), byte(len(p)>>16), byte(len(p)>>8), byte(len(p))
+		buf.Write(hdr[:])
+		buf.Write(p)
+	}
+	writeJSON(&Envelope{Kind: KindHello, Hello: &Hello{From: "test"}})
+	writeBatch(b1)
+	writeJSON(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: 9, Value: 0.5}})
+	writeBatch(b2)
+
+	fr := newFrameReader(&buf)
+	e, b, err := fr.next()
+	if err != nil || e == nil || e.Kind != KindHello || b != nil {
+		t.Fatalf("frame 1: %v %v %v", e, b, err)
+	}
+	e, b, err = fr.next()
+	if err != nil || b == nil || e != nil {
+		t.Fatalf("frame 2: %v %v %v", e, b, err)
+	}
+	batchesEqualBits(t, "frame2", b1, b)
+	e, _, err = fr.next()
+	if err != nil || e == nil || e.Kind != KindSIC || e.SIC.Value != 0.5 {
+		t.Fatalf("frame 3: %+v %v", e, err)
+	}
+	_, b, err = fr.next()
+	if err != nil || b == nil || b.Len() != 0 {
+		t.Fatalf("frame 4: %v %v", b, err)
+	}
+}
+
+// BenchmarkWireBatch compares encode+decode cost of the two batch
+// codecs on a representative 64-tuple, arity-2 batch (the §7 evaluation
+// ships batches of tens of tuples several times a second per source).
+func BenchmarkWireBatch(b *testing.B) {
+	batch := randomBatch(rand.New(rand.NewSource(3)), 64, 2)
+
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		var total int64
+		for i := 0; i < b.N; i++ {
+			p, err := json.Marshal(&Envelope{Kind: KindBatch, Batch: FromBatch(batch)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += int64(len(p))
+			var e Envelope
+			if err := json.Unmarshal(p, &e); err != nil {
+				b.Fatal(err)
+			}
+			if e.Batch.ToBatch().Len() != batch.Len() {
+				b.Fatal("length mismatch")
+			}
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "wire-bytes/op")
+	})
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		var total int64
+		for i := 0; i < b.N; i++ {
+			buf = appendWireBatch(buf[:0], batch)
+			total += int64(len(buf))
+			got, err := decodeWireBatch(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != batch.Len() {
+				b.Fatal("length mismatch")
+			}
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "wire-bytes/op")
+	})
+}

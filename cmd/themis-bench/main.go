@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -30,7 +31,28 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment list or 'all'")
 	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
 	stepBench := flag.String("stepbench", "", "measure Engine.Step across worker counts and write the JSON comparison to this file")
+	churnBench := flag.String("churnbench", "", "measure node-failure recovery time across STWs and write the JSON result to this file")
 	flag.Parse()
+
+	if *churnBench != "" {
+		r, err := experiments.ChurnRecovery([]stream.Duration{
+			1 * stream.Second, 2 * stream.Second, 5 * stream.Second, 10 * stream.Second,
+		}, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: churnbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*churnBench, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: churnbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *stepBench != "" {
 		r := experiments.StepBench([]int{1, 2, 4, 8}, 200)

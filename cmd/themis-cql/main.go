@@ -178,13 +178,25 @@ func runNetworked(addrList, queryText string, dataset, fragments int, placement 
 	}
 
 	fmt.Printf("\nnetworked run over %d nodes (%s placement)\n", ctrl.NumNodes(), placement)
+	for _, rec := range res.Recoveries {
+		fmt.Printf("recovered from failure of node %s at t=%.2fs: re-placed queries %v in %v\n",
+			rec.Node, rec.At.Seconds(), rec.Queries, rec.Took)
+	}
 	qids := make([]themis.QueryID, 0, len(res.PerQuery))
 	for id := range res.PerQuery {
 		qids = append(qids, id)
 	}
 	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
 	for _, id := range qids {
-		fmt.Printf("query %d mean SIC: %.3f   (1.0 = perfect processing)\n", id, res.PerQuery[id])
+		suffix := ""
+		for _, rec := range res.Recoveries {
+			for _, rq := range rec.Queries {
+				if rq == id {
+					suffix = "   (post-recovery epoch)"
+				}
+			}
+		}
+		fmt.Printf("query %d mean SIC: %.3f   (1.0 = perfect processing)%s\n", id, res.PerQuery[id], suffix)
 	}
 	fmt.Printf("fairness (Jain): %.3f\n", res.Jain)
 	for _, ns := range res.Nodes {
@@ -192,6 +204,10 @@ func runNetworked(addrList, queryText string, dataset, fragments int, placement 
 			ns.Node, ns.ArrivedTuples, ns.ShedTuples,
 			100*float64(ns.ShedTuples)/float64(max64(ns.ArrivedTuples, 1)),
 			ns.ShedInvocations)
+		if ns.DroppedTuples > 0 {
+			fmt.Printf("node %-8s dropped in transit: %d tuples, %.4f SIC mass (routing failures during churn)\n",
+				ns.Node, ns.DroppedTuples, ns.DroppedSIC)
+		}
 	}
 }
 

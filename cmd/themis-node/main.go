@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"repro/internal/transport"
 )
@@ -47,8 +48,12 @@ func main() {
 	fmt.Printf("themis-node %s listening on %s (capacity %.0f tuples/sec, %s shedding)\n",
 		*name, srv.Addr(), *capacity, *policy)
 
+	// SIGTERM (plain `kill`, the README's churn example) closes the
+	// server like SIGINT does: connections sever immediately, so the
+	// controller detects the death and re-places this node's fragments
+	// without waiting for the heartbeat timeout.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
 		srv.Close()

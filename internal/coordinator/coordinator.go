@@ -97,6 +97,16 @@ func (c *Coordinator) ReportAcceptedBatch(t stream.Time, deltas []float64) {
 	c.accepted.Add(t, sum)
 }
 
+// ResetEpoch clears both SIC estimates, starting a fresh measurement
+// epoch. Failure recovery uses it after a query's fragments are
+// re-placed: SIC mass accepted or measured before the re-placement
+// described a pipeline that no longer exists, so post-recovery values
+// must not be diluted by pre-failure history.
+func (c *Coordinator) ResetEpoch() {
+	c.accepted.Reset()
+	c.measured.Reset()
+}
+
 // ReportResult records SIC that reached the root fragment's result stream.
 func (c *Coordinator) ReportResult(t stream.Time, delta float64) {
 	c.measured.Add(t, delta)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cql"
 	"repro/internal/federation"
+	"repro/internal/query"
 	"repro/internal/sources"
 	"repro/internal/stream"
 )
@@ -155,4 +156,67 @@ func meanOf(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// TestPlanDistributedDeterministic: failure recovery ships only the CQL
+// text to a replacement host, which re-parses and re-plans it there.
+// That is sound only if planning the same statement twice yields the
+// identical fragment layout — operator list, wiring, source count,
+// downstream table — regardless of which process runs the planner.
+func TestPlanDistributedDeterministic(t *testing.T) {
+	stmts := []string{
+		"Select Avg(t.v) From AllSrc[Range 1 sec]",
+		"Select Max(t.v) From AllSrc[Range 1 sec]",
+		"Select Count(t.v) From AllSrc[Range 1 sec]",
+		"Select Cov(SrcCPU1.value, SrcCPU2.value) From SrcCPU1[Range 1 sec], SrcCPU2[Range 1 sec]",
+		"Select Top5(AllSrcCPU.id) From AllSrcCPU[Range 1 sec], AllSrcMem[Range 1 sec] Where AllSrcCPU.id = AllSrcMem.id",
+	}
+	for _, src := range stmts {
+		for _, frags := range []int{1, 3} {
+			plan := func() *query.Plan {
+				st, err := cql.Parse(src)
+				if err != nil {
+					t.Fatalf("%s: %v", src, err)
+				}
+				p, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Uniform), frags)
+				if err != nil {
+					t.Fatalf("%s: %v", src, err)
+				}
+				return p
+			}
+			a, b := plan(), plan()
+			if a.Type != b.Type || a.NumFragments() != b.NumFragments() {
+				t.Fatalf("%s frags=%d: plan shape diverged: %s/%d vs %s/%d",
+					src, frags, a.Type, a.NumFragments(), b.Type, b.NumFragments())
+			}
+			for i := range a.Downstream {
+				if a.Downstream[i] != b.Downstream[i] {
+					t.Errorf("%s frags=%d: downstream[%d] %d vs %d", src, frags, i, a.Downstream[i], b.Downstream[i])
+				}
+			}
+			for fi := range a.Fragments {
+				fa, fb := a.Fragments[fi], b.Fragments[fi]
+				if len(fa.Ops) != len(fb.Ops) || fa.OutOp != fb.OutOp ||
+					fa.UpstreamPort != fb.UpstreamPort || len(fa.Sources) != len(fb.Sources) {
+					t.Fatalf("%s frags=%d fragment %d: layout diverged", src, frags, fi)
+				}
+				for oi := range fa.Ops {
+					if fa.Ops[oi].Name != fb.Ops[oi].Name || len(fa.Ops[oi].Outs) != len(fb.Ops[oi].Outs) {
+						t.Errorf("%s frags=%d fragment %d op %d: %s vs %s",
+							src, frags, fi, oi, fa.Ops[oi].Name, fb.Ops[oi].Name)
+					}
+					for ei := range fa.Ops[oi].Outs {
+						if fa.Ops[oi].Outs[ei] != fb.Ops[oi].Outs[ei] {
+							t.Errorf("%s frags=%d fragment %d op %d edge %d differs", src, frags, fi, oi, ei)
+						}
+					}
+				}
+				for port, ent := range fa.Entries {
+					if fb.Entries[port] != ent {
+						t.Errorf("%s frags=%d fragment %d entry %d differs", src, frags, fi, port)
+					}
+				}
+			}
+		}
+	}
 }

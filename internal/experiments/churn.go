@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/federation"
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Node-churn recovery experiment: a federation in steady state loses a
+// fragment host; the engine re-places the displaced fragment on a spare
+// (exactly as the TCP controller re-places it on a live deployment) and
+// the experiment measures how long the affected query's SIC takes to
+// climb back. Recovery time is dominated by the STW refill — the
+// re-placed pipeline is correct immediately, but the sliding window
+// that defines result SIC must fill with post-recovery mass — so the
+// experiment sweeps the STW to expose that relationship.
+
+// ChurnRow is one STW configuration's recovery measurement.
+type ChurnRow struct {
+	STWMs int64 `json:"stw_ms"`
+	// KillTick is the engine tick at which the host died.
+	KillTick int64 `json:"kill_tick"`
+	// PreKillSIC is the query's sliding SIC just before the failure.
+	PreKillSIC float64 `json:"pre_kill_sic"`
+	// DipSIC is the sliding SIC right after the recovery epoch reset.
+	DipSIC float64 `json:"dip_sic"`
+	// RecoveryTicks counts ticks from the kill until the sliding SIC
+	// regained 90% of its pre-kill level (-1: never within the run).
+	RecoveryTicks int64 `json:"recovery_ticks"`
+	// RecoveryMs is RecoveryTicks in virtual milliseconds.
+	RecoveryMs int64 `json:"recovery_ms"`
+	// RecoveredSIC is the sliding SIC at the recovery threshold crossing
+	// (or at run end if never crossed).
+	RecoveredSIC float64 `json:"recovered_sic"`
+}
+
+// ChurnResult records the recovery-time experiment.
+type ChurnResult struct {
+	Nodes      int        `json:"nodes"`
+	Fragments  int        `json:"fragments"`
+	IntervalMs int64      `json:"interval_ms"`
+	Rows       []ChurnRow `json:"rows"`
+}
+
+// ChurnRecovery kills the root fragment's host of a 3-fragment AVG-all
+// query on a 4-node federation (one spare) at steady state, for each
+// STW in stws, and measures the SIC dip and recovery time.
+func ChurnRecovery(stws []stream.Duration, seed int64) (*ChurnResult, error) {
+	const (
+		nodes    = 4
+		frags    = 3
+		interval = 100 * stream.Millisecond
+	)
+	res := &ChurnResult{Nodes: nodes, Fragments: frags, IntervalMs: int64(interval)}
+	for _, stw := range stws {
+		cfg := federation.Defaults()
+		cfg.STW = stw
+		cfg.Interval = interval
+		cfg.SourceRate = 50
+		cfg.Seed = seed
+		// Kill once the window has long filled: three STWs in.
+		killTick := 3 * int64(stw) / int64(interval)
+		cfg.Churn = []federation.ChurnEvent{{Tick: killTick, Kill: []stream.NodeID{0}}}
+		e := federation.NewEngine(cfg)
+		e.AddNodes(nodes, 50_000)
+		q, err := e.DeployQuery(query.NewAvgAll(frags, sources.Uniform), []stream.NodeID{0, 1, 2}, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < killTick; i++ {
+			e.Step()
+		}
+		row := ChurnRow{STWMs: int64(stw), KillTick: killTick, PreKillSIC: e.CurrentSIC(q), RecoveryTicks: -1}
+		e.Step() // the kill + re-placement applies here
+		row.DipSIC = e.CurrentSIC(q)
+		threshold := 0.9 * row.PreKillSIC
+		maxTicks := killTick + 4*int64(stw)/int64(interval)
+		for tick := killTick + 1; tick <= maxTicks; tick++ {
+			if s := e.CurrentSIC(q); s >= threshold {
+				row.RecoveryTicks = tick - killTick
+				row.RecoveryMs = row.RecoveryTicks * int64(interval)
+				row.RecoveredSIC = s
+				break
+			}
+			e.Step()
+		}
+		if row.RecoveryTicks < 0 {
+			row.RecoveredSIC = e.CurrentSIC(q)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the recovery sweep as a text table.
+func (r *ChurnResult) Render() string {
+	header := []string{"stw", "pre-kill SIC", "dip SIC", "recovery", "recovered SIC"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rec := "never"
+		if row.RecoveryTicks >= 0 {
+			rec = fmt.Sprintf("%.1fs (%d ticks)", float64(row.RecoveryMs)/1000, row.RecoveryTicks)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0fs", float64(row.STWMs)/1000),
+			f4(row.PreKillSIC), f4(row.DipSIC), rec, f4(row.RecoveredSIC),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "node-churn recovery: %d nodes, %d-fragment AVG-all, root host killed (interval %d ms)\n",
+		r.Nodes, r.Fragments, r.IntervalMs)
+	b.WriteString(table(header, rows))
+	return b.String()
+}

@@ -257,3 +257,35 @@ func TestTableRendering(t *testing.T) {
 		t.Errorf("separator: %q", lines[1])
 	}
 }
+
+// TestChurnRecoveryExperiment: the recovery-time experiment must show
+// the canonical shape — near-perfect SIC before the kill, a deep dip at
+// the recovery epoch, and recovery within a few STWs whose duration
+// grows with the window.
+func TestChurnRecoveryExperiment(t *testing.T) {
+	res, err := ChurnRecovery([]stream.Duration{1 * stream.Second, 2 * stream.Second}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row.PreKillSIC < 0.9 {
+			t.Errorf("stw %dms: pre-kill SIC %.3f, want steady state", row.STWMs, row.PreKillSIC)
+		}
+		if row.DipSIC > 0.5*row.PreKillSIC {
+			t.Errorf("stw %dms: dip SIC %.3f vs pre-kill %.3f: recovery epoch not visible", row.STWMs, row.DipSIC, row.PreKillSIC)
+		}
+		if row.RecoveryTicks < 0 {
+			t.Errorf("stw %dms: SIC never recovered", row.STWMs)
+		}
+		if row.RecoveredSIC < 0.9*row.PreKillSIC {
+			t.Errorf("stw %dms: recovered SIC %.3f below threshold", row.STWMs, row.RecoveredSIC)
+		}
+	}
+	// Window refill dominates recovery: a 2 s STW must take longer than 1 s.
+	if res.Rows[1].RecoveryMs <= res.Rows[0].RecoveryMs {
+		t.Errorf("recovery %d ms (2s STW) not above %d ms (1s STW)", res.Rows[1].RecoveryMs, res.Rows[0].RecoveryMs)
+	}
+}

@@ -142,3 +142,123 @@ func TestRemoveQueryIdempotentAndUnknown(t *testing.T) {
 	e.RemoveQuery(999) // unknown: no-op
 	e.Step()           // must not panic with zero hosted queries
 }
+
+// --- node churn (Config.Churn): the virtual-time mirror of the TCP
+// transport's failure recovery ---
+
+// churnEngine builds an underloaded federation whose SIC sits near 1 in
+// steady state, so recovery is visible as a dip-and-return.
+func churnEngine(t *testing.T, nodes int, churn []ChurnEvent) (*Engine, stream.QueryID) {
+	t.Helper()
+	cfg := Defaults()
+	cfg.STW = 2 * stream.Second
+	cfg.Interval = 100 * stream.Millisecond
+	cfg.SourceRate = 50
+	cfg.Seed = 3
+	cfg.Churn = churn
+	e := NewEngine(cfg)
+	e.AddNodes(nodes, 50_000)
+	q, err := e.DeployQuery(query.NewAvgAll(3, sources.Uniform), []stream.NodeID{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, q
+}
+
+// TestNodeKillRecovery kills a fragment host mid-run: the engine must
+// re-place the displaced fragment on the spare node, reset the query's
+// SIC at the recovery epoch, and climb back to near-perfect processing
+// once the STW refills.
+func TestNodeKillRecovery(t *testing.T) {
+	const killTick = 60
+	e, q := churnEngine(t, 4, []ChurnEvent{{Tick: killTick, Kill: []stream.NodeID{1}}})
+	for i := 0; i < killTick; i++ {
+		e.Step()
+	}
+	if pre := e.CurrentSIC(q); pre < 0.9 {
+		t.Fatalf("pre-kill SIC %.3f: federation not in steady state", pre)
+	}
+	e.Step() // the kill applies at the start of this step
+	if p := e.Placement(q); p[1] != 3 {
+		t.Fatalf("fragment 1 placed on node %d after kill, want spare node 3 (placement %v)", p[1], p)
+	}
+	if e.NodeAlive(1) {
+		t.Fatal("killed node still reported alive")
+	}
+	if post := e.CurrentSIC(q); post > 0.5 {
+		t.Errorf("SIC %.3f right after the recovery epoch: accumulator not reset", post)
+	}
+	// One STW plus slack for the re-placed sources to warm up.
+	for i := 0; i < 60; i++ {
+		e.Step()
+	}
+	if rec := e.CurrentSIC(q); rec < 0.9 {
+		t.Errorf("post-recovery SIC %.3f, want ≥ 0.9: displaced fragment's partials not flowing", rec)
+	}
+}
+
+// TestNodeJoinAdoptsFragments joins a replacement in the same churn
+// event that kills a host: the joiner is the only eligible survivor and
+// must adopt the displaced fragment.
+func TestNodeJoinAdoptsFragments(t *testing.T) {
+	const killTick = 40
+	e, q := churnEngine(t, 3, []ChurnEvent{{Tick: killTick, Join: 1, JoinCapacity: 50_000, Kill: []stream.NodeID{2}}})
+	for i := 0; i <= killTick; i++ {
+		e.Step()
+	}
+	if p := e.Placement(q); p[2] != 3 {
+		t.Fatalf("fragment 2 on node %d, want joined node 3 (placement %v)", p[2], p)
+	}
+	for i := 0; i < 60; i++ {
+		e.Step()
+	}
+	if rec := e.CurrentSIC(q); rec < 0.9 {
+		t.Errorf("post-join SIC %.3f, want ≥ 0.9", rec)
+	}
+}
+
+// TestKillUnrecoverableQueryDeparts kills a host with no survivors left
+// to take its fragment: the query departs and the federation keeps
+// running instead of panicking.
+func TestKillUnrecoverableQueryDeparts(t *testing.T) {
+	e, q := churnEngine(t, 3, []ChurnEvent{{Tick: 20, Kill: []stream.NodeID{2}}})
+	for i := 0; i < 40; i++ {
+		e.Step()
+	}
+	if got := e.CurrentSIC(q); got != 0 {
+		t.Errorf("departed query still reports SIC %.3f", got)
+	}
+	res := e.Results()
+	if len(res.Queries) != 1 {
+		t.Fatalf("results lost the departed query's record: %+v", res.Queries)
+	}
+}
+
+// TestChurnDeterminism: the same churn schedule under the same seed must
+// yield bit-identical results regardless of worker count — recovery is
+// part of the deterministic exchange contract.
+func TestChurnDeterminism(t *testing.T) {
+	run := func(workers int) float64 {
+		cfg := Defaults()
+		cfg.STW = 2 * stream.Second
+		cfg.Interval = 100 * stream.Millisecond
+		cfg.SourceRate = 50
+		cfg.Seed = 3
+		cfg.Workers = workers
+		cfg.Churn = []ChurnEvent{{Tick: 30, Kill: []stream.NodeID{1}}}
+		e := NewEngine(cfg)
+		e.AddNodes(4, 900) // overloaded: shedding decisions must also replay identically
+		q, err := e.DeployQuery(query.NewAvgAll(3, sources.Uniform), []stream.NodeID{0, 1, 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 120; i++ {
+			e.Step()
+		}
+		return e.CurrentSIC(q)
+	}
+	a, b := run(1), run(4)
+	if a != b {
+		t.Errorf("churn run diverged across worker counts: %v vs %v", a, b)
+	}
+}

@@ -103,8 +103,29 @@ type Config struct {
 	// against private state and their effects are applied in node-ID order
 	// during the exchange phase.
 	Workers int
+	// Churn schedules node kill/join events at given ticks — the
+	// virtual-time mirror of the TCP transport's failure recovery, so a
+	// networked run through membership churn can be checked against the
+	// deterministic engine executing the same schedule.
+	Churn []ChurnEvent
 	// Seed drives all randomness in the deployment.
 	Seed int64
+}
+
+// ChurnEvent is one scheduled membership change. Joins apply before
+// kills within the same event, so a replacement node announced together
+// with a failure is eligible to adopt the displaced fragments.
+type ChurnEvent struct {
+	// Tick is the engine tick at whose start the event applies.
+	Tick int64
+	// Join adds this many fresh nodes with JoinCapacity tuples/sec.
+	Join         int
+	JoinCapacity float64
+	// Kill fails the named nodes: their hosted fragments are re-placed
+	// on surviving nodes exactly as the transport controller re-places
+	// them (fresh executor state, SIC accounting reset at the recovery
+	// epoch); a query with too few survivors departs instead.
+	Kill []stream.NodeID
 }
 
 // Defaults returns the evaluation's base configuration (§7): 250 ms
@@ -127,8 +148,9 @@ func Defaults() Config {
 
 // delivery is an in-transit batch.
 type delivery struct {
-	to stream.NodeID
-	b  *stream.Batch
+	from stream.NodeID
+	to   stream.NodeID
+	b    *stream.Batch
 }
 
 // sicUpdate is an in-transit coordinator message.
@@ -145,6 +167,7 @@ type queryRT struct {
 	placement []stream.NodeID
 	hosts     []stream.NodeID // distinct hosting nodes
 	resultAcc *sic.Accumulator
+	rate      float64
 	samples   []float64
 	sampleSum float64
 	sampleN   int
@@ -158,6 +181,7 @@ type Engine struct {
 	cfg     Config
 	rng     *rand.Rand
 	nodes   []*node.Node
+	dead    []bool
 	coords  map[stream.QueryID]*coordinator.Coordinator
 	queries map[stream.QueryID]*queryRT
 	order   []stream.QueryID
@@ -238,6 +262,7 @@ func (e *Engine) AddNode(capacityPerSec float64) stream.NodeID {
 		Seed:           e.rng.Int63(),
 	}, e.newShedder())
 	e.nodes = append(e.nodes, n)
+	e.dead = append(e.dead, false)
 	return id
 }
 
@@ -272,6 +297,9 @@ func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate f
 		if int(nd) < 0 || int(nd) >= len(e.nodes) {
 			return 0, fmt.Errorf("federation: placement names missing node %d", nd)
 		}
+		if e.dead[nd] {
+			return 0, fmt.Errorf("federation: placement names dead node %d", nd)
+		}
 		if seen[nd] {
 			return 0, fmt.Errorf("federation: fragments of one query must be placed on distinct nodes")
 		}
@@ -283,12 +311,12 @@ func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate f
 
 	q := e.nextQuery
 	e.nextQuery++
-	numSources := plan.NumSources()
 	rt := &queryRT{
 		id:        q,
 		plan:      plan,
 		placement: append([]stream.NodeID(nil), placement...),
 		resultAcc: sic.NewAccumulator(e.cfg.STW, e.cfg.Interval),
+		rate:      rate,
 	}
 	hostSeen := make(map[stream.NodeID]bool, len(placement))
 	for _, nd := range placement {
@@ -298,26 +326,8 @@ func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate f
 		}
 	}
 
-	srcIdx := 0
-	for fi, fp := range plan.Fragments {
-		host := e.nodes[placement[fi]]
-		exec := query.NewFragmentExec(fp)
-		downstream := stream.FragID(-1)
-		downstreamPort := -1
-		if d := plan.Downstream[fi]; d >= 0 {
-			downstream = stream.FragID(d)
-			downstreamPort = plan.Fragments[d].UpstreamPort
-		}
-		host.HostFragment(q, stream.FragID(fi), exec, numSources, downstream, downstreamPort)
-		for _, ss := range fp.Sources {
-			gen := ss.NewGen(rand.New(rand.NewSource(e.rng.Int63())), srcIdx)
-			src := sources.New(e.nextSource, q, stream.FragID(fi), ss.Port,
-				rate, e.cfg.BatchesPerSec, ss.Arity, gen, e.rng.Int63())
-			src.Burst = e.cfg.Burst
-			e.nextSource++
-			srcIdx++
-			host.AttachSource(src)
-		}
+	for fi := range plan.Fragments {
+		e.placeFragment(rt, fi, placement[fi])
 	}
 
 	e.coords[q] = coordinator.New(q, e.cfg.UpdateMode, e.cfg.STW, e.cfg.Interval)
@@ -372,7 +382,7 @@ func (e *Engine) routeDownstream(from stream.NodeID, b *stream.Batch) {
 		delay = e.latencyTicks()
 	}
 	at := e.tick + delay
-	e.inTransit[at] = append(e.inTransit[at], delivery{to: dest, b: b})
+	e.inTransit[at] = append(e.inTransit[at], delivery{from: from, to: dest, b: b})
 }
 
 // deliverResult accumulates result SIC reaching a root fragment and feeds
@@ -393,6 +403,153 @@ func (e *Engine) deliverResult(q stream.QueryID, now stream.Time, tuples []strea
 	if rt.resultFn != nil {
 		rt.resultFn(now, tuples)
 	}
+}
+
+// --- membership churn ---
+
+// applyChurn executes the scheduled membership events due at the current
+// tick: joins first (so announced replacements can adopt fragments),
+// then kills.
+func (e *Engine) applyChurn() {
+	for _, ev := range e.cfg.Churn {
+		if ev.Tick != e.tick {
+			continue
+		}
+		for j := 0; j < ev.Join; j++ {
+			speed := ev.JoinCapacity
+			if speed <= 0 {
+				speed = 1000
+			}
+			e.AddNode(speed)
+		}
+		for _, id := range ev.Kill {
+			e.KillNode(id)
+		}
+	}
+}
+
+// KillNode fails a node mid-run, mirroring the transport controller's
+// recovery: every query fragment the node hosted is re-placed on the
+// lowest-numbered surviving nodes not already hosting the query, with a
+// fresh executor and fresh sources (operator window state dies with the
+// node, exactly as in a real crash), and the affected queries' SIC
+// accounting resets at this recovery epoch — their statistics describe
+// the post-recovery pipeline. A query that cannot be re-placed (too few
+// survivors) departs. Batches in transit to the dead node are dropped on
+// delivery and counted against the sender's dropped-SIC stats.
+func (e *Engine) KillNode(id stream.NodeID) {
+	if int(id) < 0 || int(id) >= len(e.nodes) || e.dead[id] {
+		return
+	}
+	e.dead[id] = true
+	for _, qid := range e.order {
+		rt := e.queries[qid]
+		if rt.removed {
+			continue
+		}
+		var displaced []int
+		used := make(map[stream.NodeID]bool, len(rt.placement))
+		for fi, nd := range rt.placement {
+			if nd == id {
+				displaced = append(displaced, fi)
+			} else {
+				used[nd] = true
+			}
+		}
+		if len(displaced) == 0 {
+			continue
+		}
+		var candidates []stream.NodeID
+		for ni := range e.nodes {
+			nd := stream.NodeID(ni)
+			if !e.dead[nd] && !used[nd] {
+				candidates = append(candidates, nd)
+			}
+		}
+		if len(candidates) < len(displaced) {
+			// Unrecoverable for this query: not enough distinct survivors.
+			// The federation keeps running without it (the TCP controller
+			// aborts here instead — it owes the user an answer).
+			e.RemoveQuery(qid)
+			continue
+		}
+		for i, fi := range displaced {
+			e.nodes[id].RemoveFragment(qid, stream.FragID(fi))
+			e.placeFragment(rt, fi, candidates[i])
+		}
+		rt.hosts = rt.hosts[:0]
+		hostSeen := make(map[stream.NodeID]bool, len(rt.placement))
+		for _, nd := range rt.placement {
+			if !hostSeen[nd] {
+				hostSeen[nd] = true
+				rt.hosts = append(rt.hosts, nd)
+			}
+		}
+		// Recovery epoch: measured SIC and per-run samples restart so the
+		// post-recovery pipeline is measured cleanly.
+		rt.resultAcc.Reset()
+		rt.samples = rt.samples[:0]
+		rt.sampleSum, rt.sampleN = 0, 0
+		if c, ok := e.coords[qid]; ok {
+			c.ResetEpoch()
+		}
+	}
+}
+
+// placeFragment instantiates fragment fi of rt's plan on the given
+// node: fresh executor, fresh sources (their rate estimators warm-start,
+// as on a newly deployed node). Both the initial deploy and failure
+// recovery go through here, so a re-placed fragment reconstructs the
+// same per-source generator indices — the query-global running count —
+// as the fragment it replaces, even for plans with uneven per-fragment
+// source counts.
+func (e *Engine) placeFragment(rt *queryRT, fi int, nd stream.NodeID) {
+	plan := rt.plan
+	fp := plan.Fragments[fi]
+	host := e.nodes[nd]
+	downstream := stream.FragID(-1)
+	downstreamPort := -1
+	if d := plan.Downstream[fi]; d >= 0 {
+		downstream = stream.FragID(d)
+		downstreamPort = plan.Fragments[d].UpstreamPort
+	}
+	host.HostFragment(rt.id, stream.FragID(fi), query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort)
+	genIdx := plan.SourceIndexOffset(fi)
+	for si, ss := range fp.Sources {
+		gen := ss.NewGen(rand.New(rand.NewSource(e.rng.Int63())), genIdx+si)
+		src := sources.New(e.nextSource, rt.id, stream.FragID(fi), ss.Port,
+			rt.rate, e.cfg.BatchesPerSec, ss.Arity, gen, e.rng.Int63())
+		src.Burst = e.cfg.Burst
+		e.nextSource++
+		host.AttachSource(src)
+	}
+	rt.placement[fi] = nd
+}
+
+// NodeAlive reports whether a node is still part of the membership.
+func (e *Engine) NodeAlive(id stream.NodeID) bool {
+	return int(id) >= 0 && int(id) < len(e.nodes) && !e.dead[id]
+}
+
+// Placement returns a copy of a query's current fragment→node
+// assignment (it changes when failure recovery re-places fragments).
+func (e *Engine) Placement(q stream.QueryID) []stream.NodeID {
+	rt, ok := e.queries[q]
+	if !ok {
+		return nil
+	}
+	return append([]stream.NodeID(nil), rt.placement...)
+}
+
+// CurrentSIC reports a query's sliding measured result SIC at the
+// engine's current virtual time — the per-tick observable the churn
+// experiments track through kill and recovery.
+func (e *Engine) CurrentSIC(q stream.QueryID) float64 {
+	rt, ok := e.queries[q]
+	if !ok || rt.removed {
+		return 0
+	}
+	return rt.resultAcc.Sum(stream.Time(e.tick * int64(e.cfg.Interval)))
 }
 
 // --- run loop ---
@@ -417,6 +574,9 @@ func (e *Engine) workerCount() int {
 // outboxes in node-ID order.
 func (e *Engine) computePhase(t stream.Time) {
 	parallel.ForEach(len(e.nodes), e.workerCount(), func(i int) {
+		if e.dead[i] {
+			return
+		}
 		e.nodes[i].Tick(t)
 	})
 }
@@ -427,7 +587,10 @@ func (e *Engine) computePhase(t stream.Time) {
 // coordinator as one batched update. The fixed drain order makes a
 // parallel compute phase bit-identical to a sequential one.
 func (e *Engine) exchangePhase(now stream.Time) {
-	for _, n := range e.nodes {
+	for i, n := range e.nodes {
+		if e.dead[i] {
+			continue
+		}
 		out := n.TakeOutbox()
 		for _, a := range out.Accepted {
 			e.accBatch[a.Query] = append(e.accBatch[a.Query], a.Delta)
@@ -455,13 +618,26 @@ func (e *Engine) exchangePhase(now stream.Time) {
 // compute (all nodes tick concurrently against private state) and
 // exchange (their effects are applied in deterministic node-ID order).
 func (e *Engine) Step() {
+	e.applyChurn()
 	t := stream.Time(e.tick * int64(e.cfg.Interval))
 	// Deliver in-transit batches and coordinator updates due this tick.
+	// Batches bound for a node that died while they were in flight are
+	// dropped — their pre-credited SIC mass is lost in the same window a
+	// real deployment loses it, and the sender's stats record the drop.
 	for _, d := range e.inTransit[e.tick] {
+		if e.dead[d.to] {
+			if !e.dead[d.from] {
+				e.nodes[d.from].NoteDropped(d.b.Len(), d.b.SIC)
+			}
+			continue
+		}
 		e.nodes[d.to].Enqueue(d.b, t)
 	}
 	delete(e.inTransit, e.tick)
 	for _, u := range e.updates[e.tick] {
+		if e.dead[u.to] {
+			continue
+		}
 		e.nodes[u.to].SetResultSIC(u.q, u.v)
 	}
 	delete(e.updates, e.tick)

@@ -89,6 +89,15 @@ type Stats struct {
 	ShedTuples      int64
 	ShedBatches     int64
 	ShedInvocations int64
+	// DroppedBatches, DroppedTuples and DroppedSIC count derived batches
+	// the driver failed to route downstream — a dead peer, a failed dial,
+	// a send error. Unlike shed tuples, these were already processed and
+	// their SIC mass pre-credited to the coordinator, so losing them
+	// silently would skew result SIC invisibly; the counters make the
+	// lost mass auditable in reports.
+	DroppedBatches int64
+	DroppedTuples  int64
+	DroppedSIC     float64
 	// SelectNanos accumulates wall-clock time spent inside the shedder's
 	// Select, for the §7.6 overhead comparison.
 	SelectNanos int64
@@ -184,6 +193,15 @@ func (n *Node) ID() stream.NodeID { return n.id }
 
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() Stats { return n.stats }
+
+// NoteDropped records a derived batch lost in transit: the driver could
+// not deliver it downstream (routing failure, dead peer). tuples is the
+// batch length, sicMass the SIC the batch carried.
+func (n *Node) NoteDropped(tuples int, sicMass float64) {
+	n.stats.DroppedBatches++
+	n.stats.DroppedTuples += int64(tuples)
+	n.stats.DroppedSIC += sicMass
+}
 
 // Shedder returns the node's shedding policy.
 func (n *Node) Shedder() core.Shedder { return n.shedder }

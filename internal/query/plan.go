@@ -143,6 +143,20 @@ func (p *Plan) NumSources() int {
 	return n
 }
 
+// SourceIndexOffset reports the query-global index of fragment frag's
+// first source: the running source count over the preceding fragments.
+// Every runtime that instantiates a fragment's sources — the
+// virtual-time engine, the TCP host, a failure-recovery re-deploy —
+// must derive generator indices from this one rule, so trace-backed
+// generators pick identical host identities everywhere.
+func (p *Plan) SourceIndexOffset(frag int) int {
+	n := 0
+	for i := 0; i < frag && i < len(p.Fragments); i++ {
+		n += len(p.Fragments[i].Sources)
+	}
+	return n
+}
+
 // Validate checks the whole plan.
 func (p *Plan) Validate() error {
 	if len(p.Fragments) == 0 {

@@ -77,9 +77,22 @@ func NewAccumulator(stw, slide stream.Duration) *Accumulator {
 func (a *Accumulator) slideOf(t stream.Time) int64 { return int64(t) / int64(a.slide) }
 
 // advance rotates the ring forward to the slide containing t, expiring
-// buckets that fall out of the STW.
+// buckets that fall out of the STW. A gap of one full window or more
+// expires every bucket, so it short-circuits to a flat reset instead of
+// rotating slide by slide — a node idle across a long gap (or an
+// accumulator reset at a recovery epoch far behind wall time) would
+// otherwise spin O(gap/slide).
 func (a *Accumulator) advance(t stream.Time) {
 	s := a.slideOf(t)
+	if s-a.curSlide >= int64(len(a.buckets)) {
+		for i := range a.buckets {
+			a.buckets[i] = 0
+		}
+		a.head = 0
+		a.curSlide = s
+		a.total = 0
+		return
+	}
 	for a.curSlide < s {
 		a.curSlide++
 		a.head++

@@ -205,3 +205,62 @@ func TestRateEstimatorTracksRateChange(t *testing.T) {
 		t.Errorf("after rate change: %g, want ~%g", got, want)
 	}
 }
+
+// TestAdvanceLongGap checks the full-reset short circuit: an
+// accumulator that slept across a gap of one window or more must behave
+// exactly like a fresh one — all prior mass expired — and partial gaps
+// must still expire incrementally.
+func TestAdvanceLongGap(t *testing.T) {
+	stw, slide := 10*stream.Second, 250*stream.Millisecond
+	for _, gap := range []stream.Time{
+		stream.Time(stw),       // exactly one window
+		stream.Time(stw) + 250, // one window + one slide
+		stream.Time(100 * stw), // far gap
+		stream.Time(1 << 40),   // pathological idle span
+	} {
+		a := NewAccumulator(stw, slide)
+		a.Add(0, 1)
+		a.Add(500, 2)
+		now := stream.Time(500) + gap
+		if got := a.Sum(now); got != 0 {
+			t.Errorf("gap %d: stale mass %g survived a full-window gap", gap, got)
+		}
+		a.Add(now, 3)
+		if got := a.Sum(now); got != 3 {
+			t.Errorf("gap %d: sum after fresh add = %g, want 3", gap, got)
+		}
+	}
+	// Partial gap: strictly less than one window must keep live mass.
+	a := NewAccumulator(stw, slide)
+	a.Add(0, 1)
+	a.Add(9*1000, 2)
+	if got := a.Sum(10*1000 + 100); got != 2 {
+		t.Errorf("partial gap: %g, want 2 (only the t=0 bucket expired)", got)
+	}
+}
+
+// BenchmarkAdvanceLongGap measures Add after a long idle gap. Before the
+// short circuit this spun one ring rotation per elapsed slide
+// (O(gap/slide), ~4M iterations here); now it is a flat reset.
+func BenchmarkAdvanceLongGap(b *testing.B) {
+	a := NewAccumulator(10*stream.Second, 250*stream.Millisecond)
+	now := stream.Time(0)
+	const gap = stream.Time(1_000_000_000) // ~11.6 days idle
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(now, 1)
+		now += gap
+	}
+}
+
+// BenchmarkAdvanceSteady guards the hot path: consecutive-slide
+// advancement must stay a constant-work ring rotation.
+func BenchmarkAdvanceSteady(b *testing.B) {
+	a := NewAccumulator(10*stream.Second, 250*stream.Millisecond)
+	now := stream.Time(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(now, 1)
+		now += 250
+	}
+}

@@ -1,0 +1,501 @@
+package transport
+
+import (
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cql"
+	"repro/internal/federation"
+	"repro/internal/node"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// TestChurnRecoveryEndToEnd is the acceptance test for node-churn
+// survival: a 4-node loopback federation (three founding members plus
+// one joined spare) runs a 3-fragment CQL query; the node hosting the
+// ROOT fragment is killed mid-run. The controller must detect the
+// failure, re-place the root on the spare, rewire the surviving hosts'
+// peer routing (their downstream moved — the strongest rewire case),
+// reset the query's SIC at the recovery epoch, and finish the run. The
+// post-recovery SIC must match the virtual-time engine executing the
+// same churn schedule. Tolerance: both federations are underloaded, so
+// both sit near SIC 1 in steady state; 0.15 absorbs wall-clock tick
+// jitter and the warm-start of the re-placed sources' rate estimators
+// (same tolerance as TestDistributedCQLEndToEnd).
+func TestChurnRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock federation test in -short mode")
+	}
+	const (
+		cqlText  = "Select Avg(t.v) From AllSrc[Range 1 sec]"
+		frags    = 3
+		dataset  = 1 // uniform
+		rate     = 20.0
+		batches  = 4.0
+		capacity = 50_000.0
+	)
+	addrs, srvs := startNodes(t, 4, capacity)
+	ctrl, err := NewController(ControllerConfig{
+		STW:      3 * stream.Second,
+		Interval: 100 * stream.Millisecond,
+		Seed:     1,
+	}, addrs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.CloseAll()
+	if idx, err := ctrl.AddNode(addrs[3]); err != nil || idx != 3 {
+		t.Fatalf("AddNode: idx %d, err %v", idx, err)
+	}
+
+	placement, err := ctrl.AutoPlace(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctrl.DeployCQL(cqlText, frags, dataset, rate, batches, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootHost := placement[0]
+
+	go func() {
+		time.Sleep(3 * time.Second)
+		srvs[rootHost].Close() // crash the root's host mid-run
+	}()
+	res, err := ctrl.Run(10*time.Second, 6*time.Second)
+	if err != nil {
+		t.Fatalf("Run aborted on a recoverable failure: %v", err)
+	}
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("recoveries: %+v, want exactly one", res.Recoveries)
+	}
+	rec := res.Recoveries[0]
+	if rec.Node != addrs[rootHost] {
+		t.Errorf("recovery names node %s, want %s", rec.Node, addrs[rootHost])
+	}
+	if len(rec.Queries) != 1 || rec.Queries[0] != q {
+		t.Errorf("recovery re-placed queries %v, want [%d]", rec.Queries, q)
+	}
+	t.Logf("recovery: detected at %v, re-placement took %v", rec.At, rec.Took)
+	if rec.Took > 2*time.Second {
+		t.Errorf("re-placement took %v — recovery should be near-instant on loopback", rec.Took)
+	}
+	if len(res.Nodes) != 3 {
+		t.Errorf("final stats from %d nodes, want the 3 survivors: %+v", len(res.Nodes), res.Nodes)
+	}
+	netSIC := res.PerQuery[q]
+
+	// The deterministic mirror: same plan, same membership, same churn
+	// schedule (kill the root's host at the same run offset).
+	st, err := cql.Parse(cqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Dataset(dataset)), frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := federation.Defaults()
+	cfg.STW = 3 * stream.Second
+	cfg.Interval = 100 * stream.Millisecond
+	cfg.Duration = 10 * stream.Second
+	cfg.Warmup = 6 * stream.Second
+	cfg.SourceRate = rate
+	cfg.BatchesPerSec = batches
+	cfg.Seed = 1
+	cfg.Churn = []federation.ChurnEvent{{Tick: 30, Kill: []stream.NodeID{stream.NodeID(rootHost)}}}
+	eng := federation.NewEngine(cfg)
+	eng.AddNodes(4, capacity)
+	vq, err := eng.DeployQuery(plan, []stream.NodeID{0, 1, 2}, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres := eng.Run()
+	virtSIC := vres.Queries[int(vq)].MeanSIC
+
+	if math.Abs(netSIC-virtSIC) > 0.15 {
+		t.Errorf("post-recovery networked SIC %.3f vs virtual-time SIC %.3f: disagree beyond tolerance", netSIC, virtSIC)
+	}
+	if netSIC < 0.85 {
+		// A SIC this high is only reachable if the re-placed root receives
+		// the surviving fragments' partials — i.e. the rewire actually
+		// redirected their batches to the spare.
+		t.Errorf("post-recovery SIC %.3f: recovery did not restore the pipeline", netSIC)
+	}
+}
+
+// fakePeer is a restartable batch sink: a TCP listener that decodes
+// frames and delivers binary batches to got.
+type fakePeer struct {
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	got   chan *stream.Batch
+}
+
+func newFakePeer(t *testing.T, addr string) *fakePeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &fakePeer{ln: ln, conns: make(map[net.Conn]struct{}), got: make(chan *stream.Batch, 64)}
+	go p.accept(ln)
+	t.Cleanup(func() { p.stop() })
+	return p
+}
+
+func (p *fakePeer) accept(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.conns[nc] = struct{}{}
+		p.mu.Unlock()
+		go func() {
+			fr := newFrameReader(nc)
+			for {
+				_, b, err := fr.next()
+				if err != nil {
+					return
+				}
+				if b != nil {
+					p.got <- b
+				}
+			}
+		}()
+	}
+}
+
+// stop kills the peer: listener and all accepted connections close, as
+// on a process crash.
+func (p *fakePeer) stop() {
+	p.ln.Close()
+	p.mu.Lock()
+	for nc := range p.conns {
+		nc.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// routingServer builds a started NodeServer whose peer table routes
+// query 1 / fragment 2 to addr, without a controller in the loop.
+func routingServer(t *testing.T, addr string) *NodeServer {
+	t.Helper()
+	s, err := NewNodeServer(NodeServerConfig{
+		Name: "sender", Addr: "127.0.0.1:0", CapacityPerSec: 1000, Quiet: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	s.mu.Lock()
+	s.initNode(0, 0)
+	s.peers[peerKey{1, 2}] = addr
+	s.mu.Unlock()
+	return s
+}
+
+func testBatch(n int) *stream.Batch {
+	b := stream.NewBatch(1, 2, -1, 100, n, 1)
+	for i := range b.Tuples {
+		b.Tuples[i].TS = 100
+		b.Tuples[i].SIC = 0.25
+	}
+	b.RecomputeSIC()
+	return b
+}
+
+// TestPeerConnRedial is the regression test for the cached-broken-conn
+// bug: after the peer dies and restarts on the same address, batch
+// routing must evict the stale connection and re-dial instead of
+// failing against the dead socket forever.
+func TestPeerConnRedial(t *testing.T) {
+	peer := newFakePeer(t, "127.0.0.1:0")
+	addr := peer.ln.Addr().String()
+	s := routingServer(t, addr)
+
+	s.RouteDownstream(0, testBatch(3))
+	select {
+	case <-peer.got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first batch never arrived")
+	}
+
+	// Peer restarts on the same address.
+	peer.stop()
+	peer2 := newFakePeer(t, addr)
+
+	// The cached connection is now broken. Depending on TCP timing the
+	// first few sends may land in the kernel buffer before the RST is
+	// observed; keep routing until the eviction + re-dial path delivers
+	// to the restarted peer.
+	deadline := time.After(5 * time.Second)
+	for {
+		s.RouteDownstream(0, testBatch(3))
+		select {
+		case <-peer2.got:
+			return // re-dial reached the restarted peer
+		case <-deadline:
+			t.Fatal("no batch reached the restarted peer: broken conn still cached")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestDroppedSICAccounting: a batch whose routing fails outright (no
+// listener at the peer address) must be counted — tuples and SIC mass —
+// in the node's stats instead of vanishing.
+func TestDroppedSICAccounting(t *testing.T) {
+	// Grab an address with no listener behind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	s := routingServer(t, deadAddr)
+	b := testBatch(4)
+	wantSIC := b.SIC
+	s.RouteDownstream(0, b)
+	// A batch with no peer entry at all is dropped too.
+	s.RouteDownstream(0, &stream.Batch{Query: 9, Frag: 9, Tuples: testBatch(2).Tuples, SIC: 0.5})
+
+	s.mu.Lock()
+	st := s.nd.Stats()
+	s.mu.Unlock()
+	if st.DroppedBatches != 2 || st.DroppedTuples != 6 {
+		t.Errorf("dropped %d batches / %d tuples, want 2 / 6", st.DroppedBatches, st.DroppedTuples)
+	}
+	if math.Abs(st.DroppedSIC-(wantSIC+0.5)) > 1e-12 {
+		t.Errorf("dropped SIC %g, want %g", st.DroppedSIC, wantSIC+0.5)
+	}
+}
+
+// TestStatsMsgCarriesDrops: the final stats frame must surface the
+// dropped counters to the controller.
+func TestStatsMsgCarriesDrops(t *testing.T) {
+	var nd node.Stats
+	nd.DroppedTuples, nd.DroppedSIC = 7, 0.125
+	m := StatsMsg{Node: "x", DroppedTuples: nd.DroppedTuples, DroppedSIC: nd.DroppedSIC}
+	if m.DroppedTuples != 7 || m.DroppedSIC != 0.125 {
+		t.Fatalf("stats msg lost drop counters: %+v", m)
+	}
+}
+
+// --- stop-handshake edge cases ---
+
+// stopOver sends a stop on the given connection and waits for the stats
+// reply, failing the test on timeout.
+func stopOver(t *testing.T, nc net.Conn, c *conn) *StatsMsg {
+	t.Helper()
+	if err := c.send(&Envelope{Kind: KindStop}); err != nil {
+		return nil // connection already torn down by a concurrent stop
+	}
+	fr := newFrameReader(nc)
+	type reply struct{ s *StatsMsg }
+	ch := make(chan reply, 1)
+	go func() {
+		for {
+			e, _, err := fr.next()
+			if err != nil {
+				ch <- reply{nil}
+				return
+			}
+			if e != nil && e.Kind == KindStats {
+				ch <- reply{e.Stats}
+				return
+			}
+		}
+	}()
+	select {
+	case r := <-ch:
+		return r.s
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop handshake hung: no stats reply")
+		return nil
+	}
+}
+
+func dialRaw(t *testing.T, addr string) (net.Conn, *conn) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return nc, newConn(nc)
+}
+
+// TestStopBeforeStart: a stop arriving before any deploy or start must
+// answer (zero) stats and shut the server down — not hang waiting for a
+// tick loop that never ran.
+func TestStopBeforeStart(t *testing.T) {
+	srv, err := NewNodeServer(NodeServerConfig{Name: "s", Addr: "127.0.0.1:0", Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, c := dialRaw(t, srv.Addr())
+	st := stopOver(t, nc, c)
+	if st == nil || st.ArrivedTuples != 0 {
+		t.Errorf("want zero stats reply, got %+v", st)
+	}
+	select {
+	case <-srv.Stopped():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after pre-start stop")
+	}
+}
+
+// startedServer deploys one single-fragment AVG query and starts the
+// node, returning the server.
+func startedServer(t *testing.T) *NodeServer {
+	t.Helper()
+	srv, err := NewNodeServer(NodeServerConfig{Name: "s", Addr: "127.0.0.1:0", CapacityPerSec: 10_000, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	_, c := dialRaw(t, srv.Addr())
+	if err := c.send(&Envelope{Kind: KindDeploy, Deploy: &Deploy{
+		Workload: "AVG", Fragments: 1, Dataset: 1, Rate: 50, Batches: 4,
+		STWMs: 2000, IntervalMs: 50,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.send(&Envelope{Kind: KindStart, Start: &Start{IntervalMs: 50, STWMs: 2000}}); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestDoubleStop: two stops racing over different connections must both
+// terminate — neither may hang on the tick loop's exit nor double-close
+// anything.
+func TestDoubleStop(t *testing.T) {
+	srv := startedServer(t)
+	time.Sleep(150 * time.Millisecond) // let a few ticks run
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		nc, c := dialRaw(t, srv.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stopOver(t, nc, c)
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("double stop hung")
+	}
+	select {
+	case <-srv.Stopped():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down after double stop")
+	}
+}
+
+// TestStopRacesRedeploy: a recovery re-deploy (deploy + start + rewire)
+// racing a stop must neither hang nor crash the server, whichever side
+// wins.
+func TestStopRacesRedeploy(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		srv := startedServer(t)
+		ncD, cD := dialRaw(t, srv.Addr())
+		_ = ncD
+		ncS, cS := dialRaw(t, srv.Addr())
+
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			cD.send(&Envelope{Kind: KindDeploy, Deploy: &Deploy{
+				Query: 7, Frag: 0, Workload: "AVG", Fragments: 1, Dataset: 1,
+				Rate: 50, Batches: 4, STWMs: 2000, IntervalMs: 50,
+			}})
+			cD.send(&Envelope{Kind: KindStart, Start: &Start{IntervalMs: 50, STWMs: 2000}})
+			cD.send(&Envelope{Kind: KindRewire, Rewire: &Rewire{Query: 7, Peers: map[stream.FragID]string{}}})
+		}()
+		go func() {
+			defer wg.Done()
+			stopOver(t, ncS, cS)
+		}()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: stop racing redeploy hung", round)
+		}
+		srv.Close()
+	}
+}
+
+// TestHeartbeatDetection: a node whose connection stays open but which
+// never sends anything (a partitioned process) must be declared failed
+// by the missed-heartbeat detector; with no survivors to re-place onto,
+// the run aborts with the heartbeat diagnosis.
+func TestHeartbeatDetection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock federation test in -short mode")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { // accept and read everything, answer nothing
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := nc.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+
+	ctrl, err := NewController(ControllerConfig{
+		STW:              2 * stream.Second,
+		Interval:         50 * stream.Millisecond,
+		HeartbeatTimeout: 400 * time.Millisecond,
+		Seed:             1,
+	}, []string{ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.CloseAll()
+	if _, err := ctrl.Deploy("AVG", 1, 1, 50, 4, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = ctrl.Run(30*time.Second, 0)
+	if err == nil {
+		t.Fatal("silent node went undetected")
+	}
+	if !strings.Contains(err.Error(), "missed heartbeats") {
+		t.Errorf("unexpected diagnosis: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("detection took %v, want well under the run deadline", elapsed)
+	}
+}

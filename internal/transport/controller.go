@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,14 +26,23 @@ import (
 // result/accepted reports, broadcasts result-SIC updates every interval,
 // and summarises per-query SIC at the end. Derived batches never pass
 // through the controller — hosts ship them to each other directly.
+//
+// Membership churn is the normal case, not a fatal one: a node that dies
+// mid-run (connection error or missed heartbeat) has its fragments
+// re-placed over the surviving membership, peers are rewired, and the
+// affected queries' SIC accounting restarts at a recovery epoch. Only a
+// failure that cannot be re-placed — too few survivors for the query's
+// fragments — aborts the run.
 type Controller struct {
 	mu     sync.Mutex
 	nodes  []*conn
 	addrs  []string
+	dead   []bool
 	coords map[stream.QueryID]*coordinator.Coordinator
 	accs   map[stream.QueryID]*sic.Accumulator
 	sums   map[stream.QueryID]*sampleStats
-	hosts  map[stream.QueryID][]int // node indices hosting the query
+	hosts  map[stream.QueryID][]int // fragment → node index, per query
+	deps   map[stream.QueryID]*deployRecord
 	epoch  time.Time
 	stw    stream.Duration
 	ival   stream.Duration
@@ -40,13 +50,25 @@ type Controller struct {
 	seed   int64
 	placer *federation.Placer
 
+	strategy  string
+	hbTimeout time.Duration
+	norecover bool
+	// lastSeen holds per-node atomic unix-nano receive timestamps;
+	// entries are pointers so membership growth never moves them.
+	lastSeen []*atomic.Int64
+	// running flips while Run is active so AddNode can start read loops
+	// for mid-run joiners.
+	running    atomic.Bool
+	wg         sync.WaitGroup
+	recoveries []RecoveryEvent
+
 	sicFn func(q stream.QueryID, now stream.Time, v float64)
 
 	// stopping flips before the stop handshake; read-loop errors after
 	// that are expected connection teardown, errors before it are node
 	// failures surfaced from Run.
 	stopping atomic.Bool
-	fail     chan error
+	fail     chan nodeFailure
 	statsCh  chan struct{}
 	stats    []StatsMsg
 }
@@ -54,6 +76,31 @@ type Controller struct {
 type sampleStats struct {
 	sum float64
 	n   int
+}
+
+// deployRecord remembers everything needed to re-issue a query's deploy
+// messages during failure recovery.
+type deployRecord struct {
+	base Deploy // shared descriptor; per-fragment fields unset
+	seed int64  // SourceSeed base (per-fragment: seed + frag)
+}
+
+// nodeFailure is one detected node death, reported to Run.
+type nodeFailure struct {
+	idx int
+	err error
+}
+
+// RecoveryEvent records one survived node failure.
+type RecoveryEvent struct {
+	// Node is the address of the failed node.
+	Node string
+	// At is the run offset at which the failure was detected.
+	At time.Duration
+	// Queries lists the queries whose fragments were re-placed.
+	Queries []stream.QueryID
+	// Took measures detection → last recovery deploy on the wire.
+	Took time.Duration
 }
 
 // ControllerConfig parameterises the controller.
@@ -65,8 +112,18 @@ type ControllerConfig struct {
 	// randomness.
 	Seed int64
 	// Placement selects the automatic site-assignment strategy used by
-	// AutoPlace: "round-robin" (default), "uniform" or "zipf".
+	// AutoPlace and by failure recovery when choosing replacement hosts:
+	// "round-robin" (default), "uniform" or "zipf".
 	Placement string
+	// HeartbeatTimeout is how long a node may stay silent before it is
+	// declared failed even though its connection looks healthy (e.g. a
+	// partition with no FIN). Zero defaults to max(2 s, 8×Interval);
+	// negative disables missed-heartbeat detection — connection errors
+	// still detect failure.
+	HeartbeatTimeout time.Duration
+	// DisableRecovery restores the pre-churn behaviour: any node failure
+	// aborts the run instead of re-placing the dead node's fragments.
+	DisableRecovery bool
 }
 
 // NewController connects to the given node addresses.
@@ -77,16 +134,27 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 	if cfg.Interval <= 0 {
 		cfg.Interval = 250 * stream.Millisecond
 	}
+	hb := cfg.HeartbeatTimeout
+	if hb == 0 {
+		hb = 8 * time.Duration(cfg.Interval) * time.Millisecond
+		if hb < 2*time.Second {
+			hb = 2 * time.Second
+		}
+	}
 	c := &Controller{
-		coords:  make(map[stream.QueryID]*coordinator.Coordinator),
-		accs:    make(map[stream.QueryID]*sic.Accumulator),
-		sums:    make(map[stream.QueryID]*sampleStats),
-		hosts:   make(map[stream.QueryID][]int),
-		stw:     cfg.STW,
-		ival:    cfg.Interval,
-		seed:    cfg.Seed,
-		fail:    make(chan error, 1),
-		statsCh: make(chan struct{}, len(nodeAddrs)),
+		coords:    make(map[stream.QueryID]*coordinator.Coordinator),
+		accs:      make(map[stream.QueryID]*sic.Accumulator),
+		sums:      make(map[stream.QueryID]*sampleStats),
+		hosts:     make(map[stream.QueryID][]int),
+		deps:      make(map[stream.QueryID]*deployRecord),
+		stw:       cfg.STW,
+		ival:      cfg.Interval,
+		seed:      cfg.Seed,
+		strategy:  cfg.Placement,
+		hbTimeout: hb,
+		norecover: cfg.DisableRecovery,
+		fail:      make(chan nodeFailure, 64),
+		statsCh:   make(chan struct{}, 256),
 	}
 	if len(nodeAddrs) > 0 {
 		p, err := federation.NewPlacer(cfg.Placement, len(nodeAddrs), cfg.Seed)
@@ -103,26 +171,100 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		}
 		c.nodes = append(c.nodes, cn)
 		c.addrs = append(c.addrs, addr)
+		c.dead = append(c.dead, false)
+		c.lastSeen = append(c.lastSeen, &atomic.Int64{})
 	}
 	return c, nil
 }
 
-// NumNodes reports the number of connected node servers.
-func (c *Controller) NumNodes() int { return len(c.nodes) }
+// AddNode dials a freshly started node server and joins it to the
+// membership, returning its node index. Joined nodes become re-placement
+// targets for failure recovery and enter the automatic placement pool
+// for subsequent deploys. Joining is legal mid-run: the node is started
+// and its reports are ingested immediately.
+func (c *Controller) AddNode(addr string) (int, error) {
+	cn, err := dial(addr, "controller")
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	idx := len(c.nodes)
+	c.nodes = append(c.nodes, cn)
+	c.addrs = append(c.addrs, addr)
+	c.dead = append(c.dead, false)
+	ls := &atomic.Int64{}
+	ls.Store(time.Now().UnixNano())
+	c.lastSeen = append(c.lastSeen, ls)
+	c.rebuildPlacerLocked()
+	// Read running under the same lock Run holds while it snapshots the
+	// connection list and flips running: exactly one of Run and AddNode
+	// starts this connection's read loop, never both and never neither.
+	running := c.running.Load()
+	if running {
+		c.wg.Add(1)
+	}
+	c.mu.Unlock()
+	if running {
+		cn.send(&Envelope{Kind: KindStart, Start: &Start{
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+		}})
+		go func() {
+			defer c.wg.Done()
+			c.readLoop(idx, cn)
+		}()
+	}
+	return idx, nil
+}
+
+// rebuildPlacerLocked re-derives the automatic placer over the live
+// membership (strategy and seed preserved, round-robin state restarts).
+// Called under c.mu whenever membership changes — joins and deaths —
+// so AutoPlace never assigns fragments to dead nodes.
+func (c *Controller) rebuildPlacerLocked() {
+	alive := 0
+	for i := range c.nodes {
+		if !c.dead[i] {
+			alive++
+		}
+	}
+	if alive == 0 {
+		c.placer = nil
+		return
+	}
+	if p, err := federation.NewPlacer(c.strategy, alive, c.seed); err == nil {
+		c.placer = p
+	}
+}
+
+// NumNodes reports the number of connected node servers (dead ones
+// included — indices are stable for the lifetime of the controller).
+func (c *Controller) NumNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// conns snapshots the current connection slice under the lock, so
+// broadcast paths never race a mid-run join.
+func (c *Controller) conns() []*conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*conn(nil), c.nodes...)
+}
 
 // CloseAll closes all node connections.
 func (c *Controller) CloseAll() {
-	for _, n := range c.nodes {
+	for _, n := range c.conns() {
 		n.Close()
 	}
 }
 
-// abort ends a run after a node failure: surviving nodes get a
+// abort ends a run after an unrecoverable failure: surviving nodes get a
 // best-effort stop (so their processes wind down instead of ticking
 // forever against dead peers), then every connection closes.
 func (c *Controller) abort() {
 	c.stopping.Store(true)
-	for _, n := range c.nodes {
+	for _, n := range c.conns() {
 		n.send(&Envelope{Kind: KindStop})
 	}
 	c.CloseAll()
@@ -143,27 +285,39 @@ func (c *Controller) OnSIC(fn func(q stream.QueryID, now stream.Time, v float64)
 	c.sicFn = fn
 }
 
-// AutoPlace assigns the given number of fragments to distinct node
-// indices using the configured placement strategy.
+// AutoPlace assigns the given number of fragments to distinct live node
+// indices using the configured placement strategy. The placer draws
+// over the alive membership only; dead nodes never receive fragments.
 func (c *Controller) AutoPlace(fragments int) ([]int, error) {
-	if c.placer == nil {
-		return nil, errors.New("transport: controller has no nodes to place on")
+	c.mu.Lock()
+	placer := c.placer
+	var alive []int
+	for i := range c.nodes {
+		if !c.dead[i] {
+			alive = append(alive, i)
+		}
 	}
-	ids, err := c.placer.Place(fragments)
+	c.mu.Unlock()
+	if placer == nil || len(alive) == 0 {
+		return nil, errors.New("transport: controller has no live nodes to place on")
+	}
+	ids, err := placer.Place(fragments)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int, len(ids))
 	for i, id := range ids {
-		out[i] = int(id)
+		out[i] = alive[int(id)]
 	}
 	return out, nil
 }
 
 // checkPlacement validates a placement against the connected nodes,
 // mirroring the virtual-time engine's rules (§3: fragments of one query
-// land on distinct nodes).
+// land on distinct nodes). Dead nodes are not valid targets.
 func (c *Controller) checkPlacement(fragments int, placement []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(placement) != fragments {
 		return fmt.Errorf("transport: placement has %d entries for %d fragments", len(placement), fragments)
 	}
@@ -171,6 +325,9 @@ func (c *Controller) checkPlacement(fragments int, placement []int) error {
 	for _, ni := range placement {
 		if ni < 0 || ni >= len(c.nodes) {
 			return fmt.Errorf("transport: placement names missing node %d (%d connected)", ni, len(c.nodes))
+		}
+		if c.dead[ni] {
+			return fmt.Errorf("transport: placement names dead node %d (%s)", ni, c.addrs[ni])
 		}
 		if seen[ni] {
 			return errors.New("transport: fragments of one query must be placed on distinct nodes")
@@ -231,47 +388,72 @@ func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.Qu
 		peers[stream.FragID(f)] = c.addrs[ni]
 	}
 	c.hosts[q] = append([]int(nil), placement...)
+	c.deps[q] = &deployRecord{base: d, seed: seed}
+	conns := append([]*conn(nil), c.nodes...)
 	c.mu.Unlock()
 
-	var srcID stream.SourceID = stream.SourceID(int(q) * 1000)
 	for f, ni := range placement {
-		d := d // per-fragment copy of the shared descriptor
-		d.Query = q
-		d.Frag = stream.FragID(f)
-		d.Peers = peers
-		d.SourceSeed = seed + int64(f)
-		d.FirstSourceID = srcID
-		d.STWMs = int64(c.stw)
-		d.IntervalMs = int64(c.ival)
-		if err := c.nodes[ni].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
+		d := fragDeploy(d, q, stream.FragID(f), peers, seed, c.stw, c.ival)
+		if err := conns[ni].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
 			return 0, err
 		}
-		srcID += 100
 	}
 	return q, nil
 }
 
+// fragDeploy specialises a query's shared deploy descriptor for one
+// fragment. Source seeds and ids are pure functions of (query, fragment)
+// so a recovery re-deploy reconstructs the displaced fragment's sources
+// exactly as the original deploy did.
+func fragDeploy(d Deploy, q stream.QueryID, f stream.FragID, peers map[stream.FragID]string,
+	seed int64, stw, ival stream.Duration) Deploy {
+	d.Query = q
+	d.Frag = f
+	d.Peers = peers
+	d.SourceSeed = seed + int64(f)
+	d.FirstSourceID = stream.SourceID(int(q)*1000 + 100*int(f))
+	d.STWMs = int64(stw)
+	d.IntervalMs = int64(ival)
+	return d
+}
+
 // Run starts all nodes, processes reports for the given wall-clock
 // duration (samples are recorded after warmup), stops the nodes and
-// returns the per-query mean SIC plus fairness metrics. A node
-// disconnecting mid-run aborts the run: remaining connections are closed
-// and the failure is returned.
+// returns the per-query mean SIC plus fairness metrics. A node failing
+// mid-run — connection error or missed heartbeat — triggers recovery:
+// its fragments are re-placed over the surviving membership, peers are
+// rewired, and the affected queries' SIC sampling restarts at the
+// recovery epoch, so their reported means describe the post-recovery
+// pipeline. Only an unrecoverable failure (not enough survivors to host
+// a query's fragments on distinct nodes) aborts the run.
 func (c *Controller) Run(duration, warmup time.Duration) (*NetResults, error) {
 	c.epoch = time.Now()
-	for _, n := range c.nodes {
+	startNanos := time.Now().UnixNano()
+	c.mu.Lock()
+	for _, ls := range c.lastSeen {
+		ls.Store(startNanos)
+	}
+	conns := append([]*conn(nil), c.nodes...)
+	// Flip running inside the same critical section that snapshots the
+	// connections: a concurrent AddNode either lands in the snapshot
+	// (running still false — Run starts its read loop) or observes
+	// running true and starts it itself. Never both, never neither.
+	c.running.Store(true)
+	c.mu.Unlock()
+	defer c.running.Store(false)
+	for _, n := range conns {
 		if err := n.send(&Envelope{Kind: KindStart, Start: &Start{
-			IntervalMs: int64(c.ival),
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
 		}}); err != nil {
 			c.CloseAll()
 			return nil, err
 		}
 	}
 
-	var wg sync.WaitGroup
-	for i, n := range c.nodes {
-		wg.Add(1)
+	for i, n := range conns {
+		c.wg.Add(1)
 		go func(i int, n *conn) {
-			defer wg.Done()
+			defer c.wg.Done()
 			c.readLoop(i, n)
 		}(i, n)
 	}
@@ -285,11 +467,14 @@ loop:
 		select {
 		case <-deadline:
 			break loop
-		case err := <-c.fail:
-			c.abort()
-			wg.Wait()
-			return nil, fmt.Errorf("transport: run aborted: %w", err)
+		case f := <-c.fail:
+			if err := c.handleFailure(f); err != nil {
+				c.abort()
+				c.wg.Wait()
+				return nil, fmt.Errorf("transport: run aborted: %w", err)
+			}
 		case <-ticker.C:
+			c.checkHeartbeats()
 			now := c.now()
 			type bcast struct {
 				q     stream.QueryID
@@ -300,9 +485,9 @@ loop:
 			c.mu.Lock()
 			for q, coord := range c.coords {
 				v := coord.Value(now)
-				// Host slices are immutable after deploy, so they are safe
-				// to read outside the lock below.
-				outs = append(outs, bcast{q, v, c.hosts[q]})
+				// Recovery rewrites host slices in place, so copy them
+				// for use outside the lock below.
+				outs = append(outs, bcast{q, v, append([]int(nil), c.hosts[q]...)})
 				coord.NoteUpdateSent(len(c.hosts[q]))
 				if time.Since(c.epoch) > warmup {
 					st := c.sums[q]
@@ -310,12 +495,17 @@ loop:
 					st.n++
 				}
 			}
+			conns := append([]*conn(nil), c.nodes...)
+			dead := append([]bool(nil), c.dead...)
 			c.mu.Unlock()
 			// Network writes happen outside c.mu: a node with a full TCP
 			// send buffer must not stall readLoop's report ingestion.
 			for _, b := range outs {
 				for _, ni := range b.hosts {
-					c.nodes[ni].send(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: b.q, Value: b.v}})
+					if dead[ni] {
+						continue
+					}
+					conns[ni].send(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: b.q, Value: b.v}})
 				}
 				if c.sicFn != nil {
 					c.sicFn(b.q, now, b.v)
@@ -324,26 +514,44 @@ loop:
 		}
 	}
 
-	// A failure that raced the deadline still aborts: don't fold a dead
-	// node's absence into a successful-looking summary.
-	select {
-	case err := <-c.fail:
-		c.abort()
-		wg.Wait()
-		return nil, fmt.Errorf("transport: run aborted: %w", err)
-	default:
+	// Failures that raced the deadline are still handled — all of them,
+	// since several nodes can die within the final interval: recoverable
+	// ones re-place fragments (the summary then reflects the recovery),
+	// an unrecoverable one aborts rather than folding a dead node's
+	// absence into a successful-looking summary.
+drain:
+	for {
+		select {
+		case f := <-c.fail:
+			if err := c.handleFailure(f); err != nil {
+				c.abort()
+				c.wg.Wait()
+				return nil, fmt.Errorf("transport: run aborted: %w", err)
+			}
+		default:
+			break drain
+		}
 	}
 
-	// Stop handshake: announce stop, then wait for every node's final
-	// stats frame (or a timeout) before tearing connections down, so the
-	// summary deterministically includes all node counters.
+	// Stop handshake: announce stop, then wait for every surviving
+	// node's final stats frame (or a timeout) before tearing connections
+	// down, so the summary deterministically includes all node counters.
 	c.stopping.Store(true)
-	for _, n := range c.nodes {
+	c.mu.Lock()
+	alive := 0
+	for i := range c.nodes {
+		if !c.dead[i] {
+			alive++
+		}
+	}
+	conns = append(conns[:0], c.nodes...)
+	c.mu.Unlock()
+	for _, n := range conns {
 		n.send(&Envelope{Kind: KindStop})
 	}
 	stopDeadline := time.After(stopTimeout)
 wait:
-	for got := 0; got < len(c.nodes); got++ {
+	for got := 0; got < alive; got++ {
 		select {
 		case <-c.statsCh:
 		case <-stopDeadline:
@@ -351,8 +559,175 @@ wait:
 		}
 	}
 	c.CloseAll()
-	wg.Wait()
+	c.wg.Wait()
 	return c.results(), nil
+}
+
+// errMissedHeartbeat marks a node declared dead for silence rather than
+// a connection error.
+var errMissedHeartbeat = errors.New("missed heartbeats")
+
+// checkHeartbeats declares nodes dead that have sent nothing for longer
+// than the heartbeat timeout. Started nodes beacon every tick, so a
+// healthy connection is never this quiet; a partitioned node's
+// connection can look healthy indefinitely without this check.
+func (c *Controller) checkHeartbeats() {
+	if c.hbTimeout <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-c.hbTimeout).UnixNano()
+	c.mu.Lock()
+	var late []nodeFailure
+	for i := range c.nodes {
+		if !c.dead[i] && c.lastSeen[i].Load() < cutoff {
+			late = append(late, nodeFailure{i, errMissedHeartbeat})
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range late {
+		select {
+		case c.fail <- f:
+		default:
+		}
+	}
+}
+
+// handleFailure processes one detected node death. It returns nil when
+// the membership absorbed the failure (fragments re-placed, peers
+// rewired) and an error when the run cannot continue. Duplicate reports
+// for an already-dead node are ignored — conn-error and heartbeat
+// detection race benignly.
+func (c *Controller) handleFailure(f nodeFailure) error {
+	c.mu.Lock()
+	if f.idx < 0 || f.idx >= len(c.nodes) || c.dead[f.idx] {
+		c.mu.Unlock()
+		return nil
+	}
+	c.dead[f.idx] = true
+	c.rebuildPlacerLocked()
+	deadAddr := c.addrs[f.idx]
+	cn := c.nodes[f.idx]
+	var affected []stream.QueryID
+	for q, placement := range c.hosts {
+		for _, ni := range placement {
+			if ni == f.idx {
+				affected = append(affected, q)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	cn.Close() // sever, so a half-dead node stops feeding us reports
+	if c.norecover {
+		return fmt.Errorf("node %s: %w", deadAddr, f.err)
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	start := time.Now()
+	for _, q := range affected {
+		if err := c.replaceFragments(q, f.idx); err != nil {
+			return fmt.Errorf("node %s: %v: %w", deadAddr, f.err, err)
+		}
+	}
+	ev := RecoveryEvent{
+		Node: deadAddr, At: time.Since(c.epoch), Queries: affected,
+		Took: time.Since(start),
+	}
+	c.mu.Lock()
+	c.recoveries = append(c.recoveries, ev)
+	c.mu.Unlock()
+	return nil
+}
+
+// replaceFragments re-places query q's fragments that were hosted on the
+// dead node: replacement hosts are chosen with the configured placement
+// strategy over the surviving membership (alive nodes not already
+// hosting the query), the displaced fragments are re-deployed there —
+// each host re-plans the travelling CQL text deterministically, so the
+// new host derives the exact fragment the dead one ran — and every
+// surviving host is rewired to the new peer map. The query's SIC
+// accounting resets at this recovery epoch: accepted/result accumulators
+// and the run's sample sums restart, so the reported mean describes the
+// post-recovery pipeline instead of blending two incomparable regimes.
+func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
+	c.mu.Lock()
+	placement := c.hosts[q]
+	rec := c.deps[q]
+	if rec == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: no deploy record for query %d", q)
+	}
+	var displaced []int
+	used := make(map[int]bool, len(placement))
+	for f, ni := range placement {
+		if ni == deadIdx {
+			displaced = append(displaced, f)
+		} else {
+			used[ni] = true
+		}
+	}
+	var candidates []int
+	for ni := range c.nodes {
+		if !c.dead[ni] && !used[ni] {
+			candidates = append(candidates, ni)
+		}
+	}
+	if len(candidates) < len(displaced) {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: query %d: %d fragments displaced, %d candidate survivors",
+			q, len(displaced), len(candidates))
+	}
+	placer, err := federation.NewPlacer(c.strategy, len(candidates), c.seed+int64(q))
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	picked, err := placer.Place(len(displaced))
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	picks := make([]int, len(displaced))
+	for i, p := range picked {
+		picks[i] = candidates[p]
+		placement[displaced[i]] = candidates[p]
+	}
+	peers := make(map[stream.FragID]string, len(placement))
+	for f, ni := range placement {
+		peers[stream.FragID(f)] = c.addrs[ni]
+	}
+	// Recovery epoch: wipe pre-failure SIC state so post-recovery values
+	// are measured cleanly.
+	c.coords[q].ResetEpoch()
+	c.accs[q].Reset()
+	c.sums[q] = &sampleStats{}
+	base, seed := rec.base, rec.seed
+	conns := append([]*conn(nil), c.nodes...)
+	dead := append([]bool(nil), c.dead...)
+	addrs := append([]string(nil), c.addrs...)
+	c.mu.Unlock()
+
+	// Re-deploy the displaced fragments and (re-)start their hosts — an
+	// idle spare begins ticking here; handleStart is idempotent on nodes
+	// already running.
+	for i, f := range displaced {
+		d := fragDeploy(base, q, stream.FragID(f), peers, seed, c.stw, c.ival)
+		if err := conns[picks[i]].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
+			return fmt.Errorf("transport: re-deploy fragment %d on %s: %w", f, addrs[picks[i]], err)
+		}
+		conns[picks[i]].send(&Envelope{Kind: KindStart, Start: &Start{
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+		}})
+	}
+	// Rewire every surviving host of the query. The new hosts' deploys
+	// already carried the updated peer map; the redundant rewire is
+	// harmless and keeps the fan-out simple.
+	for _, ni := range placement {
+		if dead[ni] {
+			continue
+		}
+		conns[ni].send(&Envelope{Kind: KindRewire, Rewire: &Rewire{Query: q, Peers: peers}})
+	}
+	return nil
 }
 
 // stopTimeout bounds the stop handshake's wait for node stats.
@@ -363,9 +738,14 @@ func (c *Controller) now() stream.Time {
 }
 
 // readLoop ingests reports from one node until its connection closes.
-// Abnormal closes before the stop handshake are surfaced to Run.
+// Abnormal closes before the stop handshake are surfaced to Run as node
+// failures; every received frame — heartbeats included — refreshes the
+// node's liveness timestamp.
 func (c *Controller) readLoop(idx int, n *conn) {
 	fr := newFrameReader(n.c)
+	c.mu.Lock()
+	ls := c.lastSeen[idx]
+	c.mu.Unlock()
 	for {
 		e, _, err := fr.next()
 		if err != nil {
@@ -376,11 +756,12 @@ func (c *Controller) readLoop(idx int, n *conn) {
 				err = fmt.Errorf("connection closed: %w", err)
 			}
 			select {
-			case c.fail <- fmt.Errorf("node %s: %w", c.addrs[idx], err):
+			case c.fail <- nodeFailure{idx, err}:
 			default:
 			}
 			return
 		}
+		ls.Store(time.Now().UnixNano())
 		if e == nil {
 			continue // batches are never routed through the controller
 		}
@@ -418,11 +799,16 @@ func (c *Controller) readLoop(idx int, n *conn) {
 
 // NetResults summarises a networked run.
 type NetResults struct {
-	// PerQuery maps query id → time-averaged result SIC.
+	// PerQuery maps query id → time-averaged result SIC. For a query
+	// re-placed by failure recovery, the average covers only the
+	// post-recovery epoch.
 	PerQuery map[stream.QueryID]float64
 	MeanSIC  float64
 	Jain     float64
 	Nodes    []StatsMsg
+	// Recoveries lists the node failures the run survived, in detection
+	// order. Empty for an undisturbed run.
+	Recoveries []RecoveryEvent
 }
 
 func (c *Controller) results() *NetResults {
@@ -441,5 +827,6 @@ func (c *Controller) results() *NetResults {
 	res.MeanSIC = metrics.Mean(vals)
 	res.Jain = metrics.Jain(vals)
 	res.Nodes = append(res.Nodes, c.stats...)
+	res.Recoveries = append(res.Recoveries, c.recoveries...)
 	return res
 }

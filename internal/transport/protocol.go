@@ -35,6 +35,7 @@ type Envelope struct {
 	SIC    *SICMsg    `json:"sic,omitempty"`
 	Report *ReportMsg `json:"report,omitempty"`
 	Stats  *StatsMsg  `json:"stats,omitempty"`
+	Rewire *Rewire    `json:"rewire,omitempty"`
 }
 
 // Message kinds.
@@ -47,6 +48,12 @@ const (
 	KindReport = "report"
 	KindStats  = "stats"
 	KindStop   = "stop"
+	// KindRewire updates a host's peer routing after failure recovery
+	// moved a fragment of one of its queries to a different node.
+	KindRewire = "rewire"
+	// KindHeartbeat is a node→controller liveness beacon, sent once per
+	// tick. It carries no payload; receipt of any frame counts.
+	KindHeartbeat = "heartbeat"
 )
 
 // Hello introduces a connection.
@@ -64,12 +71,12 @@ type Deploy struct {
 	Frag  stream.FragID  `json:"frag"`
 	// CQL is the statement text of an ad-hoc query; when set it takes
 	// precedence over Workload.
-	CQL       string `json:"cql,omitempty"`
-	Workload  string `json:"workload"` // AVG-all | TOP-5 | COV | AVG | MAX | COUNT
-	Fragments int    `json:"fragments"`
-	Dataset   int            `json:"dataset"`
-	Rate      float64        `json:"rate"`
-	Batches   float64        `json:"batches_per_sec"`
+	CQL       string  `json:"cql,omitempty"`
+	Workload  string  `json:"workload"` // AVG-all | TOP-5 | COV | AVG | MAX | COUNT
+	Fragments int     `json:"fragments"`
+	Dataset   int     `json:"dataset"`
+	Rate      float64 `json:"rate"`
+	Batches   float64 `json:"batches_per_sec"`
 	// Peers maps every fragment of the query to the address of its host
 	// node, so derived batches can be routed directly site-to-site.
 	Peers map[stream.FragID]string `json:"peers"`
@@ -87,11 +94,16 @@ type Deploy struct {
 	IntervalMs int64 `json:"interval_ms"`
 }
 
-// Start begins real-time processing on a node. The tick interval echoes
-// the deploy's; the STW travels only in Deploy (it is consumed when
-// sources attach, before Start ever arrives).
+// Start begins real-time processing on a node. The tick interval and
+// STW echo the deploy's. A node that has received no Deploy — a spare
+// held in reserve as a failure-recovery target — builds its runtime from
+// these values, so fragments re-placed onto it later attach their
+// sources under the same STW as everywhere else (the Eq. (1)
+// normaliser; a mismatch would skew every re-placed query's SIC by
+// controllerSTW/nodeSTW).
 type Start struct {
 	IntervalMs int64 `json:"interval_ms"`
+	STWMs      int64 `json:"stw_ms"`
 }
 
 // BatchMsg carries one tuple batch between nodes. Tuples are flattened
@@ -143,6 +155,18 @@ func FromBatch(b *stream.Batch) *BatchMsg {
 	return m
 }
 
+// Rewire replaces a host's fragment→address routing table for one query
+// after failure recovery re-placed fragments. Hosts evict outbound peer
+// connections to addresses no longer referenced by any query and re-dial
+// lazily on the next batch send, so batches stop flowing to a dead
+// node's address as soon as the rewire lands.
+type Rewire struct {
+	Query stream.QueryID `json:"query"`
+	// Peers is the complete new fragment→host-address map of the query,
+	// replacing the one delivered at deploy time.
+	Peers map[stream.FragID]string `json:"peers"`
+}
+
 // SICMsg is a coordinator result-SIC update (30 bytes in the paper's
 // binary protocol; JSON here for debuggability).
 type SICMsg struct {
@@ -162,13 +186,21 @@ type ReportMsg struct {
 	IsResult bool           `json:"is_result"`
 }
 
-// StatsMsg returns a node's final counters.
+// StatsMsg returns a node's final counters. Like ReportMsg, the numeric
+// fields avoid omitempty: zero counts are data.
 type StatsMsg struct {
 	Node            string `json:"node"`
 	ArrivedTuples   int64  `json:"arrived_tuples"`
 	KeptTuples      int64  `json:"kept_tuples"`
 	ShedTuples      int64  `json:"shed_tuples"`
 	ShedInvocations int64  `json:"shed_invocations"`
+	// DroppedTuples and DroppedSIC surface derived batches whose
+	// downstream routing failed (dead peer, failed dial): their SIC mass
+	// was pre-credited by the shedding round but never reached the root,
+	// so reports must show it as lost rather than silently skewing
+	// result SIC.
+	DroppedTuples int64   `json:"dropped_tuples"`
+	DroppedSIC    float64 `json:"dropped_sic"`
 }
 
 // conn wraps a TCP connection with synchronised frame writing: JSON

@@ -194,6 +194,8 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 				s.nd.SetResultSIC(e.SIC.Query, e.SIC.Value)
 			}
 			s.mu.Unlock()
+		case KindRewire:
+			s.handleRewire(e.Rewire)
 		case KindStop:
 			s.handleStop(out)
 			return
@@ -265,13 +267,53 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 	}
 	rng := rand.New(rand.NewSource(d.SourceSeed))
 	sid := d.FirstSourceID
+	// Query-global generator indices: the virtual-time engine and a
+	// recovery re-deploy derive the same identities from the same rule.
+	genIdx := plan.SourceIndexOffset(int(d.Frag))
 	for i, ss := range fp.Sources {
-		gen := ss.NewGen(rand.New(rand.NewSource(rng.Int63())), int(d.Frag)*len(fp.Sources)+i)
+		gen := ss.NewGen(rand.New(rand.NewSource(rng.Int63())), genIdx+i)
 		src := sources.New(sid, d.Query, d.Frag, ss.Port, d.Rate, d.Batches, ss.Arity, gen, rng.Int63())
 		sid++
 		s.nd.AttachSource(src)
 	}
 	return nil
+}
+
+// handleRewire installs a query's post-recovery peer map and evicts
+// outbound connections to addresses no longer referenced by any query,
+// so batches stop targeting a dead node as soon as the controller has
+// re-placed its fragments. Connections to re-used addresses survive;
+// new ones are dialled lazily on the next send.
+func (s *NodeServer) handleRewire(r *Rewire) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	for k := range s.peers {
+		if k.q == r.Query {
+			delete(s.peers, k)
+		}
+	}
+	for f, addr := range r.Peers {
+		s.peers[peerKey{r.Query, f}] = addr
+	}
+	live := make(map[string]bool, len(s.peers))
+	for _, addr := range s.peers {
+		live[addr] = true
+	}
+	s.mu.Unlock()
+	s.outMu.Lock()
+	var stale []*conn
+	for addr, c := range s.outs {
+		if !live[addr] {
+			delete(s.outs, addr)
+			stale = append(stale, c)
+		}
+	}
+	s.outMu.Unlock()
+	for _, c := range stale {
+		c.Close()
+	}
 }
 
 // initNode builds the node runtime with the deployment's STW and
@@ -302,8 +344,18 @@ func (s *NodeServer) now() stream.Time {
 func (s *NodeServer) handleStart(st *Start, ctrl *conn) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.started || s.nd == nil {
+	if s.started {
 		return
+	}
+	if s.nd == nil {
+		// No fragments deployed yet: this node is a spare. Build the
+		// runtime anyway (from the Start message's STW/interval) so the
+		// node ticks, heartbeats, and can adopt re-placed fragments.
+		var stwMs, ivalMs int64
+		if st != nil {
+			stwMs, ivalMs = st.STWMs, st.IntervalMs
+		}
+		s.initNode(stwMs, ivalMs)
 	}
 	s.ctrl = ctrl
 	s.started = true
@@ -346,6 +398,16 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 			// handlers. tickLoop is the only goroutine ticking the node, so
 			// the outbox stays valid until the next iteration.
 			out.Replay(0, s)
+			// Liveness beacon: a node hosting no (or only displaced-away)
+			// fragments may otherwise stay silent for whole intervals,
+			// which the controller's missed-heartbeat detector would
+			// mistake for a partition.
+			s.mu.Lock()
+			ctrl := s.ctrl
+			s.mu.Unlock()
+			if ctrl != nil {
+				ctrl.send(&Envelope{Kind: KindHeartbeat})
+			}
 		}
 	}
 }
@@ -376,6 +438,8 @@ func (s *NodeServer) handleStop(out *conn) {
 		KeptTuples:      stats.KeptTuples,
 		ShedTuples:      stats.ShedTuples,
 		ShedInvocations: stats.ShedInvocations,
+		DroppedTuples:   stats.DroppedTuples,
+		DroppedSIC:      stats.DroppedSIC,
 	}})
 	s.Close()
 }
@@ -395,6 +459,28 @@ func (s *NodeServer) peerConn(addr string) (*conn, error) {
 	return c, nil
 }
 
+// dropPeerConn evicts a broken outbound connection so the next send to
+// the address re-dials instead of failing forever. The cache entry is
+// removed only if it still holds the same connection — a concurrent
+// sender may already have replaced it with a fresh dial.
+func (s *NodeServer) dropPeerConn(addr string, c *conn) {
+	s.outMu.Lock()
+	if cur, ok := s.outs[addr]; ok && cur == c {
+		delete(s.outs, addr)
+	}
+	s.outMu.Unlock()
+	c.Close()
+}
+
+// noteDropped records a derived batch lost to a routing failure.
+func (s *NodeServer) noteDropped(b *stream.Batch) {
+	s.mu.Lock()
+	if s.nd != nil {
+		s.nd.NoteDropped(b.Len(), b.SIC)
+	}
+	s.mu.Unlock()
+}
+
 // --- node.Router implementation (wall-clock federation) ---
 //
 // These methods are no longer called mid-tick: tickLoop drains the node's
@@ -403,21 +489,39 @@ func (s *NodeServer) peerConn(addr string) (*conn, error) {
 // take s.mu themselves where they touch the node.
 
 // RouteDownstream implements node.Router by shipping the batch to the
-// peer hosting the destination fragment.
+// peer hosting the destination fragment. A send error evicts the cached
+// connection and retries once over a fresh dial — a peer that restarted
+// (or was re-placed onto the same address) is reached again without
+// poisoning every future batch. Batches that still cannot be delivered
+// are counted as dropped: their SIC mass was pre-credited by the
+// shedding round, so the loss must be visible in the node's stats.
 func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 	s.mu.Lock()
 	addr, ok := s.peers[peerKey{b.Query, b.Frag}]
 	s.mu.Unlock()
 	if !ok {
+		s.noteDropped(b)
 		return
 	}
 	c, err := s.peerConn(addr)
 	if err != nil {
-		s.logf("themis-node %s: route: %v", s.Name, err)
+		s.logf("themis-node %s: route %s: %v", s.Name, addr, err)
+		s.noteDropped(b)
 		return
 	}
 	if err := c.sendBatch(b); err != nil {
-		s.logf("themis-node %s: send: %v", s.Name, err)
+		s.dropPeerConn(addr, c)
+		c, rerr := s.peerConn(addr)
+		if rerr == nil {
+			rerr = c.sendBatch(b)
+			if rerr != nil {
+				s.dropPeerConn(addr, c)
+			}
+		}
+		if rerr != nil {
+			s.logf("themis-node %s: send %s: %v (re-dial: %v)", s.Name, addr, err, rerr)
+			s.noteDropped(b)
+		}
 	}
 }
 

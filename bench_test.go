@@ -112,6 +112,14 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+func BenchmarkDynamicWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DynamicWorkload(benchScale, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkStepParallel measures the two-phase tick pipeline across
 // compute-phase worker counts on a 24-node deployment running 48 mixed
 // complex queries (1-3 fragments each). Every worker count computes

@@ -5,7 +5,7 @@
 //
 //	themis-bench [-scale quick|paper] [-seed N] [-run all|table1|fig6|
 //	              fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|sec75|
-//	              sec76|stw|ablation]
+//	              sec76|stw|dynamic|ablation]
 //
 // The quick scale (default) shrinks durations and source rates so the
 // whole suite finishes in well under a minute; the paper scale runs the
@@ -147,6 +147,14 @@ func main() {
 			r := experiments.STW(scale, *seed)
 			if csv != nil {
 				export(r.CSV(csv, "stw"))
+			}
+			return []renderer{r}
+		}},
+		{"dynamic", func() []renderer {
+			r, err := experiments.DynamicWorkload(scale, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "themis-bench: dynamic: %v\n", err)
+				os.Exit(1)
 			}
 			return []renderer{r}
 		}},

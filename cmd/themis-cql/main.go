@@ -27,13 +27,43 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	themis "repro"
+	"repro/internal/federation"
 	"repro/internal/stream"
 	"repro/internal/transport"
 )
+
+// timedSubmit is one scheduled mid-run submission (-submit-at).
+type timedSubmit struct {
+	at  time.Duration
+	cql string
+}
+
+// timedRetract is one scheduled mid-run retract (-retract-at).
+type timedRetract struct {
+	at time.Duration
+	q  stream.QueryID
+}
+
+// splitSchedule parses the shared "dur:payload" schedule syntax.
+func splitSchedule(v string) (time.Duration, string, error) {
+	parts := strings.SplitN(v, ":", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return 0, "", fmt.Errorf("want 'duration:value', got %q", v)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, "", err
+	}
+	if d < 0 {
+		return 0, "", fmt.Errorf("negative schedule time %v", d)
+	}
+	return d, strings.TrimSpace(parts[1]), nil
+}
 
 func main() {
 	queryText := flag.String("query", "Select Avg(t.v) From Src[Range 1 sec]", "CQL query (Table 1 syntax)")
@@ -45,13 +75,39 @@ func main() {
 
 	// Networked mode.
 	netAddrs := flag.String("net", "", "comma-separated themis-node addresses; deploys onto the live federation instead of the simulator")
-	fragments := flag.Int("fragments", 1, "number of fragments to partition the query into (-net mode)")
+	fragments := flag.Int("fragments", 1, "number of fragments to partition the query into (-net mode; -submit-at submissions use it in both modes)")
 	placement := flag.String("placement", "round-robin", "fragment site assignment: round-robin|uniform|zipf (-net mode)")
 	warmup := flag.Duration("warmup", 0, "measurement warmup (-net mode; defaults to duration/4)")
 	batches := flag.Float64("batches", 5, "source batches/sec (-net mode)")
 	stw := flag.Duration("stw", 10*time.Second, "source time window (-net mode)")
 	interval := flag.Duration("interval", 250*time.Millisecond, "shedding/update interval (-net mode)")
 	seed := flag.Int64("seed", 1, "deployment seed (-net mode)")
+
+	// Live query churn: mid-run submissions and retracts, in both modes.
+	// The initial -query is query 0; scheduled submissions are numbered
+	// 1, 2, … in schedule order.
+	var submits []timedSubmit
+	flag.Func("submit-at", "submit a query mid-run as 'dur:CQL', e.g. '5s:Select Count(t.v) From Src[Range 1 sec]' (repeatable; uses -fragments/-dataset/-rate/-batches)", func(v string) error {
+		d, cqlText, err := splitSchedule(v)
+		if err != nil {
+			return err
+		}
+		submits = append(submits, timedSubmit{at: d, cql: cqlText})
+		return nil
+	})
+	var retracts []timedRetract
+	flag.Func("retract-at", "retract a query mid-run as 'dur:queryID', e.g. '10s:0' (repeatable)", func(v string) error {
+		d, qs, err := splitSchedule(v)
+		if err != nil {
+			return err
+		}
+		q, err := strconv.Atoi(qs)
+		if err != nil {
+			return fmt.Errorf("query id %q: %w", qs, err)
+		}
+		retracts = append(retracts, timedRetract{at: d, q: stream.QueryID(q)})
+		return nil
+	})
 	flag.Parse()
 
 	var ds themis.Dataset
@@ -73,7 +129,8 @@ func main() {
 
 	if *netAddrs != "" {
 		runNetworked(*netAddrs, *queryText, int(ds), *fragments, *placement,
-			*rate, *batches, *duration, *warmup, *stw, *interval, *seed, *quietFlag)
+			*rate, *batches, *duration, *warmup, *stw, *interval, *seed, *quietFlag,
+			submits, retracts)
 		return
 	}
 
@@ -86,6 +143,25 @@ func main() {
 	cfg := themis.Defaults()
 	cfg.Duration = themis.Duration(duration.Milliseconds())
 	cfg.Warmup = cfg.Duration / 5
+	// The scheduled churn replays as deterministic engine events: one
+	// tick per shedding interval, retract events before submissions at
+	// the same offset (mirroring the engine's within-event order).
+	for _, r := range retracts {
+		cfg.QueryChurn = append(cfg.QueryChurn, federation.QueryChurnEvent{
+			Tick:    r.at.Milliseconds() / int64(cfg.Interval),
+			Retract: []stream.QueryID{r.q},
+		})
+	}
+	for _, s := range submits {
+		// Same -fragments as -net mode, so a local replay mirrors the
+		// networked schedule plan-for-plan. The local testbed has one
+		// node, so multi-fragment submissions cannot place there; they
+		// are counted as skipped and reported after the run.
+		cfg.QueryChurn = append(cfg.QueryChurn, federation.QueryChurnEvent{
+			Tick:   s.at.Milliseconds() / int64(cfg.Interval),
+			Submit: []federation.QuerySubmit{{CQL: s.cql, Fragments: *fragments, Dataset: int(ds), Rate: *rate}},
+		})
+	}
 	engine, node := themis.LocalTestbed(cfg, *capacity)
 	qid, err := engine.DeployQuery(plan, []themis.NodeID{node}, *rate)
 	if err != nil {
@@ -108,7 +184,21 @@ func main() {
 	res := engine.Run()
 	ns := res.Nodes[0]
 	fmt.Printf("\n%s (%s)\n", plan.Type, *queryText)
-	fmt.Printf("mean SIC over run: %.3f   (1.0 = perfect processing)\n", res.Queries[0].MeanSIC)
+	if len(res.Queries) == 1 {
+		fmt.Printf("mean SIC over run: %.3f   (1.0 = perfect processing)\n", res.Queries[0].MeanSIC)
+	} else {
+		// A churn schedule ran: report the whole dynamic workload.
+		for _, q := range res.Queries {
+			fmt.Printf("query %d (%s) mean SIC: %.3f   (1.0 = perfect processing)\n", q.ID, q.Type, q.MeanSIC)
+		}
+		fmt.Printf("fairness (Jain): %.3f\n", res.Jain)
+	}
+	if skipped := engine.SkippedSubmits(); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "themis-cql: %d scheduled submission(s) could not be applied\n", skipped)
+	}
+	if skipped := engine.SkippedRetracts(); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "themis-cql: %d scheduled retract(s) named a query that was not live\n", skipped)
+	}
 	fmt.Printf("tuples: %d arrived, %d shed (%.0f%%), %d shedder invocations\n",
 		ns.ArrivedTuples, ns.ShedTuples,
 		100*float64(ns.ShedTuples)/float64(max64(ns.ArrivedTuples, 1)),
@@ -116,10 +206,14 @@ func main() {
 }
 
 // runNetworked deploys the statement across live themis-node servers and
-// streams per-query SIC values while the run progresses.
+// streams per-query SIC values while the run progresses. Scheduled
+// submissions and retracts fire on wall-clock timers relative to the
+// run start: queries arrive and depart while the federation keeps
+// ticking.
 func runNetworked(addrList, queryText string, dataset, fragments int, placement string,
 	rate, batchesPerSec float64, duration, warmup time.Duration,
-	stw, interval time.Duration, seed int64, quiet bool) {
+	stw, interval time.Duration, seed int64, quiet bool,
+	submits []timedSubmit, retracts []timedRetract) {
 	addrs := strings.Split(addrList, ",")
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
@@ -171,6 +265,37 @@ func runNetworked(addrList, queryText string, dataset, fragments int, placement 
 			fmt.Printf("t=%6.2fs  q%d  result-SIC=%.4f\n", float64(now)/1000, q, v)
 		})
 	}
+
+	// Arm the churn schedule just before the run starts; each timer fires
+	// on the controller concurrently with the broadcast loop (Submit and
+	// Retract are mid-run-safe by design).
+	var timers []*time.Timer
+	for _, s := range submits {
+		s := s
+		timers = append(timers, time.AfterFunc(s.at, func() {
+			q, err := ctrl.Submit(s.cql, fragments, dataset, rate, batchesPerSec, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "themis-cql: submit at %v: %v\n", s.at, err)
+				return
+			}
+			fmt.Printf("t=%6.2fs  submitted %q as query %d\n", s.at.Seconds(), s.cql, q)
+		}))
+	}
+	for _, r := range retracts {
+		r := r
+		timers = append(timers, time.AfterFunc(r.at, func() {
+			if err := ctrl.Retract(r.q); err != nil {
+				fmt.Fprintf(os.Stderr, "themis-cql: retract at %v: %v\n", r.at, err)
+				return
+			}
+			fmt.Printf("t=%6.2fs  retracted query %d\n", r.at.Seconds(), r.q)
+		}))
+	}
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
 
 	res, err := ctrl.Run(duration, warmup)
 	if err != nil {

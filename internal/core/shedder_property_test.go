@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Property tests for the Shedder contract, shared by every policy:
+// for arbitrary input buffers, capacities and seeds, Select must
+//
+//   - never keep more tuples than the capacity,
+//   - return only in-range indices,
+//   - never return an index twice,
+//   - be a pure function of (seed, input): the same shedder seed over
+//     the same buffer selects the same batches, which is what makes
+//     whole federation runs replayable.
+
+// randomIB builds a random input buffer: up to maxBatches batches over
+// a handful of queries, arbitrary lengths and SIC masses, a mix of
+// source and derived batches.
+func randomIB(rng *rand.Rand, maxBatches int) []*stream.Batch {
+	ib := make([]*stream.Batch, rng.Intn(maxBatches+1))
+	for i := range ib {
+		n := 1 + rng.Intn(20)
+		src := stream.SourceID(rng.Intn(3) - 1) // -1 marks derived
+		b := stream.NewBatch(stream.QueryID(rng.Intn(5)), stream.FragID(rng.Intn(3)), src,
+			stream.Time(rng.Int63n(10_000)), n, 1)
+		for j := range b.Tuples {
+			b.Tuples[j].TS = b.TS
+			b.Tuples[j].SIC = rng.Float64() / 10
+			b.Tuples[j].V[0] = rng.NormFloat64()
+		}
+		b.RecomputeSIC()
+		ib[i] = b
+	}
+	return ib
+}
+
+// shedderFactories lists every policy under test, rebuilt fresh per
+// invocation so determinism is judged from a clean seed state.
+var shedderFactories = []struct {
+	name string
+	mk   func(seed int64) Shedder
+}{
+	{"random", func(seed int64) Shedder { return NewRandom(seed) }},
+	{"balance-sic", func(seed int64) Shedder { return NewBalanceSIC(seed) }},
+	{"balance-sic-no-projection", func(seed int64) Shedder {
+		s := NewBalanceSIC(seed)
+		s.Projection = false
+		return s
+	}},
+	{"balance-sic-no-maxsic", func(seed int64) Shedder {
+		s := NewBalanceSIC(seed)
+		s.SelectHighest = false
+		return s
+	}},
+}
+
+func TestShedderSelectProperties(t *testing.T) {
+	for _, fac := range shedderFactories {
+		fac := fac
+		t.Run(fac.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2024))
+			for trial := 0; trial < 400; trial++ {
+				seed := rng.Int63()
+				ib := randomIB(rng, 40)
+				// Capacities across the interesting range: starved, tight,
+				// roomy, and degenerate (zero / negative).
+				capacity := rng.Intn(500) - 50
+				// Result-SIC estimates: arbitrary non-negative values, with
+				// occasional zero (a query that produced nothing yet).
+				sics := make(map[stream.QueryID]float64)
+				resultSIC := func(q stream.QueryID) float64 {
+					if v, ok := sics[q]; ok {
+						return v
+					}
+					v := 0.0
+					if rng.Intn(4) != 0 {
+						v = rng.Float64() * 2
+					}
+					sics[q] = v
+					return v
+				}
+
+				keep := fac.mk(seed).Select(ib, capacity, resultSIC)
+
+				if capacity <= 0 && len(keep) != 0 {
+					t.Fatalf("trial %d: kept %d batches at capacity %d", trial, len(keep), capacity)
+				}
+				if kept := KeptTuples(ib, keep); capacity > 0 && kept > capacity {
+					t.Fatalf("trial %d: kept %d tuples over capacity %d", trial, kept, capacity)
+				}
+				seen := make(map[int]bool, len(keep))
+				for _, idx := range keep {
+					if idx < 0 || idx >= len(ib) {
+						t.Fatalf("trial %d: out-of-range index %d (ib %d)", trial, idx, len(ib))
+					}
+					if seen[idx] {
+						t.Fatalf("trial %d: duplicate index %d", trial, idx)
+					}
+					seen[idx] = true
+				}
+
+				// Determinism per seed: replay with a fresh shedder and the
+				// frozen result-SIC estimates.
+				replay := fac.mk(seed).Select(ib, capacity, func(q stream.QueryID) float64 { return sics[q] })
+				if !reflect.DeepEqual(keep, replay) {
+					t.Fatalf("trial %d: same seed selected %v then %v", trial, keep, replay)
+				}
+			}
+		})
+	}
+}
+
+// TestShedderKeepAllIgnoresCapacity documents KeepAll's deliberate
+// contract breach: it is the perfect-processing reference, not a real
+// policy, and keeps everything regardless of capacity.
+func TestShedderKeepAllIgnoresCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ib := randomIB(rng, 10)
+	keep := (KeepAll{}).Select(ib, 1, nil)
+	if len(keep) != len(ib) {
+		t.Errorf("KeepAll kept %d of %d batches", len(keep), len(ib))
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/coordinator"
 	"repro/internal/core"
+	"repro/internal/cql"
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/parallel"
@@ -108,6 +109,20 @@ type Config struct {
 	// networked run through membership churn can be checked against the
 	// deterministic engine executing the same schedule.
 	Churn []ChurnEvent
+	// QueryChurn schedules query submit/retract events at given ticks —
+	// the virtual-time mirror of Controller.Submit/Retract on the TCP
+	// transport, so a networked run through a dynamic workload can be
+	// checked against the deterministic engine executing the same
+	// schedule. Events apply at the start of a step, after node churn
+	// (a submission in the same tick as a kill places over the post-kill
+	// membership, exactly as a controller submit after a detected
+	// failure does) and are deterministic across worker counts.
+	QueryChurn []QueryChurnEvent
+	// Placement names the site-assignment strategy for QueryChurn
+	// submissions without an explicit placement: "round-robin" (default),
+	// "uniform" or "zipf" — the same federation.Placer strategies the
+	// transport controller uses.
+	Placement string
 	// Seed drives all randomness in the deployment.
 	Seed int64
 }
@@ -126,6 +141,37 @@ type ChurnEvent struct {
 	// them (fresh executor state, SIC accounting reset at the recovery
 	// epoch); a query with too few survivors departs instead.
 	Kill []stream.NodeID
+}
+
+// QueryChurnEvent is one scheduled workload change. Retracts apply
+// before submits within the same event, so a replacement query arriving
+// together with a departure may reuse the departed query's nodes (one
+// query's fragments must land on distinct nodes, §3).
+type QueryChurnEvent struct {
+	// Tick is the engine tick at whose start the event applies.
+	Tick int64
+	// Submit deploys these queries onto the live membership.
+	Submit []QuerySubmit
+	// Retract undeploys the named queries (ids as returned by
+	// DeployQuery/SubmitCQL in submission order, starting at 0).
+	Retract []stream.QueryID
+}
+
+// QuerySubmit describes one scheduled query submission: the CQL text is
+// planned with cql.PlanDistributed — exactly as every transport host
+// re-plans a travelling statement — and placed over the live membership.
+type QuerySubmit struct {
+	// CQL is the statement text (Table 1 syntax).
+	CQL string
+	// Fragments partitions the plan (1 = single-fragment).
+	Fragments int
+	// Dataset selects the source distribution (sources.Dataset).
+	Dataset int
+	// Rate overrides Config.SourceRate for this query when positive.
+	Rate float64
+	// Placement pins the fragments to these nodes; nil uses the
+	// engine's Config.Placement strategy over the live membership.
+	Placement []stream.NodeID
 }
 
 // Defaults returns the evaluation's base configuration (§7): 250 ms
@@ -172,6 +218,11 @@ type queryRT struct {
 	sampleSum float64
 	sampleN   int
 	resultFn  func(now stream.Time, tuples []stream.Tuple)
+	// epoch is the engine time at which the query's measurement epoch
+	// began (deployment time). Samples count toward the query's mean only
+	// after epoch+Warmup, so a query submitted mid-run warms up on its
+	// own clock instead of polluting its mean with an empty window.
+	epoch stream.Time
 	// removed freezes the query's statistics after RemoveQuery.
 	removed bool
 }
@@ -194,6 +245,18 @@ type Engine struct {
 	// during the exchange phase for one batched coordinator update per
 	// query per tick; slices are reused across ticks.
 	accBatch map[stream.QueryID][]float64
+
+	// qcPlacer assigns sites to QueryChurn submissions without an
+	// explicit placement; it is rebuilt over the live membership whenever
+	// membership changes, mirroring the transport controller's placer.
+	qcPlacer *Placer
+	// skippedSubmits and skippedRetracts count scheduled events the
+	// engine could not apply (bad CQL, too few live nodes, unknown
+	// query id) — schedule errors cannot surface from Step, so tests
+	// assert these stay zero. The networked controller surfaces the
+	// same mistakes as Submit/Retract errors.
+	skippedSubmits  int
+	skippedRetracts int
 
 	nextQuery  stream.QueryID
 	nextSource stream.SourceID
@@ -263,6 +326,7 @@ func (e *Engine) AddNode(capacityPerSec float64) stream.NodeID {
 	}, e.newShedder())
 	e.nodes = append(e.nodes, n)
 	e.dead = append(e.dead, false)
+	e.rebuildQCPlacer()
 	return id
 }
 
@@ -317,6 +381,7 @@ func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate f
 		placement: append([]stream.NodeID(nil), placement...),
 		resultAcc: sic.NewAccumulator(e.cfg.STW, e.cfg.Interval),
 		rate:      rate,
+		epoch:     stream.Time(e.tick * int64(e.cfg.Interval)),
 	}
 	hostSeen := make(map[stream.NodeID]bool, len(placement))
 	for _, nd := range placement {
@@ -340,17 +405,30 @@ func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate f
 // nodes (freeing capacity for the remaining queries at the next shedding
 // round), its coordinator stops broadcasting, and its statistics freeze
 // at their current values. In-flight batches of the query are dropped on
-// delivery.
-func (e *Engine) RemoveQuery(q stream.QueryID) {
+// delivery. All per-query runtime state — the sliding result-SIC
+// accumulator, the coordinator, the exchange-phase delta buffer — is
+// released; only the scalars behind the query's reported mean (and the
+// opt-in KeepSamples series) survive, so a long-lived federation
+// absorbing arrivals and departures does not grow without bound.
+// It reports whether a live query was actually removed; unknown or
+// already-removed ids are a no-op.
+func (e *Engine) RemoveQuery(q stream.QueryID) bool {
 	rt, ok := e.queries[q]
 	if !ok || rt.removed {
-		return
+		return false
 	}
 	rt.removed = true
 	for fi := range rt.plan.Fragments {
 		e.nodes[rt.placement[fi]].RemoveFragment(q, stream.FragID(fi))
 	}
 	delete(e.coords, q)
+	delete(e.accBatch, q)
+	// The opt-in KeepSamples series survives — it is a reported result,
+	// not runtime state — but the accumulator and callback are dead
+	// weight once the query's statistics are frozen.
+	rt.resultAcc = nil
+	rt.resultFn = nil
+	return true
 }
 
 // OnResult registers a callback receiving every result batch of a query —
@@ -442,6 +520,7 @@ func (e *Engine) KillNode(id stream.NodeID) {
 		return
 	}
 	e.dead[id] = true
+	e.rebuildQCPlacer()
 	for _, qid := range e.order {
 		rt := e.queries[qid]
 		if rt.removed {
@@ -526,6 +605,103 @@ func (e *Engine) placeFragment(rt *queryRT, fi int, nd stream.NodeID) {
 	rt.placement[fi] = nd
 }
 
+// --- query churn ---
+
+// applyQueryChurn executes the scheduled workload events due at the
+// current tick: retracts first (freeing nodes for arrivals), then
+// submits. A submission that cannot be applied (malformed CQL, too few
+// live nodes for distinct placement) is skipped and counted — Step has
+// no error channel — so schedules stay deterministic across worker
+// counts either way.
+func (e *Engine) applyQueryChurn() {
+	for _, ev := range e.cfg.QueryChurn {
+		if ev.Tick != e.tick {
+			continue
+		}
+		for _, q := range ev.Retract {
+			if !e.RemoveQuery(q) {
+				e.skippedRetracts++
+			}
+		}
+		for _, sub := range ev.Submit {
+			if _, err := e.SubmitCQL(sub.CQL, sub.Fragments, sub.Dataset, sub.Rate, sub.Placement); err != nil {
+				e.skippedSubmits++
+			}
+		}
+	}
+}
+
+// SubmitCQL plans a CQL statement with cql.PlanDistributed — the same
+// deterministic planner every transport host runs on a travelling
+// statement — places its fragments (explicitly, or with the configured
+// Placement strategy over the live membership) and deploys it onto the
+// running federation. It is the virtual-time twin of Controller.Submit:
+// queries are first-class runtime citizens that may arrive at any tick.
+func (e *Engine) SubmitCQL(cqlText string, fragments, dataset int, rate float64, placement []stream.NodeID) (stream.QueryID, error) {
+	st, err := cql.Parse(cqlText)
+	if err != nil {
+		return 0, err
+	}
+	if fragments < 1 {
+		fragments = 1
+	}
+	plan, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Dataset(dataset)), fragments)
+	if err != nil {
+		return 0, err
+	}
+	if placement == nil {
+		placement, err = e.autoPlace(plan.NumFragments())
+		if err != nil {
+			return 0, err
+		}
+	}
+	return e.DeployQuery(plan, placement, rate)
+}
+
+// autoPlace assigns k fragments to distinct live nodes with the
+// configured placement strategy, mirroring Controller.AutoPlace.
+func (e *Engine) autoPlace(k int) ([]stream.NodeID, error) {
+	var alive []stream.NodeID
+	for ni := range e.nodes {
+		if !e.dead[ni] {
+			alive = append(alive, stream.NodeID(ni))
+		}
+	}
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("federation: no live nodes to place on")
+	}
+	if e.qcPlacer == nil {
+		p, err := NewPlacer(e.cfg.Placement, len(alive), e.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		e.qcPlacer = p
+	}
+	ids, err := e.qcPlacer.Place(k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stream.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = alive[int(id)]
+	}
+	return out, nil
+}
+
+// rebuildQCPlacer re-derives the churn placer over the live membership
+// (strategy and seed preserved, round-robin state restarts), so
+// scheduled submissions never target dead nodes. Lazily re-created on
+// the next autoPlace.
+func (e *Engine) rebuildQCPlacer() { e.qcPlacer = nil }
+
+// SkippedSubmits reports how many scheduled QueryChurn submissions
+// could not be applied.
+func (e *Engine) SkippedSubmits() int { return e.skippedSubmits }
+
+// SkippedRetracts reports how many scheduled QueryChurn retracts named
+// a query that was not live.
+func (e *Engine) SkippedRetracts() int { return e.skippedRetracts }
+
 // NodeAlive reports whether a node is still part of the membership.
 func (e *Engine) NodeAlive(id stream.NodeID) bool {
 	return int(id) >= 0 && int(id) < len(e.nodes) && !e.dead[id]
@@ -609,8 +785,13 @@ func (e *Engine) exchangePhase(now stream.Time) {
 		}
 		if c, ok := e.coords[qid]; ok {
 			c.ReportAcceptedBatch(now, deltas)
+			e.accBatch[qid] = deltas[:0]
+		} else {
+			// Query departed this tick: a node may still have emitted a
+			// delta for it during the compute phase. Drop the buffer so a
+			// retracted query leaves no residue behind.
+			delete(e.accBatch, qid)
 		}
-		e.accBatch[qid] = deltas[:0]
 	}
 }
 
@@ -619,6 +800,7 @@ func (e *Engine) exchangePhase(now stream.Time) {
 // exchange (their effects are applied in deterministic node-ID order).
 func (e *Engine) Step() {
 	e.applyChurn()
+	e.applyQueryChurn()
 	t := stream.Time(e.tick * int64(e.cfg.Interval))
 	// Deliver in-transit batches and coordinator updates due this tick.
 	// Batches bound for a node that died while they were in flight are
@@ -666,19 +848,20 @@ func (e *Engine) Step() {
 		}
 	}
 
-	// Sample per-query measured result SIC after warmup.
-	if now > stream.Time(e.cfg.Warmup) {
-		for _, qid := range e.order {
-			rt := e.queries[qid]
-			if rt.removed {
-				continue
-			}
-			s := rt.resultAcc.Sum(now)
-			rt.sampleSum += s
-			rt.sampleN++
-			if e.cfg.KeepSamples {
-				rt.samples = append(rt.samples, s)
-			}
+	// Sample per-query measured result SIC after each query's own
+	// measurement epoch plus warmup: a query submitted mid-run warms up
+	// on its own clock, so its mean is not diluted by the ticks its
+	// sliding window needed to fill (the per-query SIC epoch).
+	for _, qid := range e.order {
+		rt := e.queries[qid]
+		if rt.removed || now <= rt.epoch.Add(e.cfg.Warmup) {
+			continue
+		}
+		s := rt.resultAcc.Sum(now)
+		rt.sampleSum += s
+		rt.sampleN++
+		if e.cfg.KeepSamples {
+			rt.samples = append(rt.samples, s)
 		}
 	}
 	e.tick++

@@ -1,0 +1,248 @@
+package federation
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Query-churn schedule tests: the engine-side mirror of
+// Controller.Submit/Retract. Scheduled submissions plan CQL with the
+// same deterministic planner transport hosts run, place over the live
+// membership, and deploy mid-run; retracts tear queries down and free
+// their runtime state.
+
+const churnAvgCQL = "Select Avg(t.v) From Src[Range 1 sec]"
+
+// churnScheduleConfig is the shared base for the schedule tests: one
+// comfortable node, fine-grained batches.
+func churnScheduleConfig() Config {
+	cfg := Defaults()
+	cfg.Interval = 100 * stream.Millisecond
+	cfg.STW = 2 * stream.Second
+	cfg.SourceRate = 50
+	cfg.BatchesPerSec = 5
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestScheduledSubmitDeploysMidRun: a submission at tick 30 must appear
+// as a live query, reach steady-state SIC, and sample only after its
+// own epoch plus warmup.
+func TestScheduledSubmitDeploysMidRun(t *testing.T) {
+	cfg := churnScheduleConfig()
+	cfg.Warmup = 2 * stream.Second
+	cfg.KeepSamples = true
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 30, Submit: []QuerySubmit{{CQL: churnAvgCQL, Fragments: 1, Dataset: 1}}},
+	}
+	e := NewEngine(cfg)
+	e.AddNode(50_000) // underloaded: SIC near 1 once warm
+	const ticks = 120
+	for i := 0; i < ticks; i++ {
+		e.Step()
+	}
+	if n := e.SkippedSubmits(); n != 0 {
+		t.Fatalf("%d submissions skipped", n)
+	}
+	res := e.Results()
+	if len(res.Queries) != 1 {
+		t.Fatalf("queries after scheduled submit: %+v", res.Queries)
+	}
+	q := res.Queries[0]
+	if q.Type != "AVG" {
+		t.Errorf("submitted query type %q, want AVG", q.Type)
+	}
+	if q.MeanSIC < 0.9 {
+		t.Errorf("submitted query mean SIC %.3f, want ~1 on an underloaded node", q.MeanSIC)
+	}
+	// Per-query SIC epoch: the query exists from tick 30 (t=3 s) and has
+	// warmup 2 s, so samples must start near t=5 s — not at the global
+	// warmup boundary (t=2 s), which predates the query.
+	// ticks - (epoch+warmup)/interval = 120 - 50 = 70 samples.
+	if got := len(q.Samples); got != 70 {
+		t.Errorf("submitted query has %d samples, want 70 (epoch-relative warmup)", got)
+	}
+}
+
+// TestScheduledRetractFreesState: retracting a query mid-run must free
+// its engine bookkeeping and all node-side per-query state, returning
+// the node to its pre-deploy footprint.
+func TestScheduledRetractFreesState(t *testing.T) {
+	cfg := churnScheduleConfig()
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 0, Submit: []QuerySubmit{
+			{CQL: churnAvgCQL, Fragments: 1, Dataset: 1},
+			{CQL: churnAvgCQL, Fragments: 1, Dataset: 1},
+		}},
+		{Tick: 40, Retract: []stream.QueryID{1}},
+	}
+	e := NewEngine(cfg)
+	nd := e.AddNode(50_000)
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	withBoth := e.Node(nd).StateSize()
+	for i := 20; i < 80; i++ {
+		e.Step()
+	}
+	got := e.Node(nd).StateSize()
+	want := withBoth
+	want.Fragments /= 2
+	want.Sources /= 2
+	want.RateEstimators /= 2
+	want.SourceQueries /= 2
+	want.KnownSIC /= 2
+	want.BufferedBatches = got.BufferedBatches // tick-dependent, not a leak signal
+	if got != want {
+		t.Errorf("node state after retract: %+v, want half of %+v", got, withBoth)
+	}
+	if _, leaked := e.accBatch[1]; leaked {
+		t.Error("retracted query's exchange buffer still allocated")
+	}
+	if _, leaked := e.coords[1]; leaked {
+		t.Error("retracted query's coordinator still registered")
+	}
+	// The retracted query's record must survive with a frozen mean.
+	res := e.Results()
+	if len(res.Queries) != 2 {
+		t.Fatalf("results lost the retracted query: %+v", res.Queries)
+	}
+}
+
+// TestQueryChurnDeterministicAcrossWorkers: an identical submit/retract
+// schedule under a fixed seed must yield bit-identical results for any
+// worker count — query churn is part of the deterministic exchange
+// contract, exactly like node churn.
+func TestQueryChurnDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) (float64, float64) {
+		cfg := churnScheduleConfig()
+		cfg.Workers = workers
+		cfg.QueryChurn = []QueryChurnEvent{
+			{Tick: 0, Submit: []QuerySubmit{
+				{CQL: churnAvgCQL, Fragments: 1, Dataset: 1},
+				{CQL: churnAvgCQL, Fragments: 1, Dataset: 1},
+			}},
+			{Tick: 25, Submit: []QuerySubmit{{CQL: churnAvgCQL, Fragments: 2, Dataset: 1}}},
+			{Tick: 55, Retract: []stream.QueryID{0}},
+		}
+		e := NewEngine(cfg)
+		e.AddNodes(4, 400) // overloaded: shedding decisions must replay identically
+		for i := 0; i < 100; i++ {
+			e.Step()
+		}
+		if n := e.SkippedSubmits(); n != 0 {
+			t.Fatalf("workers=%d: %d submissions skipped", workers, n)
+		}
+		return e.CurrentSIC(1), e.CurrentSIC(2)
+	}
+	a1, a2 := run(1)
+	b1, b2 := run(4)
+	if a1 != b1 || a2 != b2 {
+		t.Errorf("churn schedule diverged across worker counts: (%v,%v) vs (%v,%v)", a1, a2, b1, b2)
+	}
+}
+
+// TestScheduledSubmitAfterKillPlacesOnSurvivors: a submission scheduled
+// after a node kill must place its fragments over the surviving
+// membership only.
+func TestScheduledSubmitAfterKillPlacesOnSurvivors(t *testing.T) {
+	cfg := churnScheduleConfig()
+	cfg.Churn = []ChurnEvent{{Tick: 10, Kill: []stream.NodeID{0}}}
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 20, Submit: []QuerySubmit{{CQL: churnAvgCQL, Fragments: 2, Dataset: 1}}},
+	}
+	e := NewEngine(cfg)
+	e.AddNodes(3, 50_000)
+	for i := 0; i < 60; i++ {
+		e.Step()
+	}
+	if n := e.SkippedSubmits(); n != 0 {
+		t.Fatalf("%d submissions skipped", n)
+	}
+	p := e.Placement(0)
+	if len(p) != 2 {
+		t.Fatalf("placement %v, want 2 fragments", p)
+	}
+	for _, nd := range p {
+		if nd == 0 {
+			t.Fatalf("fragment placed on killed node 0 (placement %v)", p)
+		}
+	}
+	if e.CurrentSIC(0) < 0.9 {
+		t.Errorf("post-kill submission SIC %.3f, want ~1 on underloaded survivors", e.CurrentSIC(0))
+	}
+}
+
+// TestScheduledSubmitSameTickAsKill: within one tick node churn applies
+// before query churn, so a submission scheduled at the kill tick sees
+// the post-kill membership — mirroring a controller submit issued after
+// failure detection.
+func TestScheduledSubmitSameTickAsKill(t *testing.T) {
+	cfg := churnScheduleConfig()
+	cfg.Churn = []ChurnEvent{{Tick: 15, Kill: []stream.NodeID{1}}}
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 15, Submit: []QuerySubmit{{CQL: churnAvgCQL, Fragments: 2, Dataset: 1}}},
+	}
+	e := NewEngine(cfg)
+	e.AddNodes(3, 50_000)
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	if n := e.SkippedSubmits(); n != 0 {
+		t.Fatalf("%d submissions skipped", n)
+	}
+	for _, nd := range e.Placement(0) {
+		if nd == 1 {
+			t.Fatalf("fragment placed on node killed in the same tick (placement %v)", e.Placement(0))
+		}
+	}
+}
+
+// TestSkippedSubmitsCounted: schedules that cannot apply — malformed
+// CQL, more fragments than live nodes, retracts naming unknown
+// queries — are counted, not silently dropped and not fatal; the
+// networked controller surfaces the same mistakes as errors.
+func TestSkippedSubmitsCounted(t *testing.T) {
+	cfg := churnScheduleConfig()
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 1, Submit: []QuerySubmit{{CQL: "Select Nope(", Fragments: 1, Dataset: 1}}},
+		{Tick: 2, Submit: []QuerySubmit{{CQL: churnAvgCQL, Fragments: 5, Dataset: 1}}},
+		{Tick: 3, Retract: []stream.QueryID{7}},
+	}
+	e := NewEngine(cfg)
+	e.AddNode(1000)
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if n := e.SkippedSubmits(); n != 2 {
+		t.Errorf("skipped submissions: %d, want 2", n)
+	}
+	if n := e.SkippedRetracts(); n != 1 {
+		t.Errorf("skipped retracts: %d, want 1", n)
+	}
+	if got := len(e.Results().Queries); got != 0 {
+		t.Errorf("%d queries deployed from invalid schedule", got)
+	}
+}
+
+// TestExplicitPlacementSubmit: a QuerySubmit may pin its placement; the
+// engine must honour it instead of consulting the placer.
+func TestExplicitPlacementSubmit(t *testing.T) {
+	cfg := churnScheduleConfig()
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 5, Submit: []QuerySubmit{{
+			CQL: churnAvgCQL, Fragments: 2, Dataset: 1,
+			Placement: []stream.NodeID{2, 0},
+		}}},
+	}
+	e := NewEngine(cfg)
+	e.AddNodes(3, 50_000)
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	p := e.Placement(0)
+	if len(p) != 2 || p[0] != 2 || p[1] != 0 {
+		t.Errorf("explicit placement not honoured: %v, want [2 0]", p)
+	}
+}

@@ -265,6 +265,49 @@ func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
 	}
 }
 
+// RemoveQuery undeploys every fragment of a query hosted on this node —
+// the host side of a retract. It returns the number of fragments
+// removed, so drivers can tell a no-op (query never placed here) from a
+// teardown. All per-query state goes with the fragments: executors,
+// sources, rate estimators, buffered batches and the coordinator's
+// latest result-SIC value.
+func (n *Node) RemoveQuery(q stream.QueryID) int {
+	var keys []fragKey
+	for k := range n.frags {
+		if k.q == q {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		n.RemoveFragment(k.q, k.f)
+	}
+	return len(keys)
+}
+
+// StateSize counts the node's live per-query state, so tests can assert
+// that retracting a query returns the node to its pre-deploy footprint
+// instead of leaking accumulators and estimator entries forever.
+type StateSize struct {
+	Fragments       int
+	Sources         int
+	RateEstimators  int
+	SourceQueries   int
+	KnownSIC        int
+	BufferedBatches int
+}
+
+// StateSize reports the current per-query state counts.
+func (n *Node) StateSize() StateSize {
+	return StateSize{
+		Fragments:       len(n.frags),
+		Sources:         len(n.srcs),
+		RateEstimators:  len(n.rateEst),
+		SourceQueries:   len(n.srcQuery),
+		KnownSIC:        len(n.knownSIC),
+		BufferedBatches: len(n.ib),
+	}
+}
+
 func (n *Node) hostsQuery(q stream.QueryID) bool {
 	for k := range n.frags {
 		if k.q == q {
@@ -309,8 +352,15 @@ func (n *Node) AttachSource(src *sources.Source) {
 
 // SetResultSIC ingests a coordinator update for a hosted query
 // (updateSIC(Q) of Algorithm 1, delivered with network delay by the
-// federation engine).
-func (n *Node) SetResultSIC(q stream.QueryID, v float64) { n.knownSIC[q] = v }
+// federation engine). Updates for queries this node does not host are
+// dropped: an update in flight while the query was retracted must not
+// resurrect its per-query state.
+func (n *Node) SetResultSIC(q stream.QueryID, v float64) {
+	if !n.hostsQuery(q) {
+		return
+	}
+	n.knownSIC[q] = v
+}
 
 // ResultSIC reports the node's latest known result SIC for a query.
 func (n *Node) ResultSIC(q stream.QueryID) float64 { return n.knownSIC[q] }

@@ -169,12 +169,69 @@ func TestNodeHostedQueriesAndLookup(t *testing.T) {
 
 func TestNodeCoordinatorUpdates(t *testing.T) {
 	n := New(1, Config{}, core.KeepAll{})
+	plan := query.NewAggregate(operator.AggMax, sources.Uniform)
+	n.HostFragment(4, 0, query.NewFragmentExec(plan.Fragments[0]), 1, -1, -1)
 	n.SetResultSIC(4, 0.7)
 	if got := n.ResultSIC(4); got != 0.7 {
 		t.Errorf("ResultSIC: %g", got)
 	}
 	if got := n.ResultSIC(99); got != 0 {
 		t.Errorf("unknown query: %g", got)
+	}
+	// An update for a query this node does not host must not create
+	// state: a SIC broadcast in flight while the query was retracted
+	// would otherwise resurrect the knownSIC entry forever.
+	n.SetResultSIC(99, 0.3)
+	if got := n.ResultSIC(99); got != 0 {
+		t.Errorf("unhosted query's update was stored: %g", got)
+	}
+}
+
+// TestRemoveQueryReturnsStateToBaseline is the per-query state-leak
+// regression test: a node that hosts a query, processes its traffic,
+// receives coordinator updates, and then retracts it must return to its
+// exact pre-deploy footprint — no executor, source, rate-estimator,
+// source-lookup, known-SIC or buffered-batch entry may survive.
+func TestRemoveQueryReturnsStateToBaseline(t *testing.T) {
+	n, r := aggNode(t, 10_000, 100) // hosts query 7 with one source
+	baseline := n.StateSize()
+
+	// Deploy a second two-fragment query with a source and live traffic.
+	plan := query.NewAvgAll(1, sources.Uniform)
+	n.HostFragment(9, 0, query.NewFragmentExec(plan.Fragments[0]), plan.NumSources(), -1, -1)
+	gen := plan.Fragments[0].Sources[0].NewGen(rand.New(rand.NewSource(5)), 0)
+	n.AttachSource(sources.New(8, 9, 0, 0, 100, 5, 1, gen, 6))
+	n.SetResultSIC(9, 0.5)
+	runTicks(n, r, 8)
+	if grown := n.StateSize(); grown == baseline {
+		t.Fatal("second query added no state — test is vacuous")
+	}
+	// Park an in-flight derived batch for query 9, as a retract racing a
+	// delivery would.
+	b := stream.NewBatch(9, 0, -1, 2000, 3, 1)
+	n.Enqueue(b, 2000)
+
+	if removed := n.RemoveQuery(9); removed != 1 {
+		t.Fatalf("RemoveQuery removed %d fragments, want 1", removed)
+	}
+	if n.RemoveQuery(9) != 0 {
+		t.Error("second RemoveQuery not a no-op")
+	}
+	got := n.StateSize()
+	want := baseline
+	want.BufferedBatches = got.BufferedBatches // query 7's own pending batches may differ
+	if got != want {
+		t.Errorf("state after retract %+v, want baseline %+v", got, baseline)
+	}
+	for _, bb := range n.ib {
+		if bb.Query == 9 {
+			t.Error("retracted query's batch still buffered")
+		}
+	}
+	// The surviving query keeps working.
+	runTicks(n, r, 4)
+	if len(r.results[7]) == 0 {
+		t.Error("surviving query stopped producing results after the retract")
 	}
 }
 

@@ -43,12 +43,19 @@ type Controller struct {
 	sums   map[stream.QueryID]*sampleStats
 	hosts  map[stream.QueryID][]int // fragment → node index, per query
 	deps   map[stream.QueryID]*deployRecord
-	epoch  time.Time
-	stw    stream.Duration
-	ival   stream.Duration
-	nextQ  stream.QueryID
-	seed   int64
-	placer *federation.Placer
+	// qEpochs records each query's measurement epoch (deploy time): a
+	// query submitted mid-run warms up on its own clock before its
+	// samples count, so its mean is not diluted by an empty STW.
+	qEpochs map[stream.QueryID]time.Time
+	// finished holds the frozen post-epoch mean SIC of retracted
+	// queries; they appear in the final results alongside live ones.
+	finished map[stream.QueryID]float64
+	epoch    time.Time
+	stw      stream.Duration
+	ival     stream.Duration
+	nextQ    stream.QueryID
+	seed     int64
+	placer   *federation.Placer
 
 	strategy  string
 	hbTimeout time.Duration
@@ -147,6 +154,8 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		sums:      make(map[stream.QueryID]*sampleStats),
 		hosts:     make(map[stream.QueryID][]int),
 		deps:      make(map[stream.QueryID]*deployRecord),
+		qEpochs:   make(map[stream.QueryID]time.Time),
+		finished:  make(map[stream.QueryID]float64),
 		stw:       cfg.STW,
 		ival:      cfg.Interval,
 		seed:      cfg.Seed,
@@ -289,19 +298,22 @@ func (c *Controller) OnSIC(fn func(q stream.QueryID, now stream.Time, v float64)
 // indices using the configured placement strategy. The placer draws
 // over the alive membership only; dead nodes never receive fragments.
 func (c *Controller) AutoPlace(fragments int) ([]int, error) {
+	// Place under the lock: Placer.Place mutates the strategy's state
+	// (round-robin cursor, rng), and concurrent mid-run Submits must not
+	// race on it.
 	c.mu.Lock()
-	placer := c.placer
 	var alive []int
 	for i := range c.nodes {
 		if !c.dead[i] {
 			alive = append(alive, i)
 		}
 	}
-	c.mu.Unlock()
-	if placer == nil || len(alive) == 0 {
+	if c.placer == nil || len(alive) == 0 {
+		c.mu.Unlock()
 		return nil, errors.New("transport: controller has no live nodes to place on")
 	}
-	ids, err := placer.Place(fragments)
+	ids, err := c.placer.Place(fragments)
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -350,8 +362,21 @@ func (c *Controller) Deploy(workload string, fragments, dataset int, rate, batch
 // DeployCQL parses and plans a CQL statement, partitions it into the
 // given number of fragments, and places the fragments across the node
 // indices in placement. The statement text travels on the wire; every
-// host node re-plans it deterministically.
+// host node re-plans it deterministically. It is Submit with an
+// explicit placement.
 func (c *Controller) DeployCQL(cqlText string, fragments, dataset int, rate, batchesPerSec float64, placement []int) (stream.QueryID, error) {
+	return c.Submit(cqlText, fragments, dataset, rate, batchesPerSec, placement)
+}
+
+// Submit makes a query a first-class runtime citizen: it plans the CQL
+// statement, places its fragments (explicitly, or with the configured
+// placement strategy over the live membership when placement is nil)
+// and deploys it — legal both before Run and onto a running federation,
+// where the new fragments start ticking without pausing any other
+// query. The query's measurement epoch starts now: its samples count
+// toward its mean only after its own warmup, and its coordinator
+// registers for result-SIC dissemination immediately.
+func (c *Controller) Submit(cqlText string, fragments, dataset int, rate, batchesPerSec float64, placement []int) (stream.QueryID, error) {
 	st, err := cql.Parse(cqlText)
 	if err != nil {
 		return 0, err
@@ -365,10 +390,62 @@ func (c *Controller) DeployCQL(cqlText string, fragments, dataset int, rate, bat
 	if err := plan.Validate(); err != nil {
 		return 0, err
 	}
+	if placement == nil {
+		placement, err = c.AutoPlace(plan.NumFragments())
+		if err != nil {
+			return 0, err
+		}
+	}
 	return c.deploy(Deploy{
 		CQL: cqlText, Workload: plan.Type, Fragments: plan.NumFragments(), Dataset: dataset,
 		Rate: rate, Batches: batchesPerSec,
 	}, plan.NumFragments(), placement)
+}
+
+// Retract tears a running query down mid-run: its hosts drop the
+// fragments (and all per-query state) without pausing other queries,
+// its coordinator deregisters from the dissemination loop, and every
+// per-query controller record is freed. The query's mean SIC freezes at
+// its current post-epoch value and still appears in the final results.
+// Surviving queries' accounting is untouched — their SIC climbs as the
+// freed capacity reaches them, which is the fairness dynamic under
+// study, not pollution. Safe to call while failure recovery is in
+// flight: whichever side loses the race observes the other's outcome
+// and stands down.
+func (c *Controller) Retract(q stream.QueryID) error {
+	c.mu.Lock()
+	placement, ok := c.hosts[q]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: retract: unknown query %d", q)
+	}
+	mean := 0.0
+	if st := c.sums[q]; st != nil && st.n > 0 {
+		mean = st.sum / float64(st.n)
+	}
+	c.finished[q] = mean
+	delete(c.coords, q)
+	delete(c.accs, q)
+	delete(c.sums, q)
+	delete(c.hosts, q)
+	delete(c.deps, q)
+	delete(c.qEpochs, q)
+	placement = append([]int(nil), placement...)
+	conns := append([]*conn(nil), c.nodes...)
+	dead := append([]bool(nil), c.dead...)
+	c.mu.Unlock()
+	// Network sends happen outside c.mu; errors are ignored — a host
+	// that cannot be reached is dead or dying, and failure detection
+	// owns that path.
+	seen := make(map[int]bool, len(placement))
+	for _, ni := range placement {
+		if ni < 0 || ni >= len(conns) || dead[ni] || seen[ni] {
+			continue
+		}
+		seen[ni] = true
+		conns[ni].send(&Envelope{Kind: KindRetract, Retract: &Retract{Query: q}})
+	}
+	return nil
 }
 
 func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.QueryID, error) {
@@ -389,6 +466,7 @@ func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.Qu
 	}
 	c.hosts[q] = append([]int(nil), placement...)
 	c.deps[q] = &deployRecord{base: d, seed: seed}
+	c.qEpochs[q] = time.Now()
 	conns := append([]*conn(nil), c.nodes...)
 	c.mu.Unlock()
 
@@ -489,7 +567,15 @@ loop:
 				// for use outside the lock below.
 				outs = append(outs, bcast{q, v, append([]int(nil), c.hosts[q]...)})
 				coord.NoteUpdateSent(len(c.hosts[q]))
-				if time.Since(c.epoch) > warmup {
+				// Per-query SIC epoch: samples count from the query's own
+				// deploy time plus warmup, so a mid-run submission's mean
+				// is not diluted while its sliding window fills. Queries
+				// deployed before Run warm up from the run epoch.
+				eff := c.qEpochs[q]
+				if eff.Before(c.epoch) {
+					eff = c.epoch
+				}
+				if time.Since(eff) > warmup {
 					st := c.sums[q]
 					st.sum += c.accs[q].Sum(now)
 					st.n++
@@ -653,8 +739,12 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 	placement := c.hosts[q]
 	rec := c.deps[q]
 	if rec == nil {
+		// The query was retracted between failure detection and this
+		// re-placement — nothing left to recover. Not an error: retract
+		// racing recovery is a legal interleaving and whichever side
+		// runs second stands down.
 		c.mu.Unlock()
-		return fmt.Errorf("transport: no deploy record for query %d", q)
+		return nil
 	}
 	var displaced []int
 	used := make(map[int]bool, len(placement))
@@ -696,10 +786,17 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 		peers[stream.FragID(f)] = c.addrs[ni]
 	}
 	// Recovery epoch: wipe pre-failure SIC state so post-recovery values
-	// are measured cleanly.
-	c.coords[q].ResetEpoch()
-	c.accs[q].Reset()
-	c.sums[q] = &sampleStats{}
+	// are measured cleanly. Guarded lookups — a retract may have won the
+	// race for individual records.
+	if co, ok := c.coords[q]; ok {
+		co.ResetEpoch()
+	}
+	if acc, ok := c.accs[q]; ok {
+		acc.Reset()
+	}
+	if _, ok := c.sums[q]; ok {
+		c.sums[q] = &sampleStats{}
+	}
 	base, seed := rec.base, rec.seed
 	conns := append([]*conn(nil), c.nodes...)
 	dead := append([]bool(nil), c.dead...)
@@ -726,6 +823,20 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 			continue
 		}
 		conns[ni].send(&Envelope{Kind: KindRewire, Rewire: &Rewire{Query: q, Peers: peers}})
+	}
+	// A retract that slipped in while the re-deploys were on the wire
+	// would leave the fresh fragments as zombies on their new hosts:
+	// per-connection sends are ordered, so a retract issued now is
+	// guaranteed to land after the deploys above and undo them.
+	c.mu.Lock()
+	_, stillDeployed := c.deps[q]
+	c.mu.Unlock()
+	if !stillDeployed {
+		for _, ni := range placement {
+			if !dead[ni] {
+				conns[ni].send(&Envelope{Kind: KindRetract, Retract: &Retract{Query: q}})
+			}
+		}
 	}
 	return nil
 }
@@ -801,7 +912,9 @@ func (c *Controller) readLoop(idx int, n *conn) {
 type NetResults struct {
 	// PerQuery maps query id → time-averaged result SIC. For a query
 	// re-placed by failure recovery, the average covers only the
-	// post-recovery epoch.
+	// post-recovery epoch; for a query retracted mid-run, the mean is
+	// frozen at retract time; a query submitted mid-run averages from
+	// its own epoch plus warmup.
 	PerQuery map[stream.QueryID]float64
 	MeanSIC  float64
 	Jain     float64
@@ -821,6 +934,12 @@ func (c *Controller) results() *NetResults {
 		if st.n > 0 {
 			mean = st.sum / float64(st.n)
 		}
+		res.PerQuery[q] = mean
+		vals = append(vals, mean)
+	}
+	// Retracted queries report the mean frozen at retract time; fairness
+	// metrics cover the whole workload the run served, live or departed.
+	for q, mean := range c.finished {
 		res.PerQuery[q] = mean
 		vals = append(vals, mean)
 	}

@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// FuzzWireCodec drives arbitrary bytes through the binary batch codec
+// and the mixed frame reader. The invariants under fuzz:
+//
+//   - malformed input returns an error — never a panic and never an
+//     allocation sized by unvalidated attacker-controlled dimensions
+//     (decodeWireBatch validates the exact payload length before
+//     allocating tuple storage; the frame reader caps payloads at
+//     maxFramePayload);
+//   - a payload that does decode is exactly self-describing: it
+//     re-encodes to the identical bytes, so no trailing garbage is
+//     silently accepted.
+//
+// The seed corpus holds valid encodings from the wire_test generator —
+// including the adversarial float values — plus truncations and
+// corrupted dimension fields.
+func FuzzWireCodec(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 8; trial++ {
+		n := rng.Intn(12)
+		arity := rng.Intn(3)
+		f.Add(appendWireBatch(nil, randomBatch(rng, n, arity)))
+	}
+	whole := appendWireBatch(nil, randomBatch(rng, 4, 2))
+	f.Add(whole[:10])           // truncated header
+	f.Add(whole[:len(whole)-3]) // truncated payload
+	huge := append([]byte(nil), whole...)
+	binary.LittleEndian.PutUint32(huge[28:], 1<<31-1) // absurd arity
+	f.Add(huge)
+	hugeN := append([]byte(nil), whole...)
+	binary.LittleEndian.PutUint32(hugeN[32:], 1<<31-1) // absurd n
+	f.Add(hugeN)
+	f.Add([]byte{})
+	f.Add([]byte(`{"kind":"sic","sic":{"query":1,"value":0.5}}`))
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		b, err := decodeWireBatch(p)
+		if err == nil {
+			if b == nil {
+				t.Fatal("nil batch with nil error")
+			}
+			// The decoded dimensions must be payload-backed: every tuple
+			// needs at least 16 bytes (TS + SIC) in the payload, so the
+			// storage a successful decode allocates is bounded by the
+			// bytes actually provided — never by an unvalidated header.
+			if n := len(b.Tuples); n > 0 && n > len(p)/16 {
+				t.Fatalf("decode allocated %d tuples from %d bytes", n, len(p))
+			}
+			if len(b.Tuples) > 0 {
+				if got := appendWireBatch(nil, b); !bytes.Equal(got, p) {
+					t.Fatalf("decode/encode not a fixed point: %d in, %d out", len(p), len(got))
+				}
+			}
+		}
+
+		// The same bytes as one framed connection stream: JSON frames,
+		// batch frames, unknown frame types, hostile length prefixes. The
+		// reader must surface errors and stop, never panic.
+		fr := newFrameReader(bytes.NewReader(p))
+		for i := 0; i < 64; i++ {
+			e, fb, err := fr.next()
+			if err != nil {
+				break
+			}
+			if e == nil && fb == nil {
+				t.Fatal("frame reader returned neither envelope nor batch without error")
+			}
+		}
+	})
+}

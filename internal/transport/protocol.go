@@ -27,15 +27,16 @@ import (
 // Envelope is the single wire message; Kind selects which payload field
 // is set.
 type Envelope struct {
-	Kind   string     `json:"kind"`
-	Hello  *Hello     `json:"hello,omitempty"`
-	Deploy *Deploy    `json:"deploy,omitempty"`
-	Start  *Start     `json:"start,omitempty"`
-	Batch  *BatchMsg  `json:"batch,omitempty"`
-	SIC    *SICMsg    `json:"sic,omitempty"`
-	Report *ReportMsg `json:"report,omitempty"`
-	Stats  *StatsMsg  `json:"stats,omitempty"`
-	Rewire *Rewire    `json:"rewire,omitempty"`
+	Kind    string     `json:"kind"`
+	Hello   *Hello     `json:"hello,omitempty"`
+	Deploy  *Deploy    `json:"deploy,omitempty"`
+	Start   *Start     `json:"start,omitempty"`
+	Batch   *BatchMsg  `json:"batch,omitempty"`
+	SIC     *SICMsg    `json:"sic,omitempty"`
+	Report  *ReportMsg `json:"report,omitempty"`
+	Stats   *StatsMsg  `json:"stats,omitempty"`
+	Rewire  *Rewire    `json:"rewire,omitempty"`
+	Retract *Retract   `json:"retract,omitempty"`
 }
 
 // Message kinds.
@@ -54,6 +55,10 @@ const (
 	// KindHeartbeat is a node→controller liveness beacon, sent once per
 	// tick. It carries no payload; receipt of any frame counts.
 	KindHeartbeat = "heartbeat"
+	// KindRetract tears a query down on a host: its fragments, sources
+	// and per-query state leave the node without pausing other queries'
+	// ticks.
+	KindRetract = "retract"
 )
 
 // Hello introduces a connection.
@@ -165,6 +170,19 @@ type Rewire struct {
 	// Peers is the complete new fragment→host-address map of the query,
 	// replacing the one delivered at deploy time.
 	Peers map[stream.FragID]string `json:"peers"`
+}
+
+// Retract instructs a host to tear down every fragment of a query it
+// runs: executors, sources, rate estimators, buffered batches, the
+// known result-SIC entry and the query's peer-routing entries are all
+// freed, and outbound connections no other query references are
+// evicted. A batch of the query still in flight from a peer that has
+// not yet seen the retract is accepted into the input buffer (it still
+// counts as arrived, and occupies capacity for that one shedding
+// round) and is discarded at the execution stage, since its fragment
+// is gone; nothing of it survives past that tick.
+type Retract struct {
+	Query stream.QueryID `json:"query"`
 }
 
 // SICMsg is a coordinator result-SIC update (30 bytes in the paper's

@@ -196,6 +196,8 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 			s.mu.Unlock()
 		case KindRewire:
 			s.handleRewire(e.Rewire)
+		case KindRetract:
+			s.handleRetract(e.Retract)
 		case KindStop:
 			s.handleStop(out)
 			return
@@ -302,6 +304,42 @@ func (s *NodeServer) handleRewire(r *Rewire) {
 		live[addr] = true
 	}
 	s.mu.Unlock()
+	s.evictStalePeers(live)
+}
+
+// handleRetract tears a query down on this host: every fragment the
+// node runs for it is removed (executors, sources, rate estimators,
+// buffered batches, the known result-SIC entry all go with it), the
+// query's peer-routing entries disappear, and outbound connections no
+// surviving query references are evicted. Other queries keep ticking
+// throughout — teardown holds the node mutex only as long as a deploy
+// does.
+func (s *NodeServer) handleRetract(r *Retract) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.nd != nil {
+		s.nd.RemoveQuery(r.Query)
+	}
+	for k := range s.peers {
+		if k.q == r.Query {
+			delete(s.peers, k)
+		}
+	}
+	live := make(map[string]bool, len(s.peers))
+	for _, addr := range s.peers {
+		live[addr] = true
+	}
+	s.mu.Unlock()
+	s.evictStalePeers(live)
+}
+
+// evictStalePeers closes and forgets outbound peer connections whose
+// address no query references any more; live holds the addresses still
+// in use. Rewire and retract share this so a torn-down route never
+// keeps feeding a dead or departed peer.
+func (s *NodeServer) evictStalePeers(live map[string]bool) {
 	s.outMu.Lock()
 	var stale []*conn
 	for addr, c := range s.outs {

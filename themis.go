@@ -89,6 +89,13 @@ type (
 	Plan = query.Plan
 	// BurstConfig makes sources bursty (§7.4).
 	BurstConfig = sources.BurstConfig
+	// ChurnEvent schedules node kill/join events at engine ticks.
+	ChurnEvent = federation.ChurnEvent
+	// QueryChurnEvent schedules query submit/retract events at engine
+	// ticks — the virtual-time mirror of live Submit/Retract.
+	QueryChurnEvent = federation.QueryChurnEvent
+	// QuerySubmit describes one scheduled CQL submission.
+	QuerySubmit = federation.QuerySubmit
 	// UpdateMode selects the coordinator's result-SIC estimation mode.
 	UpdateMode = coordinator.UpdateMode
 	// Catalog names the input streams available to CQL queries.

@@ -1,0 +1,65 @@
+// Allocation regression tests for the pooled data path: the steady-state
+// virtual-time tick must not touch the allocator at all, and the
+// overloaded step benchmark deployment must stay within a committed
+// budget (its residue is amortised buffer growth, not per-tick churn).
+// The CI benchmark-smoke stage runs these alongside the -benchmem
+// benchmarks; see BENCH_alloc.json for the recorded before/after.
+package themis_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestSteadyStateZeroAlloc is the tentpole acceptance gate: once the
+// pool is warm, a virtual-time Engine.Step performs zero heap
+// allocations — batches cycle through stream.Pool, per-tick accounting
+// is flat, and every emission lands in reused storage.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	e := experiments.SteadyStateEngine()
+	for i := 0; i < 400; i++ { // warm: pool, arenas, window caps stabilise
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(400, func() { e.Step() }); avg != 0 {
+		t.Fatalf("steady-state Engine.Step allocates %.2f objects/step, want 0", avg)
+	}
+}
+
+// TestSteadyStateNoBatchLeak bounds the pool's outstanding-batch count
+// over a long run: a missing Release anywhere in the engine/node/outbox
+// chain would grow it linearly with ticks.
+func TestSteadyStateNoBatchLeak(t *testing.T) {
+	e := experiments.SteadyStateEngine()
+	for i := 0; i < 200; i++ {
+		e.Step()
+	}
+	base := e.Pool().Live()
+	for i := 0; i < 400; i++ {
+		e.Step()
+	}
+	// In-flight traffic keeps a handful of batches checked out between
+	// steps; the count must not trend with tick count.
+	if live := e.Pool().Live(); live > base+64 {
+		t.Fatalf("pool live batches grew %d -> %d over 400 steps: leak", base, live)
+	}
+}
+
+// TestStepBenchAllocBudget is the CI smoke threshold for the overloaded
+// 24-node/48-query benchmark deployment (constant shedding, PlanetLab
+// traces): steady-state allocations per step must stay under budget.
+// The pre-pool baseline was ~5200 allocs/step; the committed budget
+// leaves room only for rare amortised buffer growth.
+func TestStepBenchAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-scale deployment")
+	}
+	const budget = 64.0
+	e := experiments.NewStepBenchEngine(1)
+	for i := 0; i < 300; i++ {
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(200, func() { e.Step() }); avg > budget {
+		t.Fatalf("overloaded Engine.Step allocates %.1f objects/step, budget %.0f", avg, budget)
+	}
+}

@@ -32,7 +32,22 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
 	stepBench := flag.String("stepbench", "", "measure Engine.Step across worker counts and write the JSON comparison to this file")
 	churnBench := flag.String("churnbench", "", "measure node-failure recovery time across STWs and write the JSON result to this file")
+	allocBench := flag.String("allocbench", "", "measure per-step allocations on the pooled data path and write the JSON comparison to this file")
 	flag.Parse()
+
+	if *allocBench != "" {
+		r := experiments.AllocBench(400)
+		fmt.Println(r.Render())
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*allocBench, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: allocbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *churnBench != "" {
 		r, err := experiments.ChurnRecovery([]stream.Duration{

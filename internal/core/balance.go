@@ -18,6 +18,16 @@ import (
 // values.
 type BalanceSIC struct {
 	rng *rand.Rand
+	// Per-invocation scratch, reused across shedding rounds so a
+	// steady-state Select allocates nothing: the per-query states, the
+	// query→state index, the selection heap, the stable-sort adapter and
+	// the result slice (valid until the next Select, per the Shedder
+	// contract).
+	states  []queryState
+	byQuery map[stream.QueryID]int32
+	h       queryHeap
+	sorter  sicSorter
+	keep    []int
 	// Projection enables the §6 heuristic: before selecting, subtract the
 	// SIC mass of all enqueued batches from the disseminated result SIC,
 	// so the node reasons about what the result will be *if it sheds
@@ -59,6 +69,18 @@ type queryState struct {
 	heapIdx int
 }
 
+// sicSorter stable-sorts a query's batch indices by SIC descending. It
+// is a concrete sort.Interface so the hot path avoids sort.SliceStable's
+// reflection and per-call allocations.
+type sicSorter struct {
+	idx []int
+	ib  []*stream.Batch
+}
+
+func (s *sicSorter) Len() int           { return len(s.idx) }
+func (s *sicSorter) Less(x, y int) bool { return s.ib[s.idx[x]].SIC > s.ib[s.idx[y]].SIC }
+func (s *sicSorter) Swap(x, y int)      { s.idx[x], s.idx[y] = s.idx[y], s.idx[x] }
+
 // queryHeap is a min-heap over (cur, tie).
 type queryHeap []*queryState
 
@@ -95,24 +117,37 @@ func (b *BalanceSIC) Select(ib []*stream.Batch, capacity int, resultSIC ResultSI
 	if capacity <= 0 || len(ib) == 0 {
 		return nil
 	}
-	// Group batches by query.
-	perQuery := make(map[stream.QueryID]*queryState)
-	order := make([]*queryState, 0, 16)
-	for i, batch := range ib {
-		s, ok := perQuery[batch.Query]
-		if !ok {
-			s = &queryState{q: batch.Query, tie: b.rng.Int63()}
-			perQuery[batch.Query] = s
-			order = append(order, s)
-		}
-		s.batches = append(s.batches, i)
+	// Group batches by query into reused state slots.
+	if b.byQuery == nil {
+		b.byQuery = make(map[stream.QueryID]int32, 16)
 	}
+	clear(b.byQuery)
+	nq := 0
+	for i, batch := range ib {
+		si, ok := b.byQuery[batch.Query]
+		if !ok {
+			si = int32(nq)
+			b.byQuery[batch.Query] = si
+			if nq == len(b.states) {
+				b.states = append(b.states, queryState{})
+			}
+			st := &b.states[si]
+			st.q, st.tie = batch.Query, b.rng.Int63()
+			st.batches = st.batches[:0]
+			st.next = 0
+			nq++
+		}
+		st := &b.states[si]
+		st.batches = append(st.batches, i)
+	}
+	order := b.states[:nq]
 	// Initialise each query's projected SIC: the latest disseminated
 	// result SIC minus the SIC mass sitting in this IB (§6 projection) —
 	// i.e. the result SIC if this node shed everything. Accepting a batch
 	// then credits its SIC back (Assumption 3: contributions are counted
 	// at acceptance).
-	for _, s := range order {
+	for si := range order {
+		s := &order[si]
 		base := 0.0
 		if resultSIC != nil {
 			base = resultSIC(s.q)
@@ -138,25 +173,25 @@ func (b *BalanceSIC) Select(ib []*stream.Batch, capacity int, resultSIC ResultSI
 			s.batches[i], s.batches[j] = s.batches[j], s.batches[i]
 		})
 		if b.SelectHighest {
-			sort.SliceStable(s.batches, func(x, y int) bool {
-				return ib[s.batches[x]].SIC > ib[s.batches[y]].SIC
-			})
+			b.sorter.idx, b.sorter.ib = s.batches, ib
+			sort.Stable(&b.sorter)
+			b.sorter.idx, b.sorter.ib = nil, nil
 		}
 	}
-	h := make(queryHeap, 0, len(order))
-	for _, s := range order {
-		heap.Push(&h, s)
+	b.h = b.h[:0]
+	for si := range order {
+		heap.Push(&b.h, &order[si])
 	}
 
-	keep := make([]int, 0, len(ib))
+	keep := b.keep[:0]
 	remaining := capacity
-	for h.Len() > 0 && remaining > 0 {
-		q1 := heap.Pop(&h).(*queryState) // q' := argmin qSIC (line 12)
+	for b.h.Len() > 0 && remaining > 0 {
+		q1 := heap.Pop(&b.h).(*queryState) // q' := argmin qSIC (line 12)
 		// q'' := next-lowest SIC value (lines 13-14); with no other
 		// query the target is unbounded and q' absorbs the capacity.
 		target := math.Inf(1)
-		if h.Len() > 0 {
-			target = h[0].cur
+		if b.h.Len() > 0 {
+			target = b.h[0].cur
 		}
 		accepted := false
 		// Accept q's most valuable batches until its projected SIC
@@ -186,9 +221,10 @@ func (b *BalanceSIC) Select(ib []*stream.Batch, capacity int, resultSIC ResultSI
 		}
 		if q1.next < len(q1.batches) {
 			q1.tie = b.rng.Int63() // re-randomise future ties
-			heap.Push(&h, q1)
+			heap.Push(&b.h, q1)
 		}
 	}
 	sort.Ints(keep)
+	b.keep = keep
 	return keep
 }

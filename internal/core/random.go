@@ -12,6 +12,10 @@ import (
 // arbitrary tuples", §2.3). It ignores SIC values entirely.
 type Random struct {
 	rng *rand.Rand
+	// perm and keep are reused across invocations (the result is valid
+	// until the next Select, per the Shedder contract).
+	perm []int
+	keep []int
 }
 
 // NewRandom builds the random shedder with the given seed.
@@ -28,8 +32,17 @@ func (r *Random) Select(ib []*stream.Batch, capacity int, _ ResultSICFunc) []int
 	if capacity <= 0 || len(ib) == 0 {
 		return nil
 	}
-	perm := r.rng.Perm(len(ib))
-	keep := make([]int, 0, len(ib))
+	// Fisher–Yates into the reused buffer, consuming the rng exactly as
+	// rand.Perm does so seeded runs are unchanged.
+	perm := r.perm[:0]
+	for i := 0; i < len(ib); i++ {
+		j := r.rng.Intn(i + 1)
+		perm = append(perm, 0)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	r.perm = perm
+	keep := r.keep[:0]
 	remaining := capacity
 	for _, i := range perm {
 		n := ib[i].Len()
@@ -42,6 +55,7 @@ func (r *Random) Select(ib []*stream.Batch, capacity int, _ ResultSICFunc) []int
 			break
 		}
 	}
+	r.keep = keep
 	return keep
 }
 

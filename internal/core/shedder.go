@@ -29,7 +29,9 @@ type Shedder interface {
 	// Select returns the indices into ib of the batches to keep. The
 	// total tuple count of kept batches must not exceed capacity.
 	// resultSIC provides per-query result SIC estimates; policies that
-	// ignore SIC may disregard it.
+	// ignore SIC may disregard it. The returned slice may alias
+	// shedder-owned scratch: it is valid only until the next Select
+	// call, so callers that keep it must copy.
 	Select(ib []*stream.Batch, capacity int, resultSIC ResultSICFunc) []int
 }
 

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Allocation benchmark for the pooled data path (PR 5): Engine.Step is
+// measured for ns, heap objects and heap bytes per step on two canonical
+// deployments — the overloaded 24-node/48-query step benchmark (constant
+// shedding) and a small underloaded steady-state federation (the
+// zero-alloc acceptance case) — and compared against the recorded
+// pre-pool baseline. BENCH_alloc.json holds the committed record; the CI
+// benchmark-smoke stage re-runs the measurement plus the AllocsPerRun
+// regression tests with their committed budgets.
+
+// AllocRow is one deployment's per-step cost.
+type AllocRow struct {
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	BytesPerStep  float64 `json:"bytes_per_step"`
+}
+
+// StepBenchBaseline is the pre-pool cost of one overloaded
+// BenchmarkStepParallel/workers=1 step, recorded at the PR 4 tree on the
+// CI container (go test -bench StepParallel/workers=1 -benchtime 100x
+// -benchmem): the numbers every allocbench run is compared against.
+var StepBenchBaseline = AllocRow{NsPerStep: 2683263, AllocsPerStep: 5241, BytesPerStep: 3386300}
+
+// AllocBenchResult records an allocation-benchmark run.
+type AllocBenchResult struct {
+	Nodes      int `json:"nodes"`
+	Queries    int `json:"queries"`
+	Ticks      int `json:"ticks"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Baseline is the committed pre-pool record (StepBenchBaseline).
+	Baseline AllocRow `json:"baseline_pre_pool"`
+	// StepBench is the overloaded 24-node/48-query deployment, workers=1.
+	StepBench AllocRow `json:"stepbench"`
+	// SteadyState is the underloaded 4-node deployment: the zero-alloc
+	// acceptance case.
+	SteadyState AllocRow `json:"steady_state"`
+	// AllocReduction and Speedup compare StepBench against Baseline.
+	AllocReduction float64 `json:"alloc_reduction_vs_baseline"`
+	Speedup        float64 `json:"speedup_vs_baseline"`
+}
+
+// SteadyStateEngine builds the small underloaded federation the
+// zero-allocation acceptance tests measure: tree and chain
+// multi-fragment queries plus a single-fragment aggregate across four
+// nodes with capacity far above load, so the shedder never runs and a
+// warmed step touches no allocator.
+func SteadyStateEngine() *federation.Engine {
+	cfg := federation.Defaults()
+	cfg.Workers = 1
+	cfg.Seed = 3
+	e := federation.NewEngine(cfg)
+	e.AddNodes(4, 1e6)
+	for _, d := range []struct {
+		plan      *query.Plan
+		placement []stream.NodeID
+	}{
+		{query.NewAvgAll(2, sources.Uniform), []stream.NodeID{0, 1}},
+		{query.NewAggregate(0, sources.Gaussian), []stream.NodeID{2}},
+		{query.NewCov(2, sources.Exponential), []stream.NodeID{3, 0}},
+	} {
+		if _, err := e.DeployQuery(d.plan, d.placement, 0); err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// measureSteps runs ticks steps after a warm-up and reports the average
+// per-step wall time and heap churn.
+func measureSteps(e *federation.Engine, warm, ticks int) AllocRow {
+	for i := 0; i < warm; i++ {
+		e.Step()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		e.Step()
+	}
+	ns := float64(time.Since(start).Nanoseconds()) / float64(ticks)
+	runtime.ReadMemStats(&m1)
+	return AllocRow{
+		NsPerStep:     ns,
+		AllocsPerStep: float64(m1.Mallocs-m0.Mallocs) / float64(ticks),
+		BytesPerStep:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ticks),
+	}
+}
+
+// AllocBench measures the pooled data path on both canonical deployments.
+func AllocBench(ticks int) *AllocBenchResult {
+	res := &AllocBenchResult{
+		Nodes: StepBenchNodes, Queries: StepBenchQueries, Ticks: ticks,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Baseline:   StepBenchBaseline,
+	}
+	res.StepBench = measureSteps(NewStepBenchEngine(1), 300, ticks)
+	res.SteadyState = measureSteps(SteadyStateEngine(), 400, ticks)
+	if res.StepBench.AllocsPerStep > 0 {
+		res.AllocReduction = res.Baseline.AllocsPerStep / res.StepBench.AllocsPerStep
+	}
+	if res.StepBench.NsPerStep > 0 {
+		res.Speedup = res.Baseline.NsPerStep / res.StepBench.NsPerStep
+	}
+	return res
+}
+
+// Render prints the comparison as a text table.
+func (r *AllocBenchResult) Render() string {
+	header := []string{"deployment", "ms/step", "allocs/step", "KB/step"}
+	row := func(name string, a AllocRow) []string {
+		return []string{name,
+			fmt.Sprintf("%.3f", a.NsPerStep/1e6),
+			fmt.Sprintf("%.1f", a.AllocsPerStep),
+			fmt.Sprintf("%.1f", a.BytesPerStep/1024),
+		}
+	}
+	rows := [][]string{
+		row("baseline (pre-pool, 24n/48q)", r.Baseline),
+		row("stepbench (24n/48q, shedding)", r.StepBench),
+		row("steady state (4n, no shed)", r.SteadyState),
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pooled data path: %d ticks, workers=1 (GOMAXPROCS=%d) — %.1fx fewer allocs, %.2fx faster vs pre-pool baseline\n",
+		r.Ticks, r.GOMAXPROCS, r.AllocReduction, r.Speedup)
+	b.WriteString(table(header, rows))
+	return b.String()
+}

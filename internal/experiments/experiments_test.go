@@ -289,3 +289,26 @@ func TestChurnRecoveryExperiment(t *testing.T) {
 		t.Errorf("recovery %d ms (2s STW) not above %d ms (1s STW)", res.Rows[1].RecoveryMs, res.Rows[0].RecoveryMs)
 	}
 }
+
+// TestChurnRecoverySettlesFully guards the long-STW measurement against
+// the quantisation artifact it used to suffer: for an STW of ten result
+// slides the sliding sum refills in 0.1 steps, so the 90% threshold
+// crossing lands exactly on 0.90 — which is NOT the recovered level. The
+// settled SIC must come back to the pre-kill value for every window,
+// including windows longer than the recovery transient.
+func TestChurnRecoverySettlesFully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long STW sweep")
+	}
+	res, err := ChurnRecovery([]stream.Duration{10 * stream.Second}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if row.FullRecoveryTicks < 0 {
+		t.Fatalf("stw %dms: SIC never settled (recovered %.4f)", row.STWMs, row.RecoveredSIC)
+	}
+	if row.RecoveredSIC < 0.99*row.PreKillSIC {
+		t.Errorf("stw %dms: settled SIC %.4f below pre-kill %.4f", row.STWMs, row.RecoveredSIC, row.PreKillSIC)
+	}
+}

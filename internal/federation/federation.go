@@ -237,9 +237,21 @@ type Engine struct {
 	queries map[stream.QueryID]*queryRT
 	order   []stream.QueryID
 
-	tick      int64
-	inTransit map[int64][]delivery
-	updates   map[int64][]sicUpdate
+	// pool recycles every batch in the deployment: sources and fragment
+	// emissions draw from it, and the engine releases batches after
+	// delivery (or drop). One pool spans all nodes because batches cross
+	// nodes — a batch released at its destination must be reusable by
+	// any source.
+	pool *stream.Pool
+
+	tick int64
+	// transitRing and updateRing schedule in-flight batches and
+	// coordinator updates by delivery tick: slot tick%len holds the
+	// traffic due at that tick. Ring slices are truncated and reused, so
+	// the steady-state exchange never allocates (the delivery delay is
+	// bounded by the link latency, fixed at construction).
+	transitRing [][]delivery
+	updateRing  [][]sicUpdate
 
 	// accBatch gathers each query's accepted-SIC deltas (in node order)
 	// during the exchange phase for one batched coordinator update per
@@ -279,16 +291,25 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.BatchesPerSec <= 0 {
 		cfg.BatchesPerSec = 3
 	}
-	return &Engine{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		coords:    make(map[stream.QueryID]*coordinator.Coordinator),
-		queries:   make(map[stream.QueryID]*queryRT),
-		inTransit: make(map[int64][]delivery),
-		updates:   make(map[int64][]sicUpdate),
-		accBatch:  make(map[stream.QueryID][]float64),
+	e := &Engine{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pool:     stream.NewPool(),
+		coords:   make(map[stream.QueryID]*coordinator.Coordinator),
+		queries:  make(map[stream.QueryID]*queryRT),
+		accBatch: make(map[stream.QueryID][]float64),
 	}
+	// Ring length covers the longest possible delivery delay (the link
+	// latency in ticks) plus the current tick's drain slot.
+	ringLen := e.latencyTicks() + 1
+	e.transitRing = make([][]delivery, ringLen)
+	e.updateRing = make([][]sicUpdate, ringLen)
+	return e
 }
+
+// Pool returns the deployment's shared batch pool (tests use it to
+// assert leak-freedom).
+func (e *Engine) Pool() *stream.Pool { return e.pool }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -322,6 +343,7 @@ func (e *Engine) AddNode(capacityPerSec float64) stream.NodeID {
 		STW:            e.cfg.STW,
 		CapacityPerSec: capacityPerSec,
 		CostNoise:      e.cfg.CostNoise,
+		Pool:           e.pool,
 		Seed:           e.rng.Int63(),
 	}, e.newShedder())
 	e.nodes = append(e.nodes, n)
@@ -433,7 +455,9 @@ func (e *Engine) RemoveQuery(q stream.QueryID) bool {
 
 // OnResult registers a callback receiving every result batch of a query —
 // the user's continuous feedback channel, also used by the correlation
-// experiments to capture result values.
+// experiments to capture result values. The tuple slice is only valid
+// during the callback: result batches are pooled and recycled right
+// after delivery, so callbacks copy whatever they keep (DESIGN.md §9).
 func (e *Engine) OnResult(q stream.QueryID, fn func(now stream.Time, tuples []stream.Tuple)) {
 	e.queries[q].resultFn = fn
 }
@@ -448,10 +472,12 @@ func (e *Engine) latencyTicks() int64 {
 }
 
 // routeDownstream schedules a derived batch for delivery to the node
-// hosting the destination fragment.
+// hosting the destination fragment, taking ownership: a batch with no
+// live destination is recycled on the spot.
 func (e *Engine) routeDownstream(from stream.NodeID, b *stream.Batch) {
 	rt, ok := e.queries[b.Query]
 	if !ok || rt.removed || int(b.Frag) >= len(rt.placement) {
+		b.Release()
 		return
 	}
 	dest := rt.placement[b.Frag]
@@ -459,12 +485,13 @@ func (e *Engine) routeDownstream(from stream.NodeID, b *stream.Batch) {
 	if dest != from {
 		delay = e.latencyTicks()
 	}
-	at := e.tick + delay
-	e.inTransit[at] = append(e.inTransit[at], delivery{from: from, to: dest, b: b})
+	slot := (e.tick + delay) % int64(len(e.transitRing))
+	e.transitRing[slot] = append(e.transitRing[slot], delivery{from: from, to: dest, b: b})
 }
 
 // deliverResult accumulates result SIC reaching a root fragment and feeds
-// the query's coordinator and user callback.
+// the query's coordinator and user callback. The tuples are only
+// borrowed: callbacks that retain them (or their payloads) must copy.
 func (e *Engine) deliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple) {
 	rt, ok := e.queries[q]
 	if !ok || rt.removed {
@@ -520,6 +547,9 @@ func (e *Engine) KillNode(id stream.NodeID) {
 		return
 	}
 	e.dead[id] = true
+	// The dead node never ticks again: recycle whatever sat in its input
+	// buffer so the pool's leak accounting stays exact.
+	e.nodes[id].ReleaseBuffers()
 	e.rebuildQCPlacer()
 	for _, qid := range e.order {
 		rt := e.queries[qid]
@@ -747,8 +777,17 @@ func (e *Engine) workerCount() int {
 // Nodes touch only their own state during Tick — effects land in per-node
 // outboxes — so the ticks run concurrently on a bounded worker pool.
 // Completion order is irrelevant because the exchange phase drains
-// outboxes in node-ID order.
+// outboxes in node-ID order. The sequential path avoids the worker-pool
+// closure entirely: a steady-state single-worker step allocates nothing.
 func (e *Engine) computePhase(t stream.Time) {
+	if e.workerCount() <= 1 {
+		for i, n := range e.nodes {
+			if !e.dead[i] {
+				n.Tick(t)
+			}
+		}
+		return
+	}
 	parallel.ForEach(len(e.nodes), e.workerCount(), func(i int) {
 		if e.dead[i] {
 			return
@@ -772,7 +811,8 @@ func (e *Engine) exchangePhase(now stream.Time) {
 			e.accBatch[a.Query] = append(e.accBatch[a.Query], a.Delta)
 		}
 		for _, r := range out.Results {
-			e.deliverResult(r.Query, r.Now, r.Tuples)
+			e.deliverResult(r.Query, r.Now, r.Batch.Tuples)
+			r.Batch.Release()
 		}
 		for _, b := range out.Downstream {
 			e.routeDownstream(n.ID(), b)
@@ -804,25 +844,30 @@ func (e *Engine) Step() {
 	t := stream.Time(e.tick * int64(e.cfg.Interval))
 	// Deliver in-transit batches and coordinator updates due this tick.
 	// Batches bound for a node that died while they were in flight are
-	// dropped — their pre-credited SIC mass is lost in the same window a
-	// real deployment loses it, and the sender's stats record the drop.
-	for _, d := range e.inTransit[e.tick] {
+	// dropped (and recycled) — their pre-credited SIC mass is lost in the
+	// same window a real deployment loses it, and the sender's stats
+	// record the drop.
+	slot := e.tick % int64(len(e.transitRing))
+	due := e.transitRing[slot]
+	for i, d := range due {
 		if e.dead[d.to] {
 			if !e.dead[d.from] {
 				e.nodes[d.from].NoteDropped(d.b.Len(), d.b.SIC)
 			}
-			continue
+			d.b.Release()
+		} else {
+			e.nodes[d.to].Enqueue(d.b, t)
 		}
-		e.nodes[d.to].Enqueue(d.b, t)
+		due[i].b = nil
 	}
-	delete(e.inTransit, e.tick)
-	for _, u := range e.updates[e.tick] {
+	e.transitRing[slot] = due[:0]
+	for _, u := range e.updateRing[slot] {
 		if e.dead[u.to] {
 			continue
 		}
 		e.nodes[u.to].SetResultSIC(u.q, u.v)
 	}
-	delete(e.updates, e.tick)
+	e.updateRing[slot] = e.updateRing[slot][:0]
 
 	e.computePhase(t)
 	now := t.Add(e.cfg.Interval)
@@ -840,9 +885,9 @@ func (e *Engine) Step() {
 			}
 			rt := e.queries[qid]
 			v := c.Value(now)
-			at := e.tick + delay
+			slot := (e.tick + delay) % int64(len(e.updateRing))
 			for _, nd := range rt.hosts {
-				e.updates[at] = append(e.updates[at], sicUpdate{to: nd, q: qid, v: v})
+				e.updateRing[slot] = append(e.updateRing[slot], sicUpdate{to: nd, q: qid, v: v})
 			}
 			c.NoteUpdateSent(len(rt.hosts))
 		}

@@ -11,6 +11,14 @@
 // under test is the code a real deployment runs. Because a ticking node
 // touches only its own state, drivers may tick many nodes concurrently
 // and drain their outboxes afterwards in a deterministic order.
+//
+// Memory model (DESIGN.md §9): the node owns every batch in its input
+// buffer. Sources draw batches from the node's stream.Pool, remote
+// batches arrive via Enqueue already pool-backed, and at the end of each
+// tick — after the hosted fragments have consumed the kept batches and
+// copied what they retain — the node releases every input batch, shed or
+// kept, back to the pool. Fragment emissions are copied into fresh
+// pooled batches whose ownership passes to the driver with the outbox.
 package node
 
 import (
@@ -31,10 +39,12 @@ import (
 // transport, tests).
 type Router interface {
 	// RouteDownstream ships a derived batch towards the node hosting the
-	// destination fragment.
+	// destination fragment. The batch is only borrowed: Replay releases
+	// it after the call, so implementations that retain it must copy.
 	RouteDownstream(from stream.NodeID, b *stream.Batch)
 	// DeliverResult hands result tuples emitted by a root fragment to the
-	// query's user, with the SIC mass they carry.
+	// query's user, with the SIC mass they carry. The slice is only valid
+	// during the call.
 	DeliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple)
 	// ReportAccepted forwards an accepted-SIC delta to the query's
 	// coordinator (see coordinator.Acceptance).
@@ -58,6 +68,11 @@ type Config struct {
 	// InitialCapacity seeds the cost model before its first observation.
 	// Zero defaults to one interval's worth of CapacityPerSec.
 	InitialCapacity int
+	// Pool recycles the node's batches. Drivers that move batches between
+	// nodes (the federation engine) share one pool across nodes so a
+	// batch released at its destination is reusable anywhere; nil gives
+	// the node a private pool.
+	Pool *stream.Pool
 	// Seed drives the node's noise generator.
 	Seed int64
 }
@@ -71,6 +86,8 @@ type fragKey struct {
 // fragInstance is one hosted fragment: its executor plus routing facts.
 type fragInstance struct {
 	exec *query.FragmentExec
+	q    stream.QueryID
+	f    stream.FragID
 	// downstream is the fragment consuming this fragment's output, or -1
 	// when this is the root fragment.
 	downstream stream.FragID
@@ -78,6 +95,9 @@ type fragInstance struct {
 	downstreamPort int
 	// numSources is |S| of the whole query — the Eq. (1) normaliser.
 	numSources int
+	// sink wraps the fragment's output emissions into pooled outbox
+	// batches. Built once at HostFragment so ticking allocates nothing.
+	sink func([]stream.Tuple)
 }
 
 // Stats aggregates a node's per-run counters.
@@ -103,6 +123,15 @@ type Stats struct {
 	SelectNanos int64
 }
 
+// queryAcct is one hosted query's per-tick SIC accounting. The node keeps
+// a dense slice of these, sorted by query id, instead of building fresh
+// maps every shedding interval.
+type queryAcct struct {
+	q       stream.QueryID
+	derived float64 // SIC of derived batches in this tick's input buffer
+	kept    float64 // SIC of batches the shedder kept
+}
+
 // Node is a single THEMIS node.
 type Node struct {
 	id      stream.NodeID
@@ -110,6 +139,7 @@ type Node struct {
 	shedder core.Shedder
 	cost    *core.CostModel
 	rng     *rand.Rand
+	pool    *stream.Pool
 
 	frags map[fragKey]*fragInstance
 	// fragOrder fixes the fragment iteration order so runs are
@@ -125,17 +155,41 @@ type Node struct {
 	// knownSIC holds the latest coordinator updates per hosted query.
 	knownSIC map[stream.QueryID]float64
 
+	// accts and acctIdx are the flat per-query accounting: accts is
+	// sorted by query id (so outbox deltas emit in deterministic order
+	// without a per-tick sort) and acctIdx maps a query to its slot.
+	// Rebuilt on host/remove, zeroed in place every tick.
+	accts   []queryAcct
+	acctIdx map[stream.QueryID]int32
+	// extraAcct picks up batches of queries with no hosted fragment —
+	// a deploy/rewire race or a fragment that departed with batches in
+	// flight. Their pre-credited SIC must still be debited when shed
+	// (the query's coordinator may well be alive elsewhere). nil until
+	// first needed; steady state never touches it.
+	extraAcct map[stream.QueryID]queryAcct
+	extraQ    []stream.QueryID
+
 	// out and spare double-buffer the tick effects: Tick fills out,
 	// TakeOutbox hands it to the driver and recycles the previously
 	// drained buffer's storage.
 	out   *Outbox
 	spare *Outbox
 
-	// keepMark, keptBuf and qbuf are scratch buffers reused across
-	// shedding rounds (the per-tick hot path).
-	keepMark []bool
-	keptBuf  []*stream.Batch
-	qbuf     []stream.QueryID
+	// keepMark, keptBuf, splitScratch and splitParents are scratch reused
+	// across shedding rounds (the per-tick hot path). splitParents holds
+	// batches replaced by sub-batch views until the views are done.
+	keepMark     []bool
+	keptBuf      []*stream.Batch
+	splitScratch []*stream.Batch
+	splitParents []*stream.Batch
+
+	// now is the end of the last ticked span — the node's current logical
+	// time, used to stamp emissions and fast-forward mid-run deploys.
+	now stream.Time
+
+	// emitFrom is the start of the span currently emitting sources; it
+	// parameterises the Accept sink without a per-tick closure.
+	emitFrom stream.Time
 
 	stats Stats
 }
@@ -161,16 +215,22 @@ func New(id stream.NodeID, cfg Config, shedder core.Shedder) *Node {
 			initial = 1
 		}
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = stream.NewPool()
+	}
 	return &Node{
 		id:       id,
 		cfg:      cfg,
 		shedder:  shedder,
 		cost:     core.NewCostModel(initial),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		pool:     pool,
 		frags:    make(map[fragKey]*fragInstance),
 		rateEst:  make(map[stream.SourceID]*sic.RateEstimator),
 		srcQuery: make(map[stream.SourceID]fragKey),
 		knownSIC: make(map[stream.QueryID]float64),
+		acctIdx:  make(map[stream.QueryID]int32),
 		out:      &Outbox{},
 		spare:    &Outbox{},
 	}
@@ -179,7 +239,9 @@ func New(id stream.NodeID, cfg Config, shedder core.Shedder) *Node {
 // TakeOutbox returns the effects accumulated by ticks since the last
 // TakeOutbox and installs a fresh outbox, recycling the storage of the
 // buffer drained before that. The returned outbox is valid only until
-// the next TakeOutbox call, which resets it for reuse.
+// the next TakeOutbox call, which resets it for reuse. Ownership of the
+// outbox's batches passes to the caller, which must release each one
+// after its last use (Outbox.Replay does so itself).
 func (n *Node) TakeOutbox() *Outbox {
 	o := n.out
 	n.out = n.spare
@@ -190,6 +252,11 @@ func (n *Node) TakeOutbox() *Outbox {
 
 // ID returns the node id.
 func (n *Node) ID() stream.NodeID { return n.id }
+
+// Pool returns the pool the node draws batches from. Drivers decode or
+// construct inbound batches from the same pool so release at the end of
+// a tick recycles them locally.
+func (n *Node) Pool() *stream.Pool { return n.pool }
 
 // Stats returns a copy of the node's counters.
 func (n *Node) Stats() Stats { return n.stats }
@@ -206,21 +273,50 @@ func (n *Node) NoteDropped(tuples int, sicMass float64) {
 // Shedder returns the node's shedding policy.
 func (n *Node) Shedder() core.Shedder { return n.shedder }
 
+// rebuildAccts re-derives the flat accounting table from the hosted
+// fragments: one slot per distinct query, ascending query id. Cold path —
+// it runs on deploy and teardown, never per tick.
+func (n *Node) rebuildAccts() {
+	n.accts = n.accts[:0]
+	clear(n.acctIdx)
+	for _, k := range n.fragOrder {
+		if _, ok := n.acctIdx[k.q]; !ok {
+			n.acctIdx[k.q] = 0 // placeholder; indices assigned after sort
+			n.accts = append(n.accts, queryAcct{q: k.q})
+		}
+	}
+	sort.Slice(n.accts, func(i, j int) bool { return n.accts[i].q < n.accts[j].q })
+	for i := range n.accts {
+		n.acctIdx[n.accts[i].q] = int32(i)
+	}
+}
+
 // HostFragment deploys a fragment instance on this node. numSources is
 // the total source count of the whole query (|S| in Eq. 1); downstream
 // identifies the consuming fragment (-1 for the root) and its entry port.
+// An executor hosted after the node has started ticking is fast-forwarded
+// to the node's current time, so its windows open at the deployment
+// instant instead of replaying every empty edge since time zero.
 func (n *Node) HostFragment(q stream.QueryID, f stream.FragID, exec *query.FragmentExec,
 	numSources int, downstream stream.FragID, downstreamPort int) {
 	key := fragKey{q, f}
 	if _, dup := n.frags[key]; !dup {
 		n.fragOrder = append(n.fragOrder, key)
 	}
-	n.frags[key] = &fragInstance{
+	inst := &fragInstance{
 		exec:           exec,
+		q:              q,
+		f:              f,
 		downstream:     downstream,
 		downstreamPort: downstreamPort,
 		numSources:     numSources,
 	}
+	inst.sink = func(tuples []stream.Tuple) { n.emitFragment(inst, tuples) }
+	if n.now > 0 {
+		exec.AdvanceTo(n.now)
+	}
+	n.frags[key] = inst
+	n.rebuildAccts()
 }
 
 // RemoveFragment undeploys a fragment: its executor, sources and pending
@@ -253,6 +349,7 @@ func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
 	tuples := 0
 	for _, b := range n.ib {
 		if b.Query == q && b.Frag == f {
+			b.Release()
 			continue
 		}
 		ib = append(ib, b)
@@ -263,6 +360,7 @@ func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
 	if !n.hostsQuery(q) {
 		delete(n.knownSIC, q)
 	}
+	n.rebuildAccts()
 }
 
 // RemoveQuery undeploys every fragment of a query hosted on this node —
@@ -282,6 +380,17 @@ func (n *Node) RemoveQuery(q stream.QueryID) int {
 		n.RemoveFragment(k.q, k.f)
 	}
 	return len(keys)
+}
+
+// ReleaseBuffers releases every batch still sitting in the input buffer
+// back to the pool. Drivers call it when a node leaves the federation
+// mid-run (failure), so the dead node's queued batches do not leak.
+func (n *Node) ReleaseBuffers() {
+	for _, b := range n.ib {
+		b.Release()
+	}
+	n.ib = n.ib[:0]
+	n.ibTuples = 0
 }
 
 // StateSize counts the node's live per-query state, so tests can assert
@@ -365,10 +474,12 @@ func (n *Node) SetResultSIC(q stream.QueryID, v float64) {
 // ResultSIC reports the node's latest known result SIC for a query.
 func (n *Node) ResultSIC(q stream.QueryID) float64 { return n.knownSIC[q] }
 
-// Enqueue places an arriving batch into the input buffer. Derived batches
-// from remote fragments are re-stamped to local arrival time so that
-// window assignment downstream reflects when the data became available
-// here (network latency included, exactly the effect §7.4 studies).
+// Enqueue places an arriving batch into the input buffer, taking
+// ownership: the node releases it at the end of the tick that consumes
+// it. Derived batches from remote fragments are re-stamped to local
+// arrival time so that window assignment downstream reflects when the
+// data became available here (network latency included, exactly the
+// effect §7.4 studies).
 func (n *Node) Enqueue(b *stream.Batch, now stream.Time) {
 	if b.Source < 0 {
 		if b.TS < now {
@@ -387,8 +498,10 @@ func (n *Node) Enqueue(b *stream.Batch, now stream.Time) {
 }
 
 // splitOversized replaces every input-buffer batch larger than maxLen
-// with contiguous sub-batches of at most maxLen tuples. Sub-batches alias
-// the original tuple storage; headers are recomputed from their slices.
+// with contiguous sub-batches of at most maxLen tuples. Sub-batches are
+// pooled views aliasing the original tuple storage; the parents are
+// parked on splitParents and released after the views are done at the
+// end of the tick.
 func (n *Node) splitOversized(maxLen int) {
 	if maxLen < 1 {
 		maxLen = 1
@@ -403,44 +516,136 @@ func (n *Node) splitOversized(maxLen int) {
 	if !needSplit {
 		return
 	}
-	out := make([]*stream.Batch, 0, len(n.ib))
+	out := n.splitScratch[:0]
 	for _, b := range n.ib {
 		if b.Len() <= maxLen {
 			out = append(out, b)
 			continue
 		}
+		n.splitParents = append(n.splitParents, b)
 		for lo := 0; lo < b.Len(); lo += maxLen {
 			hi := lo + maxLen
 			if hi > b.Len() {
 				hi = b.Len()
 			}
-			part := &stream.Batch{
-				Query: b.Query, Frag: b.Frag, Port: b.Port,
-				Source: b.Source, TS: b.Tuples[lo].TS, Tuples: b.Tuples[lo:hi],
-			}
+			part := n.pool.GetView(b.Query, b.Frag, b.Source, b.Tuples[lo].TS, b.Tuples[lo:hi:hi])
+			part.Port = b.Port
 			part.RecomputeSIC()
 			out = append(out, part)
 		}
 	}
+	// The displaced input-buffer slice becomes next round's scratch.
+	n.splitScratch = n.ib[:0]
 	n.ib = out
 }
 
-// emitSources runs the node's sources for [from, to), stamps SIC values
-// per Eq. (1), and enqueues the batches.
-func (n *Node) emitSources(from, to stream.Time) {
-	for _, src := range n.srcs {
-		est := n.rateEst[src.ID]
-		numSources := n.frags[n.srcQuery[src.ID]].numSources
-		src.Emit(from, to, func(b *stream.Batch) {
-			est.Observe(b.TS, b.Len())
-			per := sic.SourceTupleSIC(est.PerSTW(b.TS), numSources)
-			for i := range b.Tuples {
-				b.Tuples[i].SIC = per
-			}
-			b.RecomputeSIC()
-			n.Enqueue(b, from)
-		})
+// Accept implements sources.Sink: it stamps Eq. (1) SIC values onto a
+// freshly emitted source batch — using the online per-source rate
+// estimate over the STW — and enqueues it. It is exported only to
+// satisfy the interface; drivers never call it.
+func (n *Node) Accept(src *sources.Source, b *stream.Batch) {
+	est := n.rateEst[src.ID]
+	est.Observe(b.TS, b.Len())
+	per := sic.SourceTupleSIC(est.PerSTW(b.TS), n.frags[n.srcQuery[src.ID]].numSources)
+	for i := range b.Tuples {
+		b.Tuples[i].SIC = per
 	}
+	b.RecomputeSIC()
+	n.Enqueue(b, n.emitFrom)
+}
+
+// emitSources runs the node's sources for [from, to), stamping SIC per
+// Eq. (1) via Accept.
+func (n *Node) emitSources(from, to stream.Time) {
+	n.emitFrom = from
+	for _, src := range n.srcs {
+		src.Emit(from, to, n.pool, n)
+	}
+}
+
+// emitFragment wraps one fragment-output emission into a pooled batch on
+// the outbox. The emitted tuples alias operator scratch, so the payload
+// is copied into batch-owned storage; ownership of the batch passes to
+// the driver with the outbox.
+func (n *Node) emitFragment(inst *fragInstance, tuples []stream.Tuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	arity := len(tuples[0].V)
+	uniform := true
+	for i := 1; i < len(tuples); i++ {
+		if len(tuples[i].V) != arity {
+			uniform = false
+			break
+		}
+	}
+	var b *stream.Batch
+	if uniform {
+		b = n.pool.Get(inst.q, inst.f, -1, n.now, len(tuples), arity)
+		for i := range tuples {
+			bt := &b.Tuples[i]
+			bt.TS, bt.SIC = tuples[i].TS, tuples[i].SIC
+			copy(bt.V, tuples[i].V)
+		}
+	} else {
+		// Ragged arities (possible from UDFs) fall back to per-tuple
+		// payload copies on a plainly-allocated batch.
+		b = stream.NewBatch(inst.q, inst.f, -1, n.now, len(tuples), 0)
+		for i := range tuples {
+			t := tuples[i]
+			t.V = append([]float64(nil), t.V...)
+			b.Tuples[i] = t
+		}
+	}
+	b.RecomputeSIC()
+	if inst.downstream < 0 {
+		n.out.Results = append(n.out.Results, ResultEmit{Query: inst.q, Now: n.now, Batch: b})
+	} else {
+		b.Frag = inst.downstream
+		b.Port = inst.downstreamPort
+		n.out.Downstream = append(n.out.Downstream, b)
+	}
+}
+
+// extraDerived records the in-buffer SIC of a derived batch whose query
+// has no hosted fragment (deploy/rewire race, departed fragment) so its
+// upstream pre-credit is still debited if the batch is shed.
+func (n *Node) extraDerived(b *stream.Batch) {
+	if n.extraAcct == nil {
+		n.extraAcct = make(map[stream.QueryID]queryAcct, 4)
+	}
+	a := n.extraAcct[b.Query]
+	a.q = b.Query
+	a.derived += b.SIC
+	n.extraAcct[b.Query] = a
+}
+
+// extraKept credits a kept batch of a query with no hosted fragment.
+func (n *Node) extraKept(b *stream.Batch) {
+	if n.extraAcct == nil {
+		n.extraAcct = make(map[stream.QueryID]queryAcct, 4)
+	}
+	a := n.extraAcct[b.Query]
+	a.q = b.Query
+	a.kept += b.SIC
+	n.extraAcct[b.Query] = a
+}
+
+// emitExtraDeltas flushes the overflow accounting in ascending query
+// order (determinism) and clears it for the next tick.
+func (n *Node) emitExtraDeltas(now stream.Time) {
+	n.extraQ = n.extraQ[:0]
+	for q := range n.extraAcct {
+		n.extraQ = append(n.extraQ, q)
+	}
+	sort.Slice(n.extraQ, func(i, j int) bool { return n.extraQ[i] < n.extraQ[j] })
+	for _, q := range n.extraQ {
+		a := n.extraAcct[q]
+		if delta := a.kept - a.derived; delta != 0 {
+			n.out.Accepted = append(n.out.Accepted, AcceptedDelta{Query: q, Now: now, Delta: delta})
+		}
+	}
+	clear(n.extraAcct)
 }
 
 // Tick advances the node by one shedding interval starting at t:
@@ -456,10 +661,15 @@ func (n *Node) Tick(t stream.Time) {
 // wall-clock TCP transport passes measured spans, which drift slightly
 // around the nominal interval — the cost model's capacity estimate scales
 // with the span, so shedding stays calibrated either way.
+//
+// A steady-state span — warmed pool, no overload, no churn — performs
+// zero heap allocations: batches cycle through the pool, accounting is
+// flat per-query slots, and every emission lands in reused storage.
 func (n *Node) TickSpan(from, to stream.Time) {
 	if to <= from {
 		return
 	}
+	n.now = to
 	n.emitSources(from, to)
 	now := to
 
@@ -502,36 +712,41 @@ func (n *Node) TickSpan(from, to stream.Time) {
 
 	// Report accepted-SIC deltas to coordinators: fresh credit for source
 	// batches, and a debit for any pre-credited derived batch that was
-	// shed (net: kept SIC minus derived IB SIC per query). See
-	// coordinator.Acceptance.
-	derivedIn := make(map[stream.QueryID]float64)
+	// shed (net: kept SIC minus derived IB SIC per query). The accounting
+	// is flat: one pre-sorted slot per hosted query, zeroed in place, so
+	// deltas emit in ascending query order without per-tick maps or
+	// sorting. Batches of departed queries are dropped silently — their
+	// coordinator is gone. See coordinator.Acceptance.
+	for i := range n.accts {
+		n.accts[i].derived, n.accts[i].kept = 0, 0
+	}
 	for _, b := range n.ib {
 		if b.Source < 0 {
-			derivedIn[b.Query] += b.SIC
+			if ai, ok := n.acctIdx[b.Query]; ok {
+				n.accts[ai].derived += b.SIC
+			} else {
+				n.extraDerived(b)
+			}
 		}
 	}
-	keptSIC := make(map[stream.QueryID]float64)
 	var processed int
 	for _, b := range kept {
-		keptSIC[b.Query] += b.SIC
+		if ai, ok := n.acctIdx[b.Query]; ok {
+			n.accts[ai].kept += b.SIC
+		} else {
+			n.extraKept(b)
+		}
 		processed += b.Len()
 		n.stats.KeptBatches++
 		n.stats.KeptTuples += int64(b.Len())
 	}
-	for q, v := range derivedIn {
-		keptSIC[q] -= v // debit what upstream already credited
-	}
-	// Emit deltas in ascending query order so the outbox contents are
-	// identical run to run (map iteration is randomised).
-	n.qbuf = n.qbuf[:0]
-	for q := range keptSIC {
-		n.qbuf = append(n.qbuf, q)
-	}
-	sort.Slice(n.qbuf, func(i, j int) bool { return n.qbuf[i] < n.qbuf[j] })
-	for _, q := range n.qbuf {
-		if delta := keptSIC[q]; delta != 0 {
-			n.out.Accepted = append(n.out.Accepted, AcceptedDelta{Query: q, Now: now, Delta: delta})
+	for i := range n.accts {
+		if delta := n.accts[i].kept - n.accts[i].derived; delta != 0 {
+			n.out.Accepted = append(n.out.Accepted, AcceptedDelta{Query: n.accts[i].q, Now: now, Delta: delta})
 		}
+	}
+	if len(n.extraAcct) > 0 {
+		n.emitExtraDeltas(now)
 	}
 
 	// Execute fragments over the kept batches.
@@ -543,23 +758,29 @@ func (n *Node) TickSpan(from, to stream.Time) {
 		}
 		inst.exec.Push(b.Port, b.Tuples)
 	}
-	n.ib = n.ib[:0]
-	n.ibTuples = 0
 
 	// Tick every hosted fragment — windowed operators emit on time even
-	// with no fresh input.
+	// with no fresh input. Output emissions are copied into pooled
+	// batches by the per-fragment sink.
 	for _, key := range n.fragOrder {
 		inst := n.frags[key]
-		outs := inst.exec.Tick(now)
-		for _, tuples := range outs {
-			if inst.downstream < 0 {
-				n.out.Results = append(n.out.Results, ResultEmit{Query: key.q, Now: now, Tuples: tuples})
-			} else {
-				b := stream.DerivedBatch(key.q, inst.downstream, inst.downstreamPort, now, tuples)
-				n.out.Downstream = append(n.out.Downstream, b)
-			}
-		}
+		inst.exec.Tick(now, inst.sink)
 	}
+
+	// Every input batch — kept or shed — has now been fully consumed:
+	// operators copied whatever they retain. Recycle the lot, then the
+	// split parents whose storage the sub-batch views aliased.
+	for i, b := range n.ib {
+		b.Release()
+		n.ib[i] = nil
+	}
+	n.ib = n.ib[:0]
+	n.ibTuples = 0
+	for i, b := range n.splitParents {
+		b.Release()
+		n.splitParents[i] = nil
+	}
+	n.splitParents = n.splitParents[:0]
 
 	// Feed the cost model with the simulated processing time for this
 	// interval: true per-tuple cost plus measurement noise.

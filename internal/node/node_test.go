@@ -26,11 +26,25 @@ func newFakeRouter() *fakeRouter {
 	}
 }
 
+// cloneTuples deep-copies tuples out of pooled storage: Replay recycles
+// batches after the router call, so a recording router must copy (the
+// Router ownership contract).
+func cloneTuples(in []stream.Tuple) []stream.Tuple {
+	out := make([]stream.Tuple, len(in))
+	for i, t := range in {
+		t.V = append([]float64(nil), t.V...)
+		out[i] = t
+	}
+	return out
+}
+
 func (r *fakeRouter) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
-	r.downstream = append(r.downstream, b)
+	cp := &stream.Batch{Query: b.Query, Frag: b.Frag, Port: b.Port, Source: b.Source, TS: b.TS, SIC: b.SIC}
+	cp.Tuples = cloneTuples(b.Tuples)
+	r.downstream = append(r.downstream, cp)
 }
 func (r *fakeRouter) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple) {
-	r.results[q] = append(r.results[q], tuples...)
+	r.results[q] = append(r.results[q], cloneTuples(tuples)...)
 }
 func (r *fakeRouter) ReportAccepted(q stream.QueryID, _ stream.Time, delta float64) {
 	r.accepted[q] += delta

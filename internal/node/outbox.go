@@ -7,6 +7,11 @@ import "repro/internal/stream"
 // federation state, so any number of nodes can tick concurrently; the
 // driver (federation engine or TCP transport) drains outboxes afterwards,
 // in a deterministic order, during its exchange phase.
+//
+// The batches in an outbox are pooled: draining transfers their
+// ownership to the driver, which must release each one after its last
+// use — the federation engine does so at exchange/apply time, and Replay
+// does it after the router call returns.
 type Outbox struct {
 	// Downstream holds derived batches bound for the node hosting the
 	// consuming fragment, in fragment emission order.
@@ -18,11 +23,12 @@ type Outbox struct {
 	Accepted []AcceptedDelta
 }
 
-// ResultEmit is one root-fragment result emission.
+// ResultEmit is one root-fragment result emission. The batch carries the
+// result tuples; whoever drains the outbox releases it after delivery.
 type ResultEmit struct {
-	Query  stream.QueryID
-	Now    stream.Time
-	Tuples []stream.Tuple
+	Query stream.QueryID
+	Now   stream.Time
+	Batch *stream.Batch
 }
 
 // AcceptedDelta is one query's accepted-SIC delta for a tick: positive
@@ -40,26 +46,38 @@ func (o *Outbox) Empty() bool {
 }
 
 // Reset truncates all three queues, keeping their storage for reuse.
+// Batches still referenced are NOT released — callers drain (and
+// release) before Reset runs via TakeOutbox.
 func (o *Outbox) Reset() {
+	for i := range o.Downstream {
+		o.Downstream[i] = nil
+	}
 	o.Downstream = o.Downstream[:0]
+	for i := range o.Results {
+		o.Results[i].Batch = nil
+	}
 	o.Results = o.Results[:0]
 	o.Accepted = o.Accepted[:0]
 }
 
 // Replay feeds the outbox through a Router — accepted deltas first, then
-// result and downstream emissions — and resets it. It is the drop-in
-// bridge for drivers that consume effects one at a time, like the TCP
-// transport; the federation engine drains outboxes directly so it can
-// batch coordinator updates.
+// result and downstream emissions — and resets it, releasing every batch
+// after its router call returns. It is the drop-in bridge for drivers
+// that consume effects one at a time, like the TCP transport; the
+// federation engine drains outboxes directly so it can batch coordinator
+// updates and hand batches over without a copy. Routers that retain a
+// batch or its tuples past the call must copy.
 func (o *Outbox) Replay(from stream.NodeID, r Router) {
 	for _, a := range o.Accepted {
 		r.ReportAccepted(a.Query, a.Now, a.Delta)
 	}
 	for _, re := range o.Results {
-		r.DeliverResult(re.Query, re.Now, re.Tuples)
+		r.DeliverResult(re.Query, re.Now, re.Batch.Tuples)
+		re.Batch.Release()
 	}
 	for _, b := range o.Downstream {
 		r.RouteDownstream(from, b)
+		b.Release()
 	}
 	o.Reset()
 }

@@ -28,6 +28,11 @@ func (w *windowed) InPorts() int { return 1 }
 
 func (w *windowed) Push(port int, in []stream.Tuple) { w.win.Push(in) }
 
+// AdvanceTo implements TimeAdvancer: a freshly instantiated windowed
+// operator skips straight to the deployment instant instead of replaying
+// empty window edges since time zero.
+func (w *windowed) AdvanceTo(now stream.Time) { w.win.FastForward(now) }
+
 // consumedSIC sums the SIC mass one emission of the given window contents
 // consumes.
 func (w *windowed) consumedSIC(win []stream.Tuple) float64 {
@@ -74,6 +79,7 @@ func (k AggKind) String() string {
 // aggregates (their value is undefined on an empty window).
 type Agg struct {
 	windowed
+	out   arena
 	kind  AggKind
 	field int
 	pred  Predicate // optional HAVING-style per-tuple predicate; may be nil
@@ -89,6 +95,7 @@ func (a *Agg) Name() string { return a.kind.String() }
 
 // Tick implements Operator.
 func (a *Agg) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	a.out.reset()
 	a.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		total := a.consumedSIC(win)
 		var sum, max, min float64
@@ -134,16 +141,8 @@ func (a *Agg) Tick(now stream.Time, emit func([]stream.Tuple)) {
 		if len(win) == 0 && a.kind != AggCount {
 			return
 		}
-		out := oneTuple(closeAt, total, value)
-		emit(out)
+		emit(a.out.one(closeAt, total, value))
 	})
-}
-
-// oneTuple builds a single-tuple emission with the given SIC and values.
-func oneTuple(ts stream.Time, sicVal float64, values ...float64) []stream.Tuple {
-	b := make([]float64, len(values))
-	copy(b, values)
-	return []stream.Tuple{{TS: ts, SIC: sic.PropagateSIC(sicVal, 1), V: b}}
 }
 
 // GroupAgg is a windowed per-key aggregate: it groups window tuples by an
@@ -153,14 +152,28 @@ func oneTuple(ts stream.Time, sicVal float64, values ...float64) []stream.Tuple 
 // the window's consumed SIC per Eq. (3).
 type GroupAgg struct {
 	windowed
+	out      arena
 	kind     AggKind
 	keyField int
 	valField int
+	// groups, accs and order are per-window scratch reused across ticks.
+	groups map[int64]int32
+	accs   []groupAcc
+	order  []int64
+}
+
+// groupAcc accumulates one group's statistics within a window.
+type groupAcc struct {
+	sum, max, min float64
+	n             int
 }
 
 // NewGroupAgg builds a windowed group-by aggregate.
 func NewGroupAgg(kind AggKind, spec stream.WindowSpec, keyField, valField int) *GroupAgg {
-	return &GroupAgg{windowed: newWindowed(spec), kind: kind, keyField: keyField, valField: valField}
+	return &GroupAgg{
+		windowed: newWindowed(spec), kind: kind, keyField: keyField, valField: valField,
+		groups: make(map[int64]int32),
+	}
 }
 
 // Name implements Operator.
@@ -168,25 +181,25 @@ func (g *GroupAgg) Name() string { return "group-" + g.kind.String() }
 
 // Tick implements Operator.
 func (g *GroupAgg) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	g.out.reset()
 	g.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		if len(win) == 0 {
 			return
 		}
 		total := g.consumedSIC(win)
-		type acc struct {
-			sum, max, min float64
-			n             int
-		}
-		groups := make(map[int64]*acc)
-		order := make([]int64, 0, 8)
+		clear(g.groups)
+		g.accs = g.accs[:0]
+		g.order = g.order[:0]
 		for i := range win {
 			k := int64(win[i].V[g.keyField])
-			a, ok := groups[k]
+			ai, ok := g.groups[k]
 			if !ok {
-				a = &acc{}
-				groups[k] = a
-				order = append(order, k)
+				ai = int32(len(g.accs))
+				g.accs = append(g.accs, groupAcc{})
+				g.groups[k] = ai
+				g.order = append(g.order, k)
 			}
+			a := &g.accs[ai]
 			v := win[i].V[g.valField]
 			a.sum += v
 			if a.n == 0 || v > a.max {
@@ -197,11 +210,10 @@ func (g *GroupAgg) Tick(now stream.Time, emit func([]stream.Tuple)) {
 			}
 			a.n++
 		}
-		out := make([]stream.Tuple, 0, len(order))
-		per := sic.PropagateSIC(total, len(order))
-		backing := make([]float64, 2*len(order))
-		for i, k := range order {
-			a := groups[k]
+		per := sic.PropagateSIC(total, len(g.order))
+		m := g.out.mark()
+		for i, k := range g.order {
+			a := &g.accs[i]
 			var v float64
 			switch g.kind {
 			case AggAvg:
@@ -215,10 +227,8 @@ func (g *GroupAgg) Tick(now stream.Time, emit func([]stream.Tuple)) {
 			case AggCount:
 				v = float64(a.n)
 			}
-			row := backing[2*i : 2*i+2 : 2*i+2]
-			row[0], row[1] = float64(k), v
-			out = append(out, stream.Tuple{TS: closeAt, SIC: per, V: row})
+			g.out.add(stream.Tuple{TS: closeAt, SIC: per, V: g.out.row(float64(k), v)})
 		}
-		emit(out)
+		emit(g.out.since(m))
 	})
 }

@@ -17,20 +17,75 @@ import (
 type Join struct {
 	left     *stream.WindowBuffer
 	right    *stream.WindowBuffer
+	out      arena
 	sicShare float64
 	leftKey  int
 	rightKey int
 
-	// pending pairs window contents until both sides have closed the same
-	// window edge.
-	pendingLeft  []closedWin
-	pendingRight []closedWin
+	// pendingLeft/Right pair window contents until both sides have closed
+	// the same window edge. The stores own deep copies of the captured
+	// tuples (window emissions alias buffer memory that is compacted
+	// away), recycling their storage once both queues drain.
+	pendingLeft  winStore
+	pendingRight winStore
+
+	// index/chain are the per-pair hash index scratch: index maps a key to
+	// the first right-tuple index of its bucket, chain links the rest.
+	index map[int64]int32
+	chain []int32
 }
 
-type closedWin struct {
-	at     stream.Time
+// winStore owns captured closed windows awaiting pairing: tuples and
+// payloads are deep-copied into store arenas, and the storage is reused
+// once every captured window has been consumed (the steady-state case —
+// both sides close the same edges every tick).
+type winStore struct {
 	tuples []stream.Tuple
-	sic    float64
+	vals   []float64
+	wins   []winRec
+	head   int
+}
+
+type winRec struct {
+	start, end int
+	at         stream.Time
+	sic        float64
+}
+
+// capture deep-copies a closed window into the store with its consumed
+// SIC mass.
+func (ws *winStore) capture(win []stream.Tuple, at stream.Time, share float64) {
+	start := len(ws.tuples)
+	var total float64
+	for i := range win {
+		t := win[i]
+		total += t.SIC
+		if len(t.V) > 0 {
+			off := len(ws.vals)
+			ws.vals = append(ws.vals, t.V...)
+			t.V = ws.vals[off:len(ws.vals):len(ws.vals)]
+		}
+		ws.tuples = append(ws.tuples, t)
+	}
+	ws.wins = append(ws.wins, winRec{start: start, end: len(ws.tuples), at: at, sic: total * share})
+}
+
+// len reports the number of unconsumed captured windows.
+func (ws *winStore) len() int { return len(ws.wins) - ws.head }
+
+// pop consumes the oldest captured window. The returned view stays valid
+// until the next capture (the store only truncates, never overwrites,
+// until new windows arrive).
+func (ws *winStore) pop() (tuples []stream.Tuple, at stream.Time, sicMass float64) {
+	rec := ws.wins[ws.head]
+	ws.head++
+	if ws.head == len(ws.wins) {
+		ws.wins = ws.wins[:0]
+		ws.tuples = ws.tuples[:0]
+		ws.vals = ws.vals[:0]
+		ws.head = 0
+	}
+	return ws.tuples[rec.start:rec.end:rec.end], rec.at, rec.sic
 }
 
 // NewJoin builds an equi-join; both inputs use the same window spec, and
@@ -42,6 +97,7 @@ func NewJoin(spec stream.WindowSpec, leftKey, rightKey int) *Join {
 		sicShare: float64(spec.Slide) / float64(spec.Range),
 		leftKey:  leftKey,
 		rightKey: rightKey,
+		index:    make(map[int64]int32),
 	}
 }
 
@@ -60,68 +116,80 @@ func (j *Join) Push(port int, in []stream.Tuple) {
 	}
 }
 
+// AdvanceTo implements TimeAdvancer for both input windows.
+func (j *Join) AdvanceTo(now stream.Time) {
+	j.left.FastForward(now)
+	j.right.FastForward(now)
+}
+
 // Tick implements Operator.
 func (j *Join) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	j.out.reset()
 	j.left.Tick(now, func(win []stream.Tuple, at stream.Time) {
-		j.pendingLeft = append(j.pendingLeft, capture(win, at, j.sicShare))
+		j.pendingLeft.capture(win, at, j.sicShare)
 	})
 	j.right.Tick(now, func(win []stream.Tuple, at stream.Time) {
-		j.pendingRight = append(j.pendingRight, capture(win, at, j.sicShare))
+		j.pendingRight.capture(win, at, j.sicShare)
 	})
 	// Join window pairs in order. Window edges advance identically on
 	// both sides (same spec), so pairs align one-to-one.
-	for len(j.pendingLeft) > 0 && len(j.pendingRight) > 0 {
-		l := j.pendingLeft[0]
-		r := j.pendingRight[0]
-		j.pendingLeft = j.pendingLeft[1:]
-		j.pendingRight = j.pendingRight[1:]
-		j.joinPair(l, r, emit)
+	for j.pendingLeft.len() > 0 && j.pendingRight.len() > 0 {
+		lt, lat, lsic := j.pendingLeft.pop()
+		rt, _, rsic := j.pendingRight.pop()
+		j.joinPair(lt, rt, lat, lsic+rsic, emit)
 	}
 }
 
-// capture copies a closed window out of the buffer (Tick emissions alias
-// buffer memory) and records its consumed SIC.
-func capture(win []stream.Tuple, at stream.Time, share float64) closedWin {
-	cp := make([]stream.Tuple, len(win))
-	copy(cp, win)
-	var total float64
-	for i := range win {
-		total += win[i].SIC
-	}
-	return closedWin{at: at, tuples: cp, sic: total * share}
-}
-
-func (j *Join) joinPair(l, r closedWin, emit func([]stream.Tuple)) {
-	if len(l.tuples) == 0 && len(r.tuples) == 0 {
+func (j *Join) joinPair(lts, rts []stream.Tuple, _ stream.Time, sicMass float64, emit func([]stream.Tuple)) {
+	if len(lts) == 0 && len(rts) == 0 {
 		return
 	}
-	// Hash the right side by key.
-	index := make(map[int64][]*stream.Tuple, len(r.tuples))
-	for i := range r.tuples {
-		k := int64(r.tuples[i].V[j.rightKey])
-		index[k] = append(index[k], &r.tuples[i])
+	// Hash the right side by key. Building the chains in reverse keeps
+	// bucket traversal in right-tuple order, matching the append-based
+	// index this replaces.
+	clear(j.index)
+	j.chain = j.chain[:0]
+	for range rts {
+		j.chain = append(j.chain, -1)
 	}
-	var out []stream.Tuple
-	for i := range l.tuples {
-		lt := &l.tuples[i]
+	for i := len(rts) - 1; i >= 0; i-- {
+		k := int64(rts[i].V[j.rightKey])
+		j.chain[i] = lookupOr(j.index, k, -1)
+		j.index[k] = int32(i)
+	}
+	m := j.out.mark()
+	for i := range lts {
+		lt := &lts[i]
 		k := int64(lt.V[j.leftKey])
-		for _, rt := range index[k] {
-			v := make([]float64, 0, len(lt.V)+len(rt.V))
-			v = append(v, lt.V...)
-			v = append(v, rt.V...)
+		for ri := lookupOr(j.index, k, -1); ri >= 0; ri = j.chain[ri] {
+			rt := &rts[ri]
+			off := len(j.out.vals)
+			j.out.vals = append(j.out.vals, lt.V...)
+			j.out.vals = append(j.out.vals, rt.V...)
+			v := j.out.vals[off:len(j.out.vals):len(j.out.vals)]
 			ts := lt.TS
 			if rt.TS > ts {
 				ts = rt.TS
 			}
-			out = append(out, stream.Tuple{TS: ts, V: v})
+			j.out.add(stream.Tuple{TS: ts, V: v})
 		}
 	}
+	out := j.out.since(m)
 	if len(out) == 0 {
 		return
 	}
-	per := sic.PropagateSIC(l.sic+r.sic, len(out))
+	per := sic.PropagateSIC(sicMass, len(out))
 	for i := range out {
 		out[i].SIC = per
 	}
 	emit(out)
+}
+
+// lookupOr reads a map entry with a default, without a two-value comma-ok
+// temporary at every call site.
+func lookupOr(m map[int64]int32, k int64, def int32) int32 {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return def
 }

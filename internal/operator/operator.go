@@ -27,20 +27,85 @@ import (
 // port; Tick advances logical time and emits derived tuples through emit.
 // Implementations are not safe for concurrent use — each fragment executor
 // owns its operators and drives them from a single goroutine.
+//
+// Ownership contract (DESIGN.md §9): Push must copy anything it retains
+// beyond the current tick — the input slice and the tuples' V payloads
+// may alias pooled storage that is recycled when the tick ends. Emitted
+// slices are valid only for the duration of the emit call; they alias
+// operator-owned scratch arenas that are overwritten on the operator's
+// next Tick, so a consumer that retains emitted tuples (or their
+// payloads) past the tick must copy them.
 type Operator interface {
 	// Name identifies the operator kind for diagnostics and plans.
 	Name() string
 	// InPorts reports how many input ports the operator has.
 	InPorts() int
-	// Push buffers input tuples on the given port.
+	// Push buffers input tuples on the given port. The slice is only
+	// valid during the call: implementations copy what they keep.
 	Push(port int, in []stream.Tuple)
 	// Tick advances to logical time now, emitting zero or more derived
-	// batches. Emitted slices are owned by the receiver.
+	// batches. Emitted slices are valid only during the emit call.
 	Tick(now stream.Time, emit func(out []stream.Tuple))
 }
 
+// TimeAdvancer is implemented by windowed operators that can skip their
+// (empty) window history when instantiated mid-run: a fragment executor
+// deployed at recovery or live-submit time fast-forwards its windows to
+// the deployment instant instead of replaying every empty edge since
+// time zero. See stream.WindowBuffer.FastForward.
+type TimeAdvancer interface {
+	AdvanceTo(now stream.Time)
+}
+
+// arena is the reusable emission buffer embedded by emitting operators:
+// tuples and payload rows are appended per tick and the whole arena is
+// reset at the operator's next Tick, after every consumer has drained.
+// Growing appends may relocate the backing arrays; previously returned
+// slices keep the old arrays alive, so emissions handed out earlier in
+// the same tick stay valid. In steady state the arena caps stabilise and
+// emissions stop allocating entirely.
+type arena struct {
+	tuples []stream.Tuple
+	vals   []float64
+}
+
+// reset truncates the arena for a new tick, keeping capacity.
+func (a *arena) reset() {
+	a.tuples = a.tuples[:0]
+	a.vals = a.vals[:0]
+}
+
+// row appends a payload row to the arena and returns it.
+func (a *arena) row(vals ...float64) []float64 {
+	off := len(a.vals)
+	a.vals = append(a.vals, vals...)
+	return a.vals[off:len(a.vals):len(a.vals)]
+}
+
+// mark records the current emission start.
+func (a *arena) mark() int { return len(a.tuples) }
+
+// add appends one tuple to the current emission.
+func (a *arena) add(t stream.Tuple) { a.tuples = append(a.tuples, t) }
+
+// since returns the emission started at mark m.
+func (a *arena) since(m int) []stream.Tuple {
+	return a.tuples[m:len(a.tuples):len(a.tuples)]
+}
+
+// one builds a single-tuple emission with the given SIC mass (Eq. 3 with
+// |T_out| = 1) and payload values.
+func (a *arena) one(ts stream.Time, sicVal float64, values ...float64) []stream.Tuple {
+	m := a.mark()
+	a.add(stream.Tuple{TS: ts, SIC: sic.PropagateSIC(sicVal, 1), V: a.row(values...)})
+	return a.since(m)
+}
+
 // passThrough is the base for stateless single-input operators that
-// process each pushed batch atomically at the next tick.
+// process each pushed batch atomically at the next tick. take drains the
+// pending buffer but keeps its storage: the drained view is consumed
+// within the same tick (emissions are copied by whoever retains them),
+// so the buffer is safely overwritten by the next tick's pushes.
 type passThrough struct {
 	pending []stream.Tuple
 }
@@ -53,7 +118,7 @@ func (p *passThrough) Push(port int, in []stream.Tuple) {
 
 func (p *passThrough) take() []stream.Tuple {
 	out := p.pending
-	p.pending = nil
+	p.pending = p.pending[:0]
 	return out
 }
 
@@ -106,7 +171,7 @@ func (u *Union) Push(port int, in []stream.Tuple) {
 func (u *Union) Tick(now stream.Time, emit func([]stream.Tuple)) {
 	if len(u.pending) > 0 {
 		out := u.pending
-		u.pending = nil
+		u.pending = u.pending[:0]
 		emit(out)
 	}
 }
@@ -141,9 +206,12 @@ func FieldAtLeast(field int, threshold float64) Predicate {
 // Filter atomically processes each pushed batch and emits the tuples
 // matching the predicate. Per Eq. (3) the total SIC of the examined batch
 // is redistributed over the emitted subset; if nothing passes, the batch's
-// SIC is lost for this query's result.
+// SIC is lost for this query's result. Output tuples share their V
+// payloads with the input — legal because emissions are consumed within
+// the tick (retainers copy).
 type Filter struct {
 	passThrough
+	out  arena
 	pred Predicate
 }
 
@@ -155,18 +223,20 @@ func (f *Filter) Name() string { return "filter" }
 
 // Tick implements Operator.
 func (f *Filter) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	f.out.reset()
 	in := f.take()
 	if len(in) == 0 {
 		return
 	}
 	var totalSIC float64
-	out := make([]stream.Tuple, 0, len(in))
+	m := f.out.mark()
 	for i := range in {
 		totalSIC += in[i].SIC
 		if f.pred(&in[i]) {
-			out = append(out, in[i])
+			f.out.add(in[i])
 		}
 	}
+	out := f.out.since(m)
 	if len(out) == 0 {
 		return
 	}

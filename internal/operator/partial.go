@@ -19,6 +19,7 @@ import (
 // tuple per window over the given field.
 type PartialAvg struct {
 	windowed
+	out   arena
 	field int
 }
 
@@ -32,6 +33,7 @@ func (p *PartialAvg) Name() string { return "partial-avg" }
 
 // Tick implements Operator.
 func (p *PartialAvg) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	p.out.reset()
 	p.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		if len(win) == 0 {
 			return
@@ -41,7 +43,7 @@ func (p *PartialAvg) Tick(now stream.Time, emit func([]stream.Tuple)) {
 		for i := range win {
 			sum += win[i].V[p.field]
 		}
-		emit(oneTuple(closeAt, total, sum, float64(len(win))))
+		emit(p.out.one(closeAt, total, sum, float64(len(win))))
 	})
 }
 
@@ -51,6 +53,7 @@ func (p *PartialAvg) Tick(now stream.Time, emit func([]stream.Tuple)) {
 // it with an AvgFinalize to produce the user-facing average.
 type AvgMerge struct {
 	windowed
+	out arena
 }
 
 // NewAvgMerge builds a partial-average merge.
@@ -63,6 +66,7 @@ func (m *AvgMerge) Name() string { return "avg-merge" }
 
 // Tick implements Operator.
 func (m *AvgMerge) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	m.out.reset()
 	m.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		if len(win) == 0 {
 			return
@@ -73,13 +77,16 @@ func (m *AvgMerge) Tick(now stream.Time, emit func([]stream.Tuple)) {
 			sum += win[i].V[0]
 			count += win[i].V[1]
 		}
-		emit(oneTuple(closeAt, total, sum, count))
+		emit(m.out.one(closeAt, total, sum, count))
 	})
 }
 
 // AvgFinalize converts merged (sum, count) partials into [avg] result
 // tuples, one per input tuple, preserving SIC.
-type AvgFinalize struct{ passThrough }
+type AvgFinalize struct {
+	passThrough
+	out arena
+}
 
 // NewAvgFinalize builds the finalizer.
 func NewAvgFinalize() *AvgFinalize { return &AvgFinalize{} }
@@ -89,19 +96,20 @@ func (f *AvgFinalize) Name() string { return "avg-finalize" }
 
 // Tick implements Operator.
 func (f *AvgFinalize) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	f.out.reset()
 	in := f.take()
 	if len(in) == 0 {
 		return
 	}
-	out := make([]stream.Tuple, 0, len(in))
+	m := f.out.mark()
 	for i := range in {
 		sum, count := in[i].V[0], in[i].V[1]
 		if count == 0 {
 			continue
 		}
-		out = append(out, stream.Tuple{TS: in[i].TS, SIC: in[i].SIC, V: []float64{sum / count}})
+		f.out.add(stream.Tuple{TS: in[i].TS, SIC: in[i].SIC, V: f.out.row(sum / count)})
 	}
-	if len(out) > 0 {
+	if out := f.out.since(m); len(out) > 0 {
 		emit(out)
 	}
 }
@@ -113,9 +121,10 @@ func (f *AvgFinalize) Tick(now stream.Time, emit func([]stream.Tuple)) {
 type PartialCov struct {
 	x        *stream.WindowBuffer
 	y        *stream.WindowBuffer
+	out      arena
 	sicShare float64
-	pendX    []closedWin
-	pendY    []closedWin
+	pendX    winStore
+	pendY    winStore
 	fieldX   int
 	fieldY   int
 }
@@ -147,27 +156,33 @@ func (p *PartialCov) Push(port int, in []stream.Tuple) {
 	}
 }
 
+// AdvanceTo implements TimeAdvancer for both input windows.
+func (p *PartialCov) AdvanceTo(now stream.Time) {
+	p.x.FastForward(now)
+	p.y.FastForward(now)
+}
+
 // Tick implements Operator.
 func (p *PartialCov) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	p.out.reset()
 	p.x.Tick(now, func(win []stream.Tuple, at stream.Time) {
-		p.pendX = append(p.pendX, capture(win, at, p.sicShare))
+		p.pendX.capture(win, at, p.sicShare)
 	})
 	p.y.Tick(now, func(win []stream.Tuple, at stream.Time) {
-		p.pendY = append(p.pendY, capture(win, at, p.sicShare))
+		p.pendY.capture(win, at, p.sicShare)
 	})
-	for len(p.pendX) > 0 && len(p.pendY) > 0 {
-		wx, wy := p.pendX[0], p.pendY[0]
-		p.pendX = p.pendX[1:]
-		p.pendY = p.pendY[1:]
-		n := len(wx.tuples)
-		if len(wy.tuples) < n {
-			n = len(wy.tuples)
+	for p.pendX.len() > 0 && p.pendY.len() > 0 {
+		xt, xat, xsic := p.pendX.pop()
+		yt, _, ysic := p.pendY.pop()
+		n := len(xt)
+		if len(yt) < n {
+			n = len(yt)
 		}
 		if n == 0 {
 			continue
 		}
-		st := newCovState(wx.tuples[:n], wy.tuples[:n], p.fieldX, p.fieldY)
-		emit(oneTuple(wx.at, wx.sic+wy.sic, st.n, st.meanX, st.meanY, st.comoment))
+		st := newCovState(xt[:n], yt[:n], p.fieldX, p.fieldY)
+		emit(p.out.one(xat, xsic+ysic, st.n, st.meanX, st.meanY, st.comoment))
 	}
 }
 
@@ -225,7 +240,10 @@ func (s *covState) sampleCov() (float64, bool) {
 
 // CovMerge merges covariance partial tuples (n, meanX, meanY, comoment)
 // arriving within a window and re-emits the combined partial.
-type CovMerge struct{ windowed }
+type CovMerge struct {
+	windowed
+	out arena
+}
 
 // NewCovMerge builds a covariance partial merge.
 func NewCovMerge(spec stream.WindowSpec) *CovMerge {
@@ -237,6 +255,7 @@ func (m *CovMerge) Name() string { return "cov-merge" }
 
 // Tick implements Operator.
 func (m *CovMerge) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	m.out.reset()
 	m.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		if len(win) == 0 {
 			return
@@ -246,12 +265,15 @@ func (m *CovMerge) Tick(now stream.Time, emit func([]stream.Tuple)) {
 		for i := range win {
 			st.merge(covState{n: win[i].V[0], meanX: win[i].V[1], meanY: win[i].V[2], comoment: win[i].V[3]})
 		}
-		emit(oneTuple(closeAt, total, st.n, st.meanX, st.meanY, st.comoment))
+		emit(m.out.one(closeAt, total, st.n, st.meanX, st.meanY, st.comoment))
 	})
 }
 
 // CovFinalize converts covariance partials into [cov] result tuples.
-type CovFinalize struct{ passThrough }
+type CovFinalize struct {
+	passThrough
+	out arena
+}
 
 // NewCovFinalize builds the finalizer.
 func NewCovFinalize() *CovFinalize { return &CovFinalize{} }
@@ -261,18 +283,19 @@ func (f *CovFinalize) Name() string { return "cov-finalize" }
 
 // Tick implements Operator.
 func (f *CovFinalize) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	f.out.reset()
 	in := f.take()
 	if len(in) == 0 {
 		return
 	}
-	out := make([]stream.Tuple, 0, len(in))
+	m := f.out.mark()
 	for i := range in {
 		st := covState{n: in[i].V[0], meanX: in[i].V[1], meanY: in[i].V[2], comoment: in[i].V[3]}
 		if cov, ok := st.sampleCov(); ok {
-			out = append(out, stream.Tuple{TS: in[i].TS, SIC: in[i].SIC, V: []float64{cov}})
+			f.out.add(stream.Tuple{TS: in[i].TS, SIC: in[i].SIC, V: f.out.row(cov)})
 		}
 	}
-	if len(out) > 0 {
+	if out := f.out.since(m); len(out) > 0 {
 		emit(out)
 	}
 }

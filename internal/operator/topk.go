@@ -18,17 +18,43 @@ import (
 // is exactly how chained TOP-5 fragments merge partial results (§7).
 type TopK struct {
 	windowed
+	out      arena
 	k        int
 	keyField int
 	valField int
+	// best and ranked are per-window scratch reused across ticks.
+	best   map[int64]float64
+	ranked rankedKVs
 }
+
+// rankedKVs sorts (key, value) pairs by value descending with a
+// deterministic key tie-break. It implements sort.Interface on a concrete
+// type so sorting costs no reflection and no per-call allocation.
+type rankedKVs []rankedKV
+
+type rankedKV struct {
+	k int64
+	v float64
+}
+
+func (r rankedKVs) Len() int { return len(r) }
+func (r rankedKVs) Less(i, j int) bool {
+	if r[i].v != r[j].v {
+		return r[i].v > r[j].v
+	}
+	return r[i].k < r[j].k // deterministic tie-break
+}
+func (r rankedKVs) Swap(i, j int) { r[i], r[j] = r[j], r[i] }
 
 // NewTopK builds a top-k operator.
 func NewTopK(k int, spec stream.WindowSpec, keyField, valField int) *TopK {
 	if k < 1 {
 		panic("operator: top-k requires k >= 1")
 	}
-	return &TopK{windowed: newWindowed(spec), k: k, keyField: keyField, valField: valField}
+	return &TopK{
+		windowed: newWindowed(spec), k: k, keyField: keyField, valField: valField,
+		best: make(map[int64]float64),
+	}
 }
 
 // Name implements Operator.
@@ -36,44 +62,37 @@ func (t *TopK) Name() string { return "top-k" }
 
 // Tick implements Operator.
 func (t *TopK) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	t.out.reset()
 	t.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		if len(win) == 0 {
 			return
 		}
 		total := t.consumedSIC(win)
-		best := make(map[int64]float64, len(win))
+		clear(t.best)
+		t.ranked = t.ranked[:0]
 		for i := range win {
 			k := int64(win[i].V[t.keyField])
 			v := win[i].V[t.valField]
-			if old, ok := best[k]; !ok || v > old {
-				best[k] = v
+			if old, ok := t.best[k]; !ok || v > old {
+				if !ok {
+					t.ranked = append(t.ranked, rankedKV{k: k})
+				}
+				t.best[k] = v
 			}
 		}
-		type kv struct {
-			k int64
-			v float64
+		for i := range t.ranked {
+			t.ranked[i].v = t.best[t.ranked[i].k]
 		}
-		ranked := make([]kv, 0, len(best))
-		for k, v := range best {
-			ranked = append(ranked, kv{k, v})
-		}
-		sort.Slice(ranked, func(i, j int) bool {
-			if ranked[i].v != ranked[j].v {
-				return ranked[i].v > ranked[j].v
-			}
-			return ranked[i].k < ranked[j].k // deterministic tie-break
-		})
+		sort.Sort(&t.ranked)
+		ranked := t.ranked
 		if len(ranked) > t.k {
 			ranked = ranked[:t.k]
 		}
 		per := sic.PropagateSIC(total, len(ranked))
-		backing := make([]float64, 2*len(ranked))
-		out := make([]stream.Tuple, len(ranked))
-		for i, e := range ranked {
-			row := backing[2*i : 2*i+2 : 2*i+2]
-			row[0], row[1] = float64(e.k), e.v
-			out[i] = stream.Tuple{TS: closeAt, SIC: per, V: row}
+		m := t.out.mark()
+		for _, e := range ranked {
+			t.out.add(stream.Tuple{TS: closeAt, SIC: per, V: t.out.row(float64(e.k), e.v)})
 		}
-		emit(out)
+		emit(t.out.since(m))
 	})
 }

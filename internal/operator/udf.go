@@ -20,6 +20,7 @@ type UDFFunc func(win []stream.Tuple) [][]float64
 // shedding without any shedding-aware code.
 type UDF struct {
 	windowed
+	out  arena
 	name string
 	fn   UDFFunc
 }
@@ -34,6 +35,7 @@ func (u *UDF) Name() string { return u.name }
 
 // Tick implements Operator.
 func (u *UDF) Tick(now stream.Time, emit func([]stream.Tuple)) {
+	u.out.reset()
 	u.win.Tick(now, func(win []stream.Tuple, closeAt stream.Time) {
 		if len(win) == 0 {
 			return
@@ -44,11 +46,11 @@ func (u *UDF) Tick(now stream.Time, emit func([]stream.Tuple)) {
 			return // the UDF discarded the window; its SIC is lost (Eq. 3)
 		}
 		per := sic.PropagateSIC(total, len(rows))
-		out := make([]stream.Tuple, len(rows))
-		for i, row := range rows {
-			out[i] = stream.Tuple{TS: closeAt, SIC: per, V: row}
+		m := u.out.mark()
+		for _, row := range rows {
+			u.out.add(stream.Tuple{TS: closeAt, SIC: per, V: row})
 		}
-		emit(out)
+		emit(u.out.since(m))
 	})
 }
 

@@ -8,11 +8,21 @@ import (
 // FragmentExec is a running instance of a fragment plan: freshly
 // instantiated stateful operators plus the routing fabric between them.
 // It is single-goroutine; the owning node drives it.
+//
+// Routing closures are built once per executor, not per tick: emit
+// callbacks cross the operator interface boundary, where escape analysis
+// must assume they leak, so a per-tick closure would heap-allocate on
+// every operator of every fragment of every tick.
 type FragmentExec struct {
 	plan *FragmentPlan
 	ops  []operator.Operator
-	// out accumulates the fragment output batches of the current tick.
-	out [][]stream.Tuple
+	// emits[i] routes operator i's emissions: intermediate edges push to
+	// downstream operators (which copy what they retain), the output
+	// operator's emissions go to the current Tick sink.
+	emits []func([]stream.Tuple)
+	// sink receives the fragment's output emissions during Tick. Emitted
+	// slices alias operator scratch and are valid only during the call.
+	sink func([]stream.Tuple)
 }
 
 // NewFragmentExec instantiates the plan's operators.
@@ -21,6 +31,27 @@ func NewFragmentExec(p *FragmentPlan) *FragmentExec {
 	for i, spec := range p.Ops {
 		e.ops[i] = spec.New()
 	}
+	e.emits = make([]func([]stream.Tuple), len(e.ops))
+	for i := range e.ops {
+		outs := p.Ops[i].Outs
+		isOut := i == p.OutOp
+		e.emits[i] = func(batch []stream.Tuple) {
+			if len(batch) == 0 {
+				return
+			}
+			if isOut {
+				if e.sink != nil {
+					e.sink(batch)
+				}
+				return
+			}
+			// Operators copy pushed input they retain (the Push
+			// contract), so fan-out hands every consumer the same slice.
+			for _, edge := range outs {
+				e.ops[edge.To].Push(edge.Port, batch)
+			}
+		}
+	}
 	return e
 }
 
@@ -28,7 +59,8 @@ func NewFragmentExec(p *FragmentPlan) *FragmentExec {
 func (e *FragmentExec) Plan() *FragmentPlan { return e.plan }
 
 // Push delivers input tuples to a fragment entry port. Unknown ports are
-// dropped — a shed upstream fragment may leave stale routes.
+// dropped — a shed upstream fragment may leave stale routes. The slice is
+// only borrowed: operators copy what they retain past the tick.
 func (e *FragmentExec) Push(port int, in []stream.Tuple) {
 	ent, ok := e.plan.Entries[port]
 	if !ok {
@@ -37,40 +69,27 @@ func (e *FragmentExec) Push(port int, in []stream.Tuple) {
 	e.ops[ent.Op].Push(ent.Port, in)
 }
 
+// AdvanceTo fast-forwards every windowed operator to now, so an executor
+// instantiated mid-run (failure recovery, live submit) starts at its
+// deployment instant instead of replaying every empty window edge since
+// time zero.
+func (e *FragmentExec) AdvanceTo(now stream.Time) {
+	for _, op := range e.ops {
+		if adv, ok := op.(operator.TimeAdvancer); ok {
+			adv.AdvanceTo(now)
+		}
+	}
+}
+
 // Tick advances every operator one step in topological order, routing
-// intermediate emissions, and returns the batches emitted by the
-// fragment's output operator. The returned slices are owned by the
-// caller.
-func (e *FragmentExec) Tick(now stream.Time) [][]stream.Tuple {
-	e.out = e.out[:0]
+// intermediate emissions, and passes each batch emitted by the fragment's
+// output operator to sink. Emitted slices alias operator-owned scratch:
+// they are valid only during the sink call and must be copied by anyone
+// retaining them.
+func (e *FragmentExec) Tick(now stream.Time, sink func(out []stream.Tuple)) {
+	e.sink = sink
 	for i, op := range e.ops {
-		outs := e.plan.Ops[i].Outs
-		isOut := i == e.plan.OutOp
-		op.Tick(now, func(batch []stream.Tuple) {
-			if len(batch) == 0 {
-				return
-			}
-			if isOut {
-				e.out = append(e.out, batch)
-				return
-			}
-			for j, edge := range outs {
-				if j == len(outs)-1 {
-					e.ops[edge.To].Push(edge.Port, batch)
-				} else {
-					// Fan-out duplicates the batch per consumer so each
-					// operator owns its input.
-					cp := make([]stream.Tuple, len(batch))
-					copy(cp, batch)
-					e.ops[edge.To].Push(edge.Port, cp)
-				}
-			}
-		})
+		op.Tick(now, e.emits[i])
 	}
-	if len(e.out) == 0 {
-		return nil
-	}
-	res := make([][]stream.Tuple, len(e.out))
-	copy(res, e.out)
-	return res
+	e.sink = nil
 }

@@ -109,15 +109,19 @@ func TestPlanValidationCatchesErrors(t *testing.T) {
 }
 
 // runFragment pushes per-tick source tuples into an executor and collects
-// emissions.
+// emissions. Emitted tuples alias executor scratch, so the collector deep
+// copies them (the Operator ownership contract).
 func runFragment(exec *FragmentExec, push func(tick int, push func(port int, in []stream.Tuple)), ticks int) [][]stream.Tuple {
 	var out [][]stream.Tuple
 	for i := 0; i < ticks; i++ {
 		push(i, exec.Push)
 		out = append(out, nil)
-		for _, batch := range exec.Tick(stream.Time((i + 1) * 250)) {
-			out[i] = append(out[i], batch...)
-		}
+		exec.Tick(stream.Time((i+1)*250), func(batch []stream.Tuple) {
+			for _, tp := range batch {
+				tp.V = append([]float64(nil), tp.V...)
+				out[i] = append(out[i], tp)
+			}
+		})
 	}
 	return out
 }
@@ -159,8 +163,10 @@ func TestFragmentExecUnknownPortDropped(t *testing.T) {
 	plan := NewAggregate(operator.AggAvg, sources.Uniform)
 	exec := NewFragmentExec(plan.Fragments[0])
 	exec.Push(99, []stream.Tuple{{TS: 1, V: []float64{1}}}) // must not panic
-	if out := exec.Tick(1000); out != nil {
-		t.Errorf("unexpected output: %v", out)
+	emitted := 0
+	exec.Tick(1000, func(batch []stream.Tuple) { emitted += len(batch) })
+	if emitted != 0 {
+		t.Errorf("unexpected output: %d tuples", emitted)
 	}
 }
 
@@ -205,14 +211,14 @@ func TestIncrementalEquivalence(t *testing.T) {
 			leaf.Push(s, mkTuples(k, 10+s))
 		}
 		now := stream.Time((k + 1) * 250)
-		for _, batch := range leaf.Tick(now) {
+		leaf.Tick(now, func(batch []stream.Tuple) {
 			root.Push(plan2.Fragments[0].UpstreamPort, batch)
-		}
-		for _, batch := range root.Tick(now) {
+		})
+		root.Tick(now, func(batch []stream.Tuple) {
 			for _, tp := range batch {
 				twoFrag = append(twoFrag, tp.V[0])
 			}
-		}
+		})
 	}
 
 	// Single-fragment reference over all 20 sources: reuse the AVG-all
@@ -226,11 +232,11 @@ func TestIncrementalEquivalence(t *testing.T) {
 			ref.Push(s, mkTuples(k, s))
 			ref.Push(s, mkTuples(k, 10+s))
 		}
-		for _, batch := range ref.Tick(stream.Time((k + 1) * 250)) {
+		ref.Tick(stream.Time((k+1)*250), func(batch []stream.Tuple) {
 			for _, tp := range batch {
 				oneFrag = append(oneFrag, tp.V[0])
 			}
-		}
+		})
 	}
 
 	if len(twoFrag) == 0 {

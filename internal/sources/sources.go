@@ -167,12 +167,31 @@ func (s *Source) rateAt(t stream.Time) float64 {
 	return s.Rate
 }
 
+// Sink consumes the batches a source emits. It is an interface rather
+// than a callback so the per-tick hot path passes a persistent receiver
+// (the node) instead of constructing a capturing closure per source per
+// tick — the closure would escape into Emit and allocate every interval.
+type Sink interface {
+	// Accept takes ownership of one emitted batch.
+	Accept(s *Source, b *stream.Batch)
+}
+
+// SinkFunc adapts a function to the Sink interface for tests and tools.
+type SinkFunc func(s *Source, b *stream.Batch)
+
+// Accept implements Sink.
+func (f SinkFunc) Accept(s *Source, b *stream.Batch) { f(s, b) }
+
 // Emit generates the batches for the interval [from, to) and passes each
 // to sink in timestamp order. Tuple counts follow the configured rate with
 // fractional carry, so long-run counts are exact; tuple timestamps are
 // spread evenly across each batch's sub-interval. Emitted tuples carry
 // SIC 0 — the receiving node assigns Eq. (1) values per slide.
-func (s *Source) Emit(from, to stream.Time, sink func(*stream.Batch)) {
+//
+// Batches are drawn from pool when it is non-nil; the sink (or whoever
+// it hands the batch to) owns them and must Release them after their
+// last use. A nil pool falls back to plain allocation.
+func (s *Source) Emit(from, to stream.Time, pool *stream.Pool, sink Sink) {
 	if to <= from {
 		return
 	}
@@ -195,7 +214,12 @@ func (s *Source) Emit(from, to stream.Time, sink func(*stream.Batch)) {
 		if n == 0 {
 			continue
 		}
-		b := stream.NewBatch(s.Query, s.Frag, s.ID, b0, n, s.Arity)
+		var b *stream.Batch
+		if pool != nil {
+			b = pool.Get(s.Query, s.Frag, s.ID, b0, n, s.Arity)
+		} else {
+			b = stream.NewBatch(s.Query, s.Frag, s.ID, b0, n, s.Arity)
+		}
 		b.Port = s.Port
 		span := float64(b1 - b0)
 		for j := 0; j < n; j++ {
@@ -203,6 +227,6 @@ func (s *Source) Emit(from, to stream.Time, sink func(*stream.Batch)) {
 			b.Tuples[j].TS = ts
 			s.Gen.Fill(ts, b.Tuples[j].V)
 		}
-		sink(b)
+		sink.Accept(s, b)
 	}
 }

@@ -13,7 +13,7 @@ import (
 func emitAll(s *Source, dur, interval stream.Duration) []*stream.Batch {
 	var out []*stream.Batch
 	for t := stream.Time(0); t < stream.Time(dur); t += stream.Time(interval) {
-		s.Emit(t, t.Add(interval), func(b *stream.Batch) { out = append(out, b) })
+		s.Emit(t, t.Add(interval), nil, SinkFunc(func(_ *Source, b *stream.Batch) { out = append(out, b) }))
 	}
 	return out
 }
@@ -48,27 +48,27 @@ func TestSourceFractionalRateCarry(t *testing.T) {
 func TestSourceTimestampsWithinInterval(t *testing.T) {
 	gen := GenFunc(func(_ stream.Time, v []float64) { v[0] = 1 })
 	s := New(1, 1, 0, 0, 100, 4, 1, gen, 1)
-	s.Emit(1000, 1250, func(b *stream.Batch) {
+	s.Emit(1000, 1250, nil, SinkFunc(func(_ *Source, b *stream.Batch) {
 		for i := range b.Tuples {
 			ts := b.Tuples[i].TS
 			if ts < 1000 || ts >= 1250 {
 				t.Fatalf("tuple TS %d outside [1000, 1250)", ts)
 			}
 		}
-	})
+	}))
 }
 
 func TestSourceAddressing(t *testing.T) {
 	gen := GenFunc(func(_ stream.Time, v []float64) { v[0] = 1 })
 	s := New(9, 4, 2, 3, 100, 4, 1, gen, 1)
-	s.Emit(0, 250, func(b *stream.Batch) {
+	s.Emit(0, 250, nil, SinkFunc(func(_ *Source, b *stream.Batch) {
 		if b.Source != 9 || b.Query != 4 || b.Frag != 2 || b.Port != 3 {
 			t.Fatalf("batch addressing: %+v", b)
 		}
 		if b.SIC != 0 {
 			t.Fatalf("source batches must carry SIC 0 before stamping, got %g", b.SIC)
 		}
-	})
+	}))
 }
 
 func TestBurstIncreasesVolume(t *testing.T) {

@@ -30,6 +30,14 @@ type Batch struct {
 	// Tuples holds the batch payload. Tuple V slices alias a single
 	// backing array owned by the batch (see NewBatch).
 	Tuples []Tuple
+
+	// pool, slab, view and released implement the pooled batch lifecycle
+	// (see Pool). They are zero for plainly-allocated batches, whose
+	// Release is a no-op.
+	pool     *Pool
+	slab     []float64
+	view     bool
+	released bool
 }
 
 // Len reports the number of tuples in the batch.

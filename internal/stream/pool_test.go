@@ -1,0 +1,196 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// fillSentinel stamps recognisable values into every tuple of a batch.
+func fillSentinel(b *Batch, base float64) {
+	for i := range b.Tuples {
+		b.Tuples[i].TS = Time(1000 + i)
+		b.Tuples[i].SIC = base
+		for j := range b.Tuples[i].V {
+			b.Tuples[i].V[j] = base + float64(i*10+j)
+		}
+	}
+	b.RecomputeSIC()
+}
+
+func TestPoolGetInitialisesBatches(t *testing.T) {
+	p := NewPool()
+	b := p.Get(7, 2, 3, 500, 10, 3)
+	if b.Query != 7 || b.Frag != 2 || b.Source != 3 || b.TS != 500 || b.Port != 0 {
+		t.Fatalf("header: %+v", b)
+	}
+	if b.Len() != 10 {
+		t.Fatalf("len: %d", b.Len())
+	}
+	for i := range b.Tuples {
+		tp := &b.Tuples[i]
+		if tp.TS != 0 || tp.SIC != 0 || len(tp.V) != 3 {
+			t.Fatalf("tuple %d not initialised: %+v", i, tp)
+		}
+		for j, v := range tp.V {
+			if v != 0 {
+				t.Fatalf("tuple %d V[%d] = %g, want 0", i, j, v)
+			}
+		}
+	}
+	if !b.Pooled() {
+		t.Fatal("pooled batch not marked pooled")
+	}
+}
+
+// TestPoolNoCrossQueryAliasingAfterRecycle is the payload-isolation
+// property: a batch recycled from one query must hand the next owner
+// fully zeroed tuples whose V slices never alias live storage of the
+// previous owner's view of the data.
+func TestPoolNoCrossQueryAliasingAfterRecycle(t *testing.T) {
+	p := NewPool()
+	a := p.Get(1, 0, 0, 0, 16, 2)
+	fillSentinel(a, 100)
+	// Retain a deep copy of what query 1 saw.
+	saw := make([]float64, 0, 32)
+	for i := range a.Tuples {
+		saw = append(saw, a.Tuples[i].V...)
+	}
+	a.Release()
+
+	b := p.Get(2, 0, 0, 0, 12, 2) // smaller batch, same class: recycled storage
+	for i := range b.Tuples {
+		if b.Tuples[i].TS != 0 || b.Tuples[i].SIC != 0 {
+			t.Fatalf("recycled tuple %d leaks meta-data: %+v", i, b.Tuples[i])
+		}
+		for j, v := range b.Tuples[i].V {
+			if v != 0 {
+				t.Fatalf("recycled tuple %d V[%d] leaks %g from the previous query", i, j, v)
+			}
+		}
+	}
+	// Query 2 writing its payload must not change what query 1 copied out.
+	fillSentinel(b, 200)
+	for k, v := range saw {
+		if v != 100+float64((k/2)*10+k%2) {
+			t.Fatalf("query 1 copy mutated at %d: %g", k, v)
+		}
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get(1, 0, 0, 0, 4, 1)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestPlainBatchReleaseIsNoop(t *testing.T) {
+	b := NewBatch(1, 0, 0, 0, 4, 1)
+	b.Release()
+	b.Release() // still a no-op: plain batches have no pool lifecycle
+	if b.Pooled() {
+		t.Fatal("plain batch claims to be pooled")
+	}
+}
+
+func TestPoolViewReleaseKeepsParentStorage(t *testing.T) {
+	p := NewPool()
+	parent := p.Get(1, 0, 0, 0, 8, 1)
+	fillSentinel(parent, 50)
+	view := p.GetView(1, 0, 0, 0, parent.Tuples[2:6])
+	view.RecomputeSIC()
+	if view.Len() != 4 {
+		t.Fatalf("view len %d", view.Len())
+	}
+	view.Release()
+	// Parent storage must be untouched by the view release.
+	for i := range parent.Tuples {
+		if parent.Tuples[i].V[0] != 50+float64(i*10) {
+			t.Fatalf("parent payload clobbered at %d", i)
+		}
+	}
+	parent.Release()
+	if p.Live() != 0 {
+		t.Fatalf("live after full release: %d", p.Live())
+	}
+}
+
+// TestPoolLiveAccountingProperty drives a random get/release schedule and
+// checks the leak detector tracks outstanding batches exactly, recycled
+// batches come back re-initialised, and nothing panics.
+func TestPoolLiveAccountingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := NewPool()
+	var live []*Batch
+	for step := 0; step < 5000; step++ {
+		if len(live) == 0 || rng.Intn(2) == 0 {
+			n := 1 + rng.Intn(300)
+			arity := rng.Intn(4)
+			b := p.Get(QueryID(rng.Intn(8)), 0, SourceID(rng.Intn(4)), Time(step), n, arity)
+			for i := range b.Tuples {
+				if b.Tuples[i].SIC != 0 || len(b.Tuples[i].V) != arity {
+					t.Fatalf("step %d: recycled batch not re-initialised", step)
+				}
+			}
+			fillSentinel(b, float64(step))
+			live = append(live, b)
+		} else {
+			i := rng.Intn(len(live))
+			live[i].Release()
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if got := p.Live(); got != int64(len(live)) {
+			t.Fatalf("step %d: live %d, want %d", step, got, len(live))
+		}
+	}
+	for _, b := range live {
+		b.Release()
+	}
+	if p.Live() != 0 {
+		t.Fatalf("leak: %d batches outstanding", p.Live())
+	}
+}
+
+// TestPoolConcurrentGetRelease hammers one pool from many goroutines —
+// the engine's parallel compute phase shares a pool across nodes — and
+// relies on -race to catch unsynchronised free-list access.
+func TestPoolConcurrentGetRelease(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 2000; k++ {
+				b := p.Get(QueryID(seed), 0, 0, Time(k), 1+rng.Intn(64), 1+rng.Intn(3))
+				fillSentinel(b, float64(k))
+				b.Release()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if p.Live() != 0 {
+		t.Fatalf("live after concurrent churn: %d", p.Live())
+	}
+}
+
+func TestPoolOversizeRequestsStillWork(t *testing.T) {
+	p := NewPool()
+	huge := classSizes[numClasses-1] + 1
+	b := p.Get(1, 0, 0, 0, huge, 1)
+	if b.Len() != huge {
+		t.Fatalf("len %d", b.Len())
+	}
+	b.Release() // storage dropped (no class), header recycled, no panic
+	if p.Live() != 0 {
+		t.Fatalf("live: %d", p.Live())
+	}
+}

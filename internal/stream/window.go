@@ -80,9 +80,20 @@ func (w WindowSpec) String() string {
 // within a tick, so the buffer is only approximately sorted. The engine
 // guarantees that all tuples with TS < e are pushed before Tick(e) is
 // called, which makes the scan exact.
+//
+// The buffer owns its tuples' payloads: Push deep-copies every V into a
+// window-owned arena. Input tuples may therefore alias pooled batch
+// storage that is recycled at the end of the tick — window contents
+// survive the batch that delivered them (DESIGN.md §9). The arena is
+// double-buffered: retiring tuples compacts surviving payloads into the
+// spare arena and swaps, so steady-state windows never allocate.
 type WindowBuffer struct {
 	spec WindowSpec
 	buf  []Tuple
+	// vals is the payload arena every buffered tuple's V aliases; spare
+	// is the compaction target swapped in when tuples retire.
+	vals  []float64
+	spare []float64
 	// nextEdge is the next emission boundary: a timestamp for time
 	// windows, a cumulative tuple count for count windows.
 	nextEdge int64
@@ -105,11 +116,55 @@ func (wb *WindowBuffer) Spec() WindowSpec { return wb.spec }
 // Len reports the number of buffered tuples.
 func (wb *WindowBuffer) Len() int { return len(wb.buf) }
 
-// Push appends input tuples to the buffer. Tuples must arrive in
-// timestamp order for time windows.
+// Push appends input tuples to the buffer, copying their payloads into
+// the window-owned arena. Tuples must arrive in timestamp order for time
+// windows. The input tuples (and whatever their V slices alias) may be
+// recycled freely once Push returns.
 func (wb *WindowBuffer) Push(in []Tuple) {
-	wb.buf = append(wb.buf, in...)
+	for i := range in {
+		t := in[i]
+		if len(t.V) > 0 {
+			off := len(wb.vals)
+			wb.vals = append(wb.vals, t.V...)
+			t.V = wb.vals[off:len(wb.vals):len(wb.vals)]
+		}
+		wb.buf = append(wb.buf, t)
+	}
 	wb.seen += int64(len(in))
+}
+
+// compact copies the surviving tuples' payloads into the spare arena and
+// swaps arenas, releasing the retired prefix's storage for reuse. Growing
+// appends relocate the arena, but stale V slices keep the old array alive
+// until their tuples retire, so views held across a grow stay valid.
+func (wb *WindowBuffer) compact(kept []Tuple) {
+	wb.spare = wb.spare[:0]
+	for i := range kept {
+		if len(kept[i].V) > 0 {
+			off := len(wb.spare)
+			wb.spare = append(wb.spare, kept[i].V...)
+			kept[i].V = wb.spare[off:len(wb.spare):len(wb.spare)]
+		}
+	}
+	wb.buf = kept
+	wb.vals, wb.spare = wb.spare, wb.vals
+}
+
+// FastForward advances the next emission boundary past now without
+// closing the intervening (necessarily empty) windows. It is only legal
+// on a buffer that has never seen a tuple: a fragment executor deployed
+// mid-run — failure recovery, a live query submit — would otherwise
+// replay every empty window edge since time zero on its first tick.
+// Slide alignment is preserved, so the first real window closes at the
+// same absolute edge it would have closed at anyway.
+func (wb *WindowBuffer) FastForward(now Time) {
+	if wb.spec.Kind != TimeWindow || wb.seen > 0 || len(wb.buf) > 0 {
+		return
+	}
+	if wb.nextEdge <= int64(now) {
+		steps := (int64(now)-wb.nextEdge)/wb.spec.Slide + 1
+		wb.nextEdge += steps * wb.spec.Slide
+	}
 }
 
 // Tick advances the buffer to logical time now and invokes emit once per
@@ -137,15 +192,21 @@ func (wb *WindowBuffer) Tick(now Time, emit func(win []Tuple, closeAt Time)) {
 			}
 			emit(wb.scratch, Time(edge))
 			// Retire tuples that can no longer appear in any future
-			// window: TS < edge+Slide-Range.
+			// window: TS < edge+Slide-Range. Retiring compacts the payload
+			// arena so the freed prefix is reused.
 			retire := edge + wb.spec.Slide - wb.spec.Range
+			n := len(wb.buf)
 			kept := wb.buf[:0]
 			for i := range wb.buf {
 				if int64(wb.buf[i].TS) >= retire {
 					kept = append(kept, wb.buf[i])
 				}
 			}
-			wb.buf = kept
+			if len(kept) != n {
+				wb.compact(kept)
+			} else {
+				wb.buf = kept
+			}
 			wb.nextEdge += wb.spec.Slide
 		}
 	case CountWindow:
@@ -164,7 +225,7 @@ func (wb *WindowBuffer) Tick(now Time, emit func(win []Tuple, closeAt Time)) {
 				if retire > len(wb.buf) {
 					retire = len(wb.buf)
 				}
-				wb.buf = append(wb.buf[:0], wb.buf[retire:]...)
+				wb.compact(append(wb.buf[:0], wb.buf[retire:]...))
 			}
 			wb.nextEdge += wb.spec.Slide
 		}

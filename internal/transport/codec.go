@@ -74,8 +74,10 @@ func appendWireBatch(dst []byte, b *stream.Batch) []byte {
 }
 
 // decodeWireBatch decodes a frameBatch payload into a derived batch
-// (Source -1), validating lengths before touching the data.
-func decodeWireBatch(p []byte) (*stream.Batch, error) {
+// (Source -1), validating lengths before touching the data. The batch is
+// drawn from pool when non-nil — the receiving node releases it after
+// the tick that consumes it — and plainly allocated otherwise.
+func decodeWireBatch(p []byte, pool *stream.Pool) (*stream.Batch, error) {
 	if len(p) < batchWireHeaderLen {
 		return nil, fmt.Errorf("transport: batch frame too short (%d bytes)", len(p))
 	}
@@ -94,7 +96,12 @@ func decodeWireBatch(p []byte) (*stream.Batch, error) {
 	if len(p) != want {
 		return nil, fmt.Errorf("transport: batch frame is %d bytes, want %d (n=%d arity=%d)", len(p), want, n, arity)
 	}
-	b := stream.NewBatch(query, frag, -1, ts, n, arity)
+	var b *stream.Batch
+	if pool != nil {
+		b = pool.Get(query, frag, -1, ts, n, arity)
+	} else {
+		b = stream.NewBatch(query, frag, -1, ts, n, arity)
+	}
 	b.Port = port
 	b.SIC = math.Float64frombits(sicBits)
 	off := batchWireHeaderLen
@@ -115,14 +122,23 @@ func decodeWireBatch(p []byte) (*stream.Batch, error) {
 	return b, nil
 }
 
-// frameReader reads frames off a connection, reusing one payload buffer.
+// frameReader reads frames off a connection, reusing one payload buffer
+// and decoding batch frames into pooled batches when given a pool.
 type frameReader struct {
-	r   *bufio.Reader
-	buf []byte
+	r    *bufio.Reader
+	buf  []byte
+	pool *stream.Pool
 }
 
 func newFrameReader(c io.Reader) *frameReader {
 	return &frameReader{r: bufio.NewReader(c)}
+}
+
+// newPooledFrameReader reads frames like newFrameReader but decodes
+// batch frames into batches drawn from pool — the steady-state inbound
+// hot path allocates nothing.
+func newPooledFrameReader(c io.Reader, pool *stream.Pool) *frameReader {
+	return &frameReader{r: bufio.NewReader(c), pool: pool}
 }
 
 // next reads one frame. Control frames return a non-nil envelope; batch
@@ -152,7 +168,7 @@ func (fr *frameReader) next() (*Envelope, *stream.Batch, error) {
 		}
 		return &e, nil, nil
 	case frameBatch:
-		b, err := decodeWireBatch(p)
+		b, err := decodeWireBatch(p, fr.pool)
 		return nil, b, err
 	default:
 		return nil, nil, fmt.Errorf("transport: unknown frame type 0x%02x", hdr[0])

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"math/rand"
 	"testing"
+
+	"repro/internal/stream"
 )
 
 // FuzzWireCodec drives arbitrary bytes through the binary batch codec
@@ -41,8 +43,9 @@ func FuzzWireCodec(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte(`{"kind":"sic","sic":{"query":1,"value":0.5}}`))
 
+	pool := stream.NewPool()
 	f.Fuzz(func(t *testing.T, p []byte) {
-		b, err := decodeWireBatch(p)
+		b, err := decodeWireBatch(p, nil)
 		if err == nil {
 			if b == nil {
 				t.Fatal("nil batch with nil error")
@@ -58,6 +61,19 @@ func FuzzWireCodec(f *testing.F) {
 				if got := appendWireBatch(nil, b); !bytes.Equal(got, p) {
 					t.Fatalf("decode/encode not a fixed point: %d in, %d out", len(p), len(got))
 				}
+			}
+			// The pooled decode path — the production inbound route — must
+			// agree with the plain one bit-for-bit and release cleanly.
+			pb, perr := decodeWireBatch(p, pool)
+			if perr != nil {
+				t.Fatalf("pooled decode failed where plain succeeded: %v", perr)
+			}
+			if got := appendWireBatch(nil, pb); !bytes.Equal(got, appendWireBatch(nil, b)) {
+				t.Fatal("pooled decode differs from plain decode")
+			}
+			pb.Release()
+			if pool.Live() != 0 {
+				t.Fatalf("pool leak after release: %d", pool.Live())
 			}
 		}
 

@@ -40,6 +40,11 @@ type NodeServer struct {
 	outMu sync.Mutex
 	outs  map[string]*conn // peer address → connection
 
+	// pool recycles the node's batches: the wire decoder draws inbound
+	// batches from it and the node releases them after the tick that
+	// consumes them, so a steady-state batch receive allocates nothing.
+	pool *stream.Pool
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{} // open inbound connections
 
@@ -81,6 +86,7 @@ func NewNodeServer(cfg NodeServerConfig) (*NodeServer, error) {
 	s := &NodeServer{
 		Name:     cfg.Name,
 		ln:       ln,
+		pool:     stream.NewPool(),
 		peers:    make(map[peerKey]string),
 		capacity: cfg.CapacityPerSec,
 		seed:     cfg.Seed,
@@ -155,7 +161,7 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 		delete(s.conns, nc)
 		s.connMu.Unlock()
 	}()
-	fr := newFrameReader(nc)
+	fr := newPooledFrameReader(nc, s.pool)
 	out := newConn(nc)
 	for {
 		e, b, err := fr.next()
@@ -209,8 +215,12 @@ func (s *NodeServer) enqueue(b *stream.Batch) {
 	s.mu.Lock()
 	if s.nd != nil {
 		s.nd.Enqueue(b, s.now())
+		s.mu.Unlock()
+		return
 	}
 	s.mu.Unlock()
+	// No runtime yet (batch racing a deploy): recycle instead of leak.
+	b.Release()
 }
 
 // buildPlan reconstructs a query plan from its wire descriptor: CQL text
@@ -367,6 +377,7 @@ func (s *NodeServer) initNode(stwMs, intervalMs int64) {
 		STW:            stream.Duration(stwMs),
 		Interval:       stream.Duration(intervalMs),
 		CapacityPerSec: s.capacity,
+		Pool:           s.pool,
 		Seed:           s.seed,
 	}, shedder)
 }

@@ -93,7 +93,7 @@ func TestWireRoundTripProperty(t *testing.T) {
 
 		// Binary codec.
 		p := appendWireBatch(nil, orig)
-		got, err := decodeWireBatch(p)
+		got, err := decodeWireBatch(p, nil)
 		if err != nil {
 			t.Fatalf("trial %d: decode: %v", trial, err)
 		}
@@ -129,10 +129,10 @@ func TestReportMsgKeepsZeroFields(t *testing.T) {
 func TestDecodeWireBatchRejectsCorrupt(t *testing.T) {
 	orig := randomBatch(rand.New(rand.NewSource(1)), 4, 2)
 	p := appendWireBatch(nil, orig)
-	if _, err := decodeWireBatch(p[:10]); err == nil {
+	if _, err := decodeWireBatch(p[:10], nil); err == nil {
 		t.Error("truncated header accepted")
 	}
-	if _, err := decodeWireBatch(p[:len(p)-3]); err == nil {
+	if _, err := decodeWireBatch(p[:len(p)-3], nil); err == nil {
 		t.Error("truncated payload accepted")
 	}
 }
@@ -221,13 +221,34 @@ func BenchmarkWireBatch(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			buf = appendWireBatch(buf[:0], batch)
 			total += int64(len(buf))
-			got, err := decodeWireBatch(buf)
+			got, err := decodeWireBatch(buf, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
 			if got.Len() != batch.Len() {
 				b.Fatal("length mismatch")
 			}
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "wire-bytes/op")
+	})
+	// The production inbound path: reused encode buffer, pooled decode,
+	// release after the (simulated) tick. Steady state allocates nothing.
+	b.Run("binary-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := stream.NewPool()
+		var buf []byte
+		var total int64
+		for i := 0; i < b.N; i++ {
+			buf = appendWireBatch(buf[:0], batch)
+			total += int64(len(buf))
+			got, err := decodeWireBatch(buf, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Len() != batch.Len() {
+				b.Fatal("length mismatch")
+			}
+			got.Release()
 		}
 		b.ReportMetric(float64(total)/float64(b.N), "wire-bytes/op")
 	})

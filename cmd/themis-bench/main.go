@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,7 +34,22 @@ func main() {
 	stepBench := flag.String("stepbench", "", "measure Engine.Step across worker counts and write the JSON comparison to this file")
 	churnBench := flag.String("churnbench", "", "measure node-failure recovery time across STWs and write the JSON result to this file")
 	allocBench := flag.String("allocbench", "", "measure per-step allocations on the pooled data path and write the JSON comparison to this file")
+	queryBench := flag.String("querybench", "", "measure marginal per-query cost across sharing modes and write the JSON result to this file")
 	flag.Parse()
+
+	if *queryBench != "" {
+		r := experiments.QueryBench(60)
+		fmt.Println(r.Render())
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*queryBench, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: querybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *allocBench != "" {
 		r := experiments.AllocBench(400)
@@ -70,7 +86,15 @@ func main() {
 	}
 
 	if *stepBench != "" {
-		r := experiments.StepBench([]int{1, 2, 4, 8}, 200)
+		workers := []int{1, 2, 4, 8}
+		for _, w := range workers {
+			if w > runtime.NumCPU() {
+				fmt.Fprintf(os.Stderr, "themis-bench: warning: measuring workers=%d on %d CPUs — rows beyond the core count report scheduling overhead, not parallel speedup\n",
+					w, runtime.NumCPU())
+				break
+			}
+		}
+		r := experiments.StepBench(workers, 200)
 		fmt.Println(r.Render())
 		buf, err := json.MarshalIndent(r, "", "  ")
 		if err == nil {

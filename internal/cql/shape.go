@@ -1,0 +1,124 @@
+package cql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Canonical statement rendering and structural shape keys.
+//
+// Thousands of concurrent queries in a production federation are mostly
+// structural clones of one another — the same aggregate over the same
+// stream, resubmitted per dashboard, per tenant, per host group. Two
+// facilities exploit that: String renders a parsed statement back to
+// canonical CQL text (a parse → String → parse fixed point, so tools can
+// normalise statements losslessly), and Shape lowers that canonical text
+// into a case-insensitive structural key. Statements with equal shapes
+// compile to identical plans, which makes Shape the cache key for plan
+// reuse (PlanCache) and the grouping key for shared-scan/fragment dedup
+// in the federation runtime.
+
+// String renders the statement as canonical CQL text. The rendering is a
+// parse fixed point: Parse(st.String()) yields a statement structurally
+// equal to st. Windows are always rendered explicitly (the parser's
+// implicit 1-second tumbling default included), durations use integer
+// seconds or milliseconds, and keywords use their Table 1 capitalisation.
+func (st *Statement) String() string { return st.render(false) }
+
+// Shape returns the statement's structural key: the canonical rendering
+// with all identifiers lower-cased. Two statements with equal shapes are
+// the same query structure — same aggregate, argument fields, input
+// streams, windows and conditions — regardless of keyword case,
+// whitespace, duration units or digit grouping in the original text, and
+// therefore plan identically against the same catalog.
+func (st *Statement) Shape() string { return st.render(true) }
+
+func (st *Statement) render(lower bool) string {
+	ident := func(s string) string {
+		if lower {
+			return strings.ToLower(s)
+		}
+		return s
+	}
+	field := func(f FieldRef) string {
+		if f.Stream == "" {
+			return ident(f.Field)
+		}
+		return ident(f.Stream) + "." + ident(f.Field)
+	}
+	cond := func(c Cond) string {
+		if c.IsJoin {
+			return field(c.Left) + " " + c.Op + " " + field(c.Right)
+		}
+		return field(c.Left) + " " + c.Op + " " + formatLit(c.Lit)
+	}
+
+	var b strings.Builder
+	b.WriteString("Select ")
+	if st.Agg == "top" {
+		b.WriteString("Top")
+		b.WriteString(strconv.Itoa(st.K))
+	} else {
+		b.WriteString(st.Agg)
+	}
+	b.WriteByte('(')
+	for i, a := range st.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(field(a))
+	}
+	b.WriteString(") From ")
+	for i, sr := range st.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ident(sr.Name))
+		b.WriteString(renderWindow(sr.Window))
+	}
+	if len(st.Where) > 0 {
+		b.WriteString(" Where ")
+		for i, c := range st.Where {
+			if i > 0 {
+				b.WriteString(" and ")
+			}
+			b.WriteString(cond(c))
+		}
+	}
+	if st.Having != nil {
+		b.WriteString(" Having ")
+		b.WriteString(cond(*st.Having))
+	}
+	return b.String()
+}
+
+// renderWindow renders a window spec in the subset of syntax the parser
+// accepts: no exponents (the lexer has none), integer second or
+// millisecond durations, explicit Slide only when it differs from Range.
+func renderWindow(w stream.WindowSpec) string {
+	if w.Kind == stream.CountWindow {
+		return "[Rows " + strconv.FormatInt(w.Range, 10) + "]"
+	}
+	s := "[Range " + renderDur(w.Range)
+	if w.Slide != w.Range {
+		s += " Slide " + renderDur(w.Slide)
+	}
+	return s + "]"
+}
+
+// renderDur renders a millisecond duration as whole seconds when exact,
+// milliseconds otherwise.
+func renderDur(ms int64) string {
+	if ms%1000 == 0 {
+		return strconv.FormatInt(ms/1000, 10) + " sec"
+	}
+	return strconv.FormatInt(ms, 10) + " ms"
+}
+
+// formatLit renders a float literal in the plain decimal form the lexer
+// accepts (no exponent notation).
+func formatLit(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

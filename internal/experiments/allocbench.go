@@ -40,6 +40,7 @@ type AllocBenchResult struct {
 	Queries    int `json:"queries"`
 	Ticks      int `json:"ticks"`
 	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 	// Baseline is the committed pre-pool record (StepBenchBaseline).
 	Baseline AllocRow `json:"baseline_pre_pool"`
 	// StepBench is the overloaded 24-node/48-query deployment, workers=1.
@@ -105,6 +106,7 @@ func AllocBench(ticks int) *AllocBenchResult {
 	res := &AllocBenchResult{
 		Nodes: StepBenchNodes, Queries: StepBenchQueries, Ticks: ticks,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Baseline:   StepBenchBaseline,
 	}
 	res.StepBench = measureSteps(NewStepBenchEngine(1), 300, ticks)

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
 	"repro/internal/federation"
@@ -61,6 +62,8 @@ type ChurnResult struct {
 	Nodes      int        `json:"nodes"`
 	Fragments  int        `json:"fragments"`
 	IntervalMs int64      `json:"interval_ms"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
 	Rows       []ChurnRow `json:"rows"`
 }
 
@@ -73,7 +76,8 @@ func ChurnRecovery(stws []stream.Duration, seed int64) (*ChurnResult, error) {
 		frags    = 3
 		interval = 100 * stream.Millisecond
 	)
-	res := &ChurnResult{Nodes: nodes, Fragments: frags, IntervalMs: int64(interval)}
+	res := &ChurnResult{Nodes: nodes, Fragments: frags, IntervalMs: int64(interval),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 	for _, stw := range stws {
 		cfg := federation.Defaults()
 		cfg.STW = stw

@@ -23,11 +23,14 @@ type StepBenchRow struct {
 // two-phase Engine.Step, the perf trajectory subsequent changes are
 // measured against (see BENCH_step.json).
 type StepBenchResult struct {
-	Nodes      int            `json:"nodes"`
-	Queries    int            `json:"queries"`
-	Ticks      int            `json:"ticks"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Rows       []StepBenchRow `json:"rows"`
+	Nodes      int `json:"nodes"`
+	Queries    int `json:"queries"`
+	Ticks      int `json:"ticks"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the physical parallelism available to the run — worker
+	// counts above it measure scheduling overhead, not speedup.
+	NumCPU int            `json:"num_cpu"`
+	Rows   []StepBenchRow `json:"rows"`
 }
 
 // StepBenchNodes and StepBenchQueries fix the benchmark deployment shape
@@ -69,7 +72,7 @@ func NewStepBenchEngine(workers int) *federation.Engine {
 func StepBench(workers []int, ticks int) *StepBenchResult {
 	res := &StepBenchResult{
 		Nodes: StepBenchNodes, Queries: StepBenchQueries, Ticks: ticks,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 	}
 	var baseline float64
 	for _, w := range workers {

@@ -16,9 +16,12 @@
 package federation
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime"
+	"strconv"
 
 	"repro/internal/coordinator"
 	"repro/internal/core"
@@ -53,6 +56,43 @@ func (p Policy) String() string {
 		return "random"
 	default:
 		return "keep-all"
+	}
+}
+
+// Sharing selects how much cross-query work the engine deduplicates for
+// structurally identical CQL submissions (same plan-cache shape key).
+type Sharing int
+
+const (
+	// SharingOff is the legacy behaviour: every query is fully private.
+	// Source seeds are drawn from the engine's submission-order RNG, so
+	// even same-shape queries observe unrelated data. The default.
+	SharingOff Sharing = iota
+	// SharingKeyed derives source seeds from the query's structural shape
+	// instead of the submission-order RNG: same-shape queries monitor the
+	// same logical stream (the production semantics — 4,800 dashboards
+	// over one metric feed), but every query still runs its own private
+	// scan, windows and fragments. This is the apples-to-apples baseline
+	// for SharingFull.
+	SharingKeyed
+	// SharingFull adds fragment deduplication on top of keyed seeds: on
+	// each node, leaf fragments with the same shape, rate and deployment
+	// epoch collapse into one executing instance — one source scan, one
+	// window buffer — whose output fans out to every subscribing query as
+	// refcounted views, with per-query SIC accounting preserved at the
+	// fan-out point.
+	SharingFull
+)
+
+// String names the sharing mode for reports.
+func (s Sharing) String() string {
+	switch s {
+	case SharingKeyed:
+		return "keyed"
+	case SharingFull:
+		return "full"
+	default:
+		return "off"
 	}
 }
 
@@ -123,6 +163,9 @@ type Config struct {
 	// "uniform" or "zipf" — the same federation.Placer strategies the
 	// transport controller uses.
 	Placement string
+	// Sharing selects the multi-query sharing mode for CQL submissions
+	// (SharingOff preserves the legacy per-query behaviour exactly).
+	Sharing Sharing
 	// Seed drives all randomness in the deployment.
 	Seed int64
 }
@@ -223,6 +266,10 @@ type queryRT struct {
 	// after epoch+Warmup, so a query submitted mid-run warms up on its
 	// own clock instead of polluting its mean with an empty window.
 	epoch stream.Time
+	// shapeKey is the plan cache's structural identity of the query's
+	// statement ("" for plans deployed directly, which never share).
+	// Keyed source seeding and fragment dedup both hang off it.
+	shapeKey string
 	// removed freezes the query's statistics after RemoveQuery.
 	removed bool
 }
@@ -270,6 +317,13 @@ type Engine struct {
 	skippedSubmits  int
 	skippedRetracts int
 
+	// planCache memoises cql.PlanDistributed across submissions — with
+	// thousands of structurally similar queries, parsing and planning
+	// dominate submit cost. catalogs memoises DefaultCatalog per dataset
+	// for the same reason.
+	planCache *cql.PlanCache
+	catalogs  map[sources.Dataset]*cql.Catalog
+
 	nextQuery  stream.QueryID
 	nextSource stream.SourceID
 }
@@ -292,12 +346,14 @@ func NewEngine(cfg Config) *Engine {
 		cfg.BatchesPerSec = 3
 	}
 	e := &Engine{
-		cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		pool:     stream.NewPool(),
-		coords:   make(map[stream.QueryID]*coordinator.Coordinator),
-		queries:  make(map[stream.QueryID]*queryRT),
-		accBatch: make(map[stream.QueryID][]float64),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		pool:      stream.NewPool(),
+		coords:    make(map[stream.QueryID]*coordinator.Coordinator),
+		queries:   make(map[stream.QueryID]*queryRT),
+		accBatch:  make(map[stream.QueryID][]float64),
+		planCache: cql.NewPlanCache(),
+		catalogs:  make(map[sources.Dataset]*cql.Catalog),
 	}
 	// Ring length covers the longest possible delivery delay (the link
 	// latency in ticks) plus the current tick's drain slot.
@@ -349,6 +405,9 @@ func (e *Engine) AddNode(capacityPerSec float64) stream.NodeID {
 	e.nodes = append(e.nodes, n)
 	e.dead = append(e.dead, false)
 	e.rebuildQCPlacer()
+	// Membership epoch: artifacts cached under the old membership are
+	// re-derived rather than trusted stale.
+	e.planCache.Invalidate()
 	return id
 }
 
@@ -372,6 +431,14 @@ func (e *Engine) Node(id stream.NodeID) *node.Node { return e.nodes[id] }
 // nodes, §3) and attaches its sources. rate overrides the config's
 // per-source tuple rate when positive. It returns the new query id.
 func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate float64) (stream.QueryID, error) {
+	return e.deployShaped(plan, placement, rate, "")
+}
+
+// deployShaped is DeployQuery carrying the statement's structural shape
+// key, which CQL submissions thread through so keyed seeding and
+// fragment dedup can recognise structurally identical queries. Directly
+// deployed plans have no shape ("") and always run private.
+func (e *Engine) deployShaped(plan *query.Plan, placement []stream.NodeID, rate float64, shapeKey string) (stream.QueryID, error) {
 	if err := plan.Validate(); err != nil {
 		return 0, err
 	}
@@ -404,6 +471,7 @@ func (e *Engine) DeployQuery(plan *query.Plan, placement []stream.NodeID, rate f
 		resultAcc: sic.NewAccumulator(e.cfg.STW, e.cfg.Interval),
 		rate:      rate,
 		epoch:     stream.Time(e.tick * int64(e.cfg.Interval)),
+		shapeKey:  shapeKey,
 	}
 	hostSeen := make(map[stream.NodeID]bool, len(placement))
 	for _, nd := range placement {
@@ -551,6 +619,7 @@ func (e *Engine) KillNode(id stream.NodeID) {
 	// buffer so the pool's leak accounting stays exact.
 	e.nodes[id].ReleaseBuffers()
 	e.rebuildQCPlacer()
+	e.planCache.Invalidate()
 	for _, qid := range e.order {
 		rt := e.queries[qid]
 		if rt.removed {
@@ -622,17 +691,67 @@ func (e *Engine) placeFragment(rt *queryRT, fi int, nd stream.NodeID) {
 		downstream = stream.FragID(d)
 		downstreamPort = plan.Fragments[d].UpstreamPort
 	}
-	host.HostFragment(rt.id, stream.FragID(fi), query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort)
+	// Keyed modes derive source seeds from the query's structural shape
+	// instead of the submission-order RNG: structurally identical queries
+	// then observe identical source data (the production semantics — many
+	// dashboards over one metric feed) and, crucially, consume nothing
+	// from e.rng here, so a deduplicated deployment (SharingFull) and a
+	// private one (SharingKeyed) keep the engine's random state — and
+	// therefore everything downstream of it — bit-identical.
+	keyed := e.cfg.Sharing != SharingOff && rt.shapeKey != ""
+	// Leaf fragments (no upstream entry port) are self-contained given
+	// keyed seeds: same shape + same rate ⇒ same input forever. They
+	// deduplicate under a share key that also pins the deployment tick,
+	// so a late arrival never attaches to an instance with warm window
+	// state its private pipeline would not have had; co-displaced queries
+	// re-share at the recovery tick the same way.
+	shareKey := ""
+	if e.cfg.Sharing == SharingFull && keyed && fp.UpstreamPort < 0 {
+		shareKey = rt.shapeKey + "|f" + strconv.Itoa(fi) +
+			"|r" + strconv.FormatFloat(rt.rate, 'g', -1, 64) +
+			"|t" + strconv.FormatInt(e.tick, 10)
+	}
+	if shareKey != "" && host.AttachShared(shareKey, rt.id, stream.FragID(fi), downstream, downstreamPort) {
+		rt.placement[fi] = nd
+		return
+	}
+	host.HostFragmentShared(rt.id, stream.FragID(fi), query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort, shareKey)
 	genIdx := plan.SourceIndexOffset(fi)
 	for si, ss := range fp.Sources {
-		gen := ss.NewGen(rand.New(rand.NewSource(e.rng.Int63())), genIdx+si)
+		var genSeed, srcSeed int64
+		if keyed {
+			genSeed = e.keyedSeed(rt.shapeKey, fi, si, 'g')
+			srcSeed = e.keyedSeed(rt.shapeKey, fi, si, 's')
+		} else {
+			genSeed = e.rng.Int63()
+			srcSeed = e.rng.Int63()
+		}
+		gen := ss.NewGen(rand.New(rand.NewSource(genSeed)), genIdx+si)
 		src := sources.New(e.nextSource, rt.id, stream.FragID(fi), ss.Port,
-			rt.rate, e.cfg.BatchesPerSec, ss.Arity, gen, e.rng.Int63())
+			rt.rate, e.cfg.BatchesPerSec, ss.Arity, gen, srcSeed)
 		src.Burst = e.cfg.Burst
 		e.nextSource++
 		host.AttachSource(src)
 	}
 	rt.placement[fi] = nd
+}
+
+// keyedSeed hashes (engine seed, shape key, fragment, source, stream tag)
+// into a deterministic source seed — FNV-1a over the identifying facts.
+// Excluding the deployment tick keeps a fragment re-placed after failure
+// on the same logical data stream as the instance it replaces.
+func (e *Engine) keyedSeed(shapeKey string, fi, si int, which byte) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(e.cfg.Seed))
+	h.Write(buf[:])
+	h.Write([]byte(shapeKey))
+	binary.LittleEndian.PutUint64(buf[:], uint64(fi))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(si))
+	h.Write(buf[:])
+	h.Write([]byte{which})
+	return int64(h.Sum64() >> 1) // non-negative, rand.NewSource-friendly
 }
 
 // --- query churn ---
@@ -668,14 +787,15 @@ func (e *Engine) applyQueryChurn() {
 // running federation. It is the virtual-time twin of Controller.Submit:
 // queries are first-class runtime citizens that may arrive at any tick.
 func (e *Engine) SubmitCQL(cqlText string, fragments, dataset int, rate float64, placement []stream.NodeID) (stream.QueryID, error) {
-	st, err := cql.Parse(cqlText)
-	if err != nil {
-		return 0, err
-	}
 	if fragments < 1 {
 		fragments = 1
 	}
-	plan, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Dataset(dataset)), fragments)
+	ds := sources.Dataset(dataset)
+	// The plan cache short-circuits the whole lex/parse/plan pipeline for
+	// repeated text, and re-planning for merely re-spelled statements.
+	// Plans are read-only templates — operators instantiate per
+	// deployment — so sharing one across query ids changes nothing.
+	plan, shapeKey, err := e.planCache.PlanDistributed(cqlText, e.catalog(ds), ds.String(), fragments)
 	if err != nil {
 		return 0, err
 	}
@@ -685,8 +805,23 @@ func (e *Engine) SubmitCQL(cqlText string, fragments, dataset int, rate float64,
 			return 0, err
 		}
 	}
-	return e.DeployQuery(plan, placement, rate)
+	return e.deployShaped(plan, placement, rate, shapeKey)
 }
+
+// catalog memoises DefaultCatalog per dataset: catalogs are immutable
+// stream descriptions, and rebuilding one per submission is measurable at
+// thousands of queries.
+func (e *Engine) catalog(d sources.Dataset) *cql.Catalog {
+	if c, ok := e.catalogs[d]; ok {
+		return c
+	}
+	c := cql.DefaultCatalog(d)
+	e.catalogs[d] = c
+	return c
+}
+
+// PlanCacheStats reports the submit-path plan cache counters.
+func (e *Engine) PlanCacheStats() cql.PlanCacheStats { return e.planCache.Stats() }
 
 // autoPlace assigns k fragments to distinct live nodes with the
 // configured placement strategy, mirroring Controller.AutoPlace.

@@ -1,0 +1,234 @@
+package federation
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Multi-query sharing tests: fragment dedup (SharingFull) must be a pure
+// execution optimisation. Against the apples-to-apples baseline — keyed
+// seeds with private pipelines (SharingKeyed) — an underloaded federation
+// must produce bit-identical per-query results and SIC trajectories, for
+// any worker count, through node-failure recovery and live query churn.
+// Sharing also must not leak: shared instances, subscriptions, and pooled
+// batches all return to baseline when the riding queries depart, in any
+// retraction order (primary first exercises promotion).
+
+// sharingShapes rotate three monitor statements so every share group has
+// several members without every query being identical.
+var sharingShapes = []string{
+	"Select Avg(t.v) From Src[Range 1 sec]",
+	"Select Count(t.v) From Src[Range 2 sec Slide 500 ms]",
+	"Select Avg(t.v) From Src[Rows 50]",
+}
+
+// sharingRun executes the canonical differential deployment: 8 nodes with
+// capacity far above load (no shedding — overload responses legitimately
+// differ when sharing changes per-node arrival counts), 12 queries over
+// three shapes (some 2-fragment, so dedup covers leaf fragments feeding a
+// merge), a node kill+join at tick 24, and live churn that submits two
+// more queries at tick 20 and retracts two — including a share-group
+// primary — at tick 32.
+func sharingRun(t *testing.T, mode Sharing, workers int) *Results {
+	t.Helper()
+	cfg := Defaults()
+	cfg.Duration = 15 * stream.Second
+	cfg.Warmup = 4 * stream.Second
+	cfg.SourceRate = 20
+	cfg.KeepSamples = true
+	cfg.Workers = workers
+	cfg.Seed = 42
+	cfg.Sharing = mode
+	cfg.Churn = []ChurnEvent{
+		{Tick: 24, Join: 1, JoinCapacity: 1e8, Kill: []stream.NodeID{2}},
+	}
+	cfg.QueryChurn = []QueryChurnEvent{
+		{Tick: 20, Submit: []QuerySubmit{
+			{CQL: sharingShapes[0], Fragments: 2, Dataset: 1},
+			{CQL: sharingShapes[1], Fragments: 1, Dataset: 1},
+		}},
+		{Tick: 32, Retract: []stream.QueryID{0, 5}},
+	}
+	e := NewEngine(cfg)
+	e.AddNodes(8, 1e8)
+	for i := 0; i < 12; i++ {
+		cqlText := sharingShapes[i%len(sharingShapes)]
+		frags := 1
+		if i%3 == 0 {
+			frags = 2 // distributed AVG: leaf fragments feed a merge root
+		}
+		if _, err := e.SubmitCQL(cqlText, frags, 1, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := e.Run()
+	if n := e.SkippedSubmits(); n != 0 {
+		t.Fatalf("%d submissions skipped", n)
+	}
+	return res
+}
+
+// queryFacts projects the parts of Results that sharing must preserve
+// exactly: every query's identity, mean SIC and full per-tick SIC series,
+// the fairness metrics over them, and the coordinator traffic. Node-level
+// arrival counters are excluded deliberately — processing fewer batches
+// for the same results is the optimisation, not a divergence.
+func queryFacts(r *Results) *Results {
+	return &Results{
+		Policy: r.Policy, Queries: r.Queries,
+		MeanSIC: r.MeanSIC, Jain: r.Jain, StdSIC: r.StdSIC,
+		CoordinatorMessages: r.CoordinatorMessages,
+		CoordinatorBytes:    r.CoordinatorBytes,
+	}
+}
+
+// TestSharingDifferentialBitIdentical is the acceptance test for the
+// dedup layer: SharingFull equals SharingKeyed exactly, per query and per
+// tick, across worker counts, through recovery and churn.
+func TestSharingDifferentialBitIdentical(t *testing.T) {
+	base := queryFacts(sharingRun(t, SharingKeyed, 1))
+	if len(base.Queries) != 14 {
+		t.Fatalf("deployment drifted: %d queries, want 14", len(base.Queries))
+	}
+	for _, workers := range []int{1, 4} {
+		keyed := queryFacts(sharingRun(t, SharingKeyed, workers))
+		full := queryFacts(sharingRun(t, SharingFull, workers))
+		if !reflect.DeepEqual(keyed, full) {
+			t.Errorf("workers=%d: SharingFull diverges from SharingKeyed:\n%+v\nvs\n%+v",
+				workers, full, keyed)
+		}
+		if !reflect.DeepEqual(base, keyed) {
+			t.Errorf("workers=%d: SharingKeyed diverges across worker counts", workers)
+		}
+	}
+}
+
+// TestSharingDedupActuallyShares guards against the trivial way to pass
+// the differential test — never sharing anything. The Full deployment
+// must report shared instances carrying subscriptions.
+func TestSharingDedupActuallyShares(t *testing.T) {
+	cfg := Defaults()
+	cfg.SourceRate = 20
+	cfg.Seed = 42
+	cfg.Sharing = SharingFull
+	e := NewEngine(cfg)
+	e.AddNodes(4, 1e8)
+	for i := 0; i < 8; i++ {
+		if _, err := e.SubmitCQL(sharingShapes[0], 1, 1, 0, []stream.NodeID{stream.NodeID(i % 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	instances, subs := 0, 0
+	for ni := 0; ni < e.NumNodes(); ni++ {
+		ss := e.Node(stream.NodeID(ni)).StateSize()
+		instances += ss.SharedInstances
+		subs += ss.Subscriptions
+	}
+	if instances != 4 || subs != 4 {
+		t.Fatalf("8 same-shape queries on 4 nodes: %d instances, %d subscriptions; want 4 and 4", instances, subs)
+	}
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	// Every rider still gets its own results: all SICs present and equal.
+	for q := stream.QueryID(0); q < 8; q++ {
+		if s := e.CurrentSIC(q); s <= 0 {
+			t.Errorf("query %d has no result SIC under sharing", q)
+		}
+	}
+}
+
+// TestSharingTeardownNoLeaks churns queries on and off shared instances —
+// retracting the primary first, so promotion runs — and requires the
+// federation to return to its empty footprint: no fragments, no shared
+// instances, no subscriptions, and every pooled batch released.
+func TestSharingTeardownNoLeaks(t *testing.T) {
+	cfg := Defaults()
+	cfg.SourceRate = 20
+	cfg.Workers = 4
+	cfg.Seed = 9
+	cfg.Sharing = SharingFull
+	e := NewEngine(cfg)
+	e.AddNodes(4, 1e8)
+	var ids []stream.QueryID
+	for i := 0; i < 9; i++ {
+		q, err := e.SubmitCQL(sharingShapes[i%len(sharingShapes)], 1+i%2, 1, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, q)
+	}
+	for i := 0; i < 30; i++ {
+		e.Step()
+	}
+	// Primary-first teardown: queries were submitted in order, so the
+	// first member of each shape group owns the shared instances.
+	for _, q := range ids {
+		if !e.RemoveQuery(q) {
+			t.Fatalf("query %d did not remove", q)
+		}
+		for i := 0; i < 3; i++ {
+			e.Step() // drain in-flight transit batches between removals
+		}
+	}
+	for i := 0; i < 40; i++ {
+		e.Step() // outlast link latency and any straggling updates
+	}
+	for ni := 0; ni < e.NumNodes(); ni++ {
+		ss := e.Node(stream.NodeID(ni)).StateSize()
+		if ss.Fragments != 0 || ss.Sources != 0 || ss.SharedInstances != 0 || ss.Subscriptions != 0 {
+			t.Errorf("node %d retains state after full teardown: %+v", ni, ss)
+		}
+	}
+	if live := e.Pool().Live(); live != 0 {
+		t.Errorf("%d pooled batches leaked after teardown", live)
+	}
+}
+
+// TestSharingPromotionKeepsResults retracts a share-group primary mid-run
+// and checks the surviving subscribers keep producing the same SIC
+// trajectory as an identical deployment where the primary never existed
+// at the window level — i.e. results keep flowing, uninterrupted.
+func TestSharingPromotionKeepsResults(t *testing.T) {
+	cfg := Defaults()
+	cfg.SourceRate = 20
+	cfg.Seed = 5
+	cfg.Sharing = SharingFull
+	cfg.KeepSamples = true
+	e := NewEngine(cfg)
+	e.AddNodes(2, 1e8)
+	var ids []stream.QueryID
+	for i := 0; i < 3; i++ {
+		q, err := e.SubmitCQL(sharingShapes[0], 1, 1, 0, []stream.NodeID{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, q)
+	}
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	before := e.CurrentSIC(ids[1])
+	if before <= 0 {
+		t.Fatal("subscriber has no SIC before promotion")
+	}
+	if !e.RemoveQuery(ids[0]) {
+		t.Fatal("primary did not remove")
+	}
+	ss := e.Node(0).StateSize()
+	if ss.SharedInstances != 1 || ss.Subscriptions != 1 {
+		t.Fatalf("after primary retract: %+v, want 1 instance with 1 subscription", ss)
+	}
+	for i := 0; i < 20; i++ {
+		e.Step()
+	}
+	after := e.CurrentSIC(ids[1])
+	if after < 0.9*before {
+		t.Errorf("subscriber SIC collapsed across promotion: %.3f -> %.3f", before, after)
+	}
+	if e.CurrentSIC(ids[2]) <= 0 {
+		t.Error("second subscriber lost results after promotion")
+	}
+}

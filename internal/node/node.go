@@ -83,6 +83,20 @@ type fragKey struct {
 	f stream.FragID
 }
 
+// fanSub is one subscriber of a shared fragment instance: a query whose
+// identical fragment was deduplicated onto the instance. The shared
+// instance executes once; its output fans out as one retained view per
+// subscriber, addressed to the subscriber's own downstream fragment, and
+// its kept SIC is credited to every subscriber's accounting slot — so
+// each subscriber's coordinator sees exactly the trajectory its private
+// pipeline would have produced.
+type fanSub struct {
+	q              stream.QueryID
+	f              stream.FragID
+	downstream     stream.FragID
+	downstreamPort int
+}
+
 // fragInstance is one hosted fragment: its executor plus routing facts.
 type fragInstance struct {
 	exec *query.FragmentExec
@@ -98,6 +112,14 @@ type fragInstance struct {
 	// sink wraps the fragment's output emissions into pooled outbox
 	// batches. Built once at HostFragment so ticking allocates nothing.
 	sink func([]stream.Tuple)
+	// shareKey is the structural identity under which this instance was
+	// hosted ("" when sharing is off). Instances with a share key accept
+	// subscribers via AttachShared.
+	shareKey string
+	// subs lists the queries deduplicated onto this instance, in
+	// subscription order (deterministic: the engine submits in query-id
+	// order).
+	subs []fanSub
 }
 
 // Stats aggregates a node's per-run counters.
@@ -148,6 +170,17 @@ type Node struct {
 	srcs      []*sources.Source
 	rateEst   map[stream.SourceID]*sic.RateEstimator
 	srcQuery  map[stream.SourceID]fragKey
+
+	// shared indexes executing instances by share key; subOf maps a
+	// subscriber's fragment key to the primary instance it rides on.
+	// Both empty unless the driver deduplicates fragments (multi-query
+	// sharing), so the unshared hot path never consults them.
+	shared map[string]fragKey
+	subOf  map[fragKey]fragKey
+	// hostedQ refcounts fragments plus subscriptions per query, making
+	// hostsQuery O(1) — with thousands of deduplicated queries per node
+	// the former fragment scan dominated coordinator-update handling.
+	hostedQ map[stream.QueryID]int
 
 	ib       []*stream.Batch
 	ibTuples int
@@ -229,6 +262,9 @@ func New(id stream.NodeID, cfg Config, shedder core.Shedder) *Node {
 		frags:    make(map[fragKey]*fragInstance),
 		rateEst:  make(map[stream.SourceID]*sic.RateEstimator),
 		srcQuery: make(map[stream.SourceID]fragKey),
+		shared:   make(map[string]fragKey),
+		subOf:    make(map[fragKey]fragKey),
+		hostedQ:  make(map[stream.QueryID]int),
 		knownSIC: make(map[stream.QueryID]float64),
 		acctIdx:  make(map[stream.QueryID]int32),
 		out:      &Outbox{},
@@ -274,15 +310,22 @@ func (n *Node) NoteDropped(tuples int, sicMass float64) {
 func (n *Node) Shedder() core.Shedder { return n.shedder }
 
 // rebuildAccts re-derives the flat accounting table from the hosted
-// fragments: one slot per distinct query, ascending query id. Cold path —
-// it runs on deploy and teardown, never per tick.
+// fragments and their subscriptions: one slot per distinct query,
+// ascending query id. Cold path — it runs on deploy and teardown, never
+// per tick.
 func (n *Node) rebuildAccts() {
 	n.accts = n.accts[:0]
 	clear(n.acctIdx)
+	add := func(q stream.QueryID) {
+		if _, ok := n.acctIdx[q]; !ok {
+			n.acctIdx[q] = 0 // placeholder; indices assigned after sort
+			n.accts = append(n.accts, queryAcct{q: q})
+		}
+	}
 	for _, k := range n.fragOrder {
-		if _, ok := n.acctIdx[k.q]; !ok {
-			n.acctIdx[k.q] = 0 // placeholder; indices assigned after sort
-			n.accts = append(n.accts, queryAcct{q: k.q})
+		add(k.q)
+		for _, s := range n.frags[k].subs {
+			add(s.q)
 		}
 	}
 	sort.Slice(n.accts, func(i, j int) bool { return n.accts[i].q < n.accts[j].q })
@@ -299,9 +342,20 @@ func (n *Node) rebuildAccts() {
 // instant instead of replaying every empty edge since time zero.
 func (n *Node) HostFragment(q stream.QueryID, f stream.FragID, exec *query.FragmentExec,
 	numSources int, downstream stream.FragID, downstreamPort int) {
+	n.HostFragmentShared(q, f, exec, numSources, downstream, downstreamPort, "")
+}
+
+// HostFragmentShared hosts a fragment under a structural share key. A
+// non-empty key registers the instance in the node's share index, making
+// it a dedup target: later queries with an identical fragment attach to
+// it via AttachShared instead of deploying their own executor and
+// sources. An empty key is exactly HostFragment.
+func (n *Node) HostFragmentShared(q stream.QueryID, f stream.FragID, exec *query.FragmentExec,
+	numSources int, downstream stream.FragID, downstreamPort int, shareKey string) {
 	key := fragKey{q, f}
 	if _, dup := n.frags[key]; !dup {
 		n.fragOrder = append(n.fragOrder, key)
+		n.hostedQ[q]++
 	}
 	inst := &fragInstance{
 		exec:           exec,
@@ -310,25 +364,84 @@ func (n *Node) HostFragment(q stream.QueryID, f stream.FragID, exec *query.Fragm
 		downstream:     downstream,
 		downstreamPort: downstreamPort,
 		numSources:     numSources,
+		shareKey:       shareKey,
 	}
 	inst.sink = func(tuples []stream.Tuple) { n.emitFragment(inst, tuples) }
 	if n.now > 0 {
 		exec.AdvanceTo(n.now)
 	}
 	n.frags[key] = inst
+	if shareKey != "" {
+		if _, taken := n.shared[shareKey]; !taken {
+			n.shared[shareKey] = key
+		}
+	}
 	n.rebuildAccts()
+}
+
+// AttachShared subscribes fragment (q, f) to an existing shared instance
+// with the given share key, if the node hosts one. The subscriber gets no
+// executor and no sources — the shared instance's output is viewed once
+// per subscriber, addressed to (q, downstream, downstreamPort), and its
+// kept SIC credited to q. Reports whether the attach happened; a false
+// return means the caller deploys the fragment normally (becoming the
+// share target for later queries when hosted with the same key).
+func (n *Node) AttachShared(shareKey string, q stream.QueryID, f stream.FragID,
+	downstream stream.FragID, downstreamPort int) bool {
+	if shareKey == "" {
+		return false
+	}
+	pk, ok := n.shared[shareKey]
+	if !ok {
+		return false
+	}
+	inst := n.frags[pk]
+	inst.subs = append(inst.subs, fanSub{q: q, f: f, downstream: downstream, downstreamPort: downstreamPort})
+	n.subOf[fragKey{q, f}] = pk
+	n.hostedQ[q]++
+	n.rebuildAccts()
+	return true
 }
 
 // RemoveFragment undeploys a fragment: its executor, sources and pending
 // input-buffer batches are discarded. Query departure is a first-class
 // event in an FSPS (§5: converged SIC values depend on "queries' arrivals
 // and departures"); the shedder simply stops seeing the query's batches.
+//
+// Sharing makes removal three-way. A subscriber detaches from its shared
+// instance, which keeps executing for the remaining readers. A shared
+// primary with subscribers is not torn down at all: the first subscriber
+// is promoted to the instance's identity — executor, window state,
+// sources and buffered batches relabel in place, so the surviving
+// queries' windows never lose accumulated tuples. Only the last reader's
+// departure releases the instance and its refcounted state.
 func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
 	key := fragKey{q, f}
-	if _, ok := n.frags[key]; !ok {
+	if pk, ok := n.subOf[key]; ok {
+		delete(n.subOf, key)
+		inst := n.frags[pk]
+		for i := range inst.subs {
+			if inst.subs[i].q == q && inst.subs[i].f == f {
+				inst.subs = append(inst.subs[:i], inst.subs[i+1:]...)
+				break
+			}
+		}
+		n.dropQueryRef(q)
+		n.rebuildAccts()
+		return
+	}
+	inst, ok := n.frags[key]
+	if !ok {
+		return
+	}
+	if len(inst.subs) > 0 {
+		n.promote(key, inst)
 		return
 	}
 	delete(n.frags, key)
+	if inst.shareKey != "" && n.shared[inst.shareKey] == key {
+		delete(n.shared, inst.shareKey)
+	}
 	for i, k := range n.fragOrder {
 		if k == key {
 			n.fragOrder = append(n.fragOrder[:i], n.fragOrder[i+1:]...)
@@ -357,9 +470,57 @@ func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
 	}
 	n.ib = ib
 	n.ibTuples = tuples
-	if !n.hostsQuery(q) {
+	n.dropQueryRef(q)
+	n.rebuildAccts()
+}
+
+// dropQueryRef releases one fragment-or-subscription reference on q,
+// clearing the query's residual state when the last reference drops.
+func (n *Node) dropQueryRef(q stream.QueryID) {
+	if c := n.hostedQ[q] - 1; c > 0 {
+		n.hostedQ[q] = c
+	} else {
+		delete(n.hostedQ, q)
 		delete(n.knownSIC, q)
 	}
+}
+
+// promote hands a shared instance to its first subscriber after the
+// owning query departs: the executor and its accumulated window state,
+// the attached sources and any buffered input batches are relabelled to
+// the subscriber's identity in place. The promoted query's view of its
+// stream is therefore seamless — exactly what its private pipeline would
+// have held — and the remaining subscribers keep fanning out as before.
+func (n *Node) promote(key fragKey, inst *fragInstance) {
+	sub := inst.subs[0]
+	inst.subs = inst.subs[1:]
+	newKey := fragKey{sub.q, sub.f}
+	delete(n.subOf, newKey)
+	inst.q, inst.f = sub.q, sub.f
+	inst.downstream, inst.downstreamPort = sub.downstream, sub.downstreamPort
+	delete(n.frags, key)
+	n.frags[newKey] = inst
+	for i, k := range n.fragOrder {
+		if k == key {
+			n.fragOrder[i] = newKey
+			break
+		}
+	}
+	if inst.shareKey != "" && n.shared[inst.shareKey] == key {
+		n.shared[inst.shareKey] = newKey
+	}
+	for _, src := range n.srcs {
+		if src.Query == key.q && src.Frag == key.f {
+			src.Query, src.Frag = newKey.q, newKey.f
+			n.srcQuery[src.ID] = newKey
+		}
+	}
+	for _, b := range n.ib {
+		if b.Query == key.q && b.Frag == key.f {
+			b.Query, b.Frag = newKey.q, newKey.f
+		}
+	}
+	n.dropQueryRef(key.q)
 	n.rebuildAccts()
 }
 
@@ -372,6 +533,11 @@ func (n *Node) RemoveFragment(q stream.QueryID, f stream.FragID) {
 func (n *Node) RemoveQuery(q stream.QueryID) int {
 	var keys []fragKey
 	for k := range n.frags {
+		if k.q == q {
+			keys = append(keys, k)
+		}
+	}
+	for k := range n.subOf {
 		if k.q == q {
 			keys = append(keys, k)
 		}
@@ -403,6 +569,11 @@ type StateSize struct {
 	SourceQueries   int
 	KnownSIC        int
 	BufferedBatches int
+	// SharedInstances counts share-index entries; Subscriptions counts
+	// queries riding on shared instances. Both zero when sharing is off,
+	// so pre-sharing baselines compare unchanged.
+	SharedInstances int
+	Subscriptions   int
 }
 
 // StateSize reports the current per-query state counts.
@@ -414,33 +585,31 @@ func (n *Node) StateSize() StateSize {
 		SourceQueries:   len(n.srcQuery),
 		KnownSIC:        len(n.knownSIC),
 		BufferedBatches: len(n.ib),
+		SharedInstances: len(n.shared),
+		Subscriptions:   len(n.subOf),
 	}
 }
 
 func (n *Node) hostsQuery(q stream.QueryID) bool {
-	for k := range n.frags {
-		if k.q == q {
-			return true
-		}
-	}
-	return false
+	return n.hostedQ[q] > 0
 }
 
-// HostsFragment reports whether the node hosts the given fragment.
+// HostsFragment reports whether the node hosts the given fragment,
+// either as an executing instance or as a subscription on a shared one.
 func (n *Node) HostsFragment(q stream.QueryID, f stream.FragID) bool {
-	_, ok := n.frags[fragKey{q, f}]
+	if _, ok := n.frags[fragKey{q, f}]; ok {
+		return true
+	}
+	_, ok := n.subOf[fragKey{q, f}]
 	return ok
 }
 
-// HostedQueries lists the distinct queries with fragments on this node.
+// HostedQueries lists the distinct queries with fragments or
+// subscriptions on this node.
 func (n *Node) HostedQueries() []stream.QueryID {
-	seen := make(map[stream.QueryID]bool)
-	var out []stream.QueryID
-	for k := range n.frags {
-		if !seen[k.q] {
-			seen[k.q] = true
-			out = append(out, k.q)
-		}
+	out := make([]stream.QueryID, 0, len(n.hostedQ))
+	for q := range n.hostedQ {
+		out = append(out, q)
 	}
 	return out
 }
@@ -598,12 +767,50 @@ func (n *Node) emitFragment(inst *fragInstance, tuples []stream.Tuple) {
 		}
 	}
 	b.RecomputeSIC()
+	// Fan the emission out to the instance's subscribers as retained
+	// views: one header per subscriber aliasing the same tuple storage,
+	// each addressed to that subscriber's own downstream fragment. The
+	// storage recycles when the last consumer — primary or view, possibly
+	// on different nodes — releases.
+	for i := range inst.subs {
+		s := &inst.subs[i]
+		v := n.pool.ViewRetained(b, s.q, inst.f, -1, b.TS, b.Tuples)
+		v.SIC = b.SIC
+		if s.downstream < 0 {
+			n.out.Results = append(n.out.Results, ResultEmit{Query: s.q, Now: n.now, Batch: v})
+		} else {
+			v.Frag = s.downstream
+			v.Port = s.downstreamPort
+			n.out.Downstream = append(n.out.Downstream, v)
+		}
+	}
 	if inst.downstream < 0 {
 		n.out.Results = append(n.out.Results, ResultEmit{Query: inst.q, Now: n.now, Batch: b})
 	} else {
 		b.Frag = inst.downstream
 		b.Port = inst.downstreamPort
 		n.out.Downstream = append(n.out.Downstream, b)
+	}
+}
+
+// creditSubs mirrors one batch's accounting onto every subscriber of the
+// instance it feeds. Each subscriber's coordinator thereby sees the
+// accepted-SIC trajectory its own private pipeline would have produced:
+// the shared instance's physical batch stands in for the N identical
+// batches the unshared deployment would have buffered.
+func (n *Node) creditSubs(b *stream.Batch, derived bool) {
+	inst, ok := n.frags[fragKey{b.Query, b.Frag}]
+	if !ok || len(inst.subs) == 0 {
+		return
+	}
+	for i := range inst.subs {
+		if ai, ok := n.acctIdx[inst.subs[i].q]; ok {
+			if derived {
+				n.accts[ai].derived += b.SIC
+			} else {
+				n.accts[ai].kept += b.SIC
+			}
+		}
 	}
 }
 
@@ -720,12 +927,18 @@ func (n *Node) TickSpan(from, to stream.Time) {
 	for i := range n.accts {
 		n.accts[i].derived, n.accts[i].kept = 0, 0
 	}
+	// sharing gates the subscriber-crediting lookups so the unshared hot
+	// path stays one map probe per batch.
+	sharing := len(n.subOf) > 0
 	for _, b := range n.ib {
 		if b.Source < 0 {
 			if ai, ok := n.acctIdx[b.Query]; ok {
 				n.accts[ai].derived += b.SIC
 			} else {
 				n.extraDerived(b)
+			}
+			if sharing {
+				n.creditSubs(b, true)
 			}
 		}
 	}
@@ -735,6 +948,9 @@ func (n *Node) TickSpan(from, to stream.Time) {
 			n.accts[ai].kept += b.SIC
 		} else {
 			n.extraKept(b)
+		}
+		if sharing {
+			n.creditSubs(b, false)
 		}
 		processed += b.Len()
 		n.stats.KeptBatches++

@@ -1,5 +1,7 @@
 package stream
 
+import "sync/atomic"
+
 // Batch is a group of tuples emitted atomically, preceded by a single
 // header (§6: "A batch contains a sequence of tuples preceded by a single
 // header with the following fields: (a) the SIC value; (b) a unique
@@ -38,6 +40,14 @@ type Batch struct {
 	slab     []float64
 	view     bool
 	released bool
+	// parent and refs implement retained views (Pool.ViewRetained): a
+	// batch's storage recycles only when its reference count — one for the
+	// owner plus one per retained view — drops to zero, and a retained
+	// view's release drops its parent's count. refs is atomic because
+	// views of one batch fan out to fragments that tick on different
+	// goroutines during the engine's parallel compute phase.
+	parent *Batch
+	refs   atomic.Int32
 }
 
 // Len reports the number of tuples in the batch.

@@ -26,6 +26,11 @@ import (
 //   - View batches (GetView) alias another batch's tuples; releasing a
 //     view returns only the header. The viewed parent must be released
 //     after all its views.
+//   - Retained views (ViewRetained) relax that ordering: they hold a
+//     reference on the parent, whose storage recycles only when the owner
+//     AND every retained view have released. This is what lets one shared
+//     fragment's output batch fan out to many subscribing queries whose
+//     hosting fragments release independently, on different goroutines.
 //
 // A Pool is safe for concurrent use; batches themselves are not.
 // Double releases panic unconditionally — recycling a batch twice would
@@ -99,7 +104,8 @@ func (p *Pool) Get(query QueryID, frag FragID, src SourceID, ts Time, n, arity i
 	}
 	b.Query, b.Frag, b.Port, b.Source, b.TS, b.SIC = query, frag, 0, src, ts, 0
 	b.Tuples, b.slab = tuples, slab
-	b.pool, b.view, b.released = p, false, false
+	b.pool, b.view, b.released, b.parent = p, false, false, nil
+	b.refs.Store(1)
 	p.live.Add(1)
 	return b
 }
@@ -112,8 +118,26 @@ func (p *Pool) GetView(query QueryID, frag FragID, src SourceID, ts Time, tuples
 	b, _, _ := p.take(-1, -1)
 	b.Query, b.Frag, b.Port, b.Source, b.TS, b.SIC = query, frag, 0, src, ts, 0
 	b.Tuples, b.slab = tuples, nil
-	b.pool, b.view, b.released = p, true, false
+	b.pool, b.view, b.released, b.parent = p, true, false, nil
+	b.refs.Store(1)
 	p.live.Add(1)
+	return b
+}
+
+// ViewRetained returns a view like GetView that additionally holds a
+// reference on parent: parent's storage recycles only after the owner and
+// every retained view have released, in any order, from any goroutine.
+// This is the fan-out primitive for multi-query sharing — one shared
+// fragment's output batch is viewed once per subscribing query, each view
+// addressed to that subscriber's downstream fragment, and each consumer
+// releases on its own schedule. A nil or unpooled parent degrades to a
+// plain view (nothing to retain: unpooled storage is garbage-collected).
+func (p *Pool) ViewRetained(parent *Batch, query QueryID, frag FragID, src SourceID, ts Time, tuples []Tuple) *Batch {
+	b := p.GetView(query, frag, src, ts, tuples)
+	if parent != nil && parent.pool != nil {
+		parent.refs.Add(1)
+		b.parent = parent
+	}
 	return b
 }
 
@@ -160,20 +184,43 @@ func (p *Pool) take(nTuples, nVals int) (b *Batch, tuples []Tuple, slab []float6
 	return b, tuples, slab
 }
 
-// Release returns a pooled batch's storage to its origin pool. It is a
-// no-op for plainly-allocated batches (NewBatch/DerivedBatch), so callers
-// release uniformly without caring where a batch came from. Releasing the
-// same batch twice panics: the second release would hand storage that is
-// already aliased by a new owner to yet another one.
+// Release drops the owner's reference on a pooled batch. It is a no-op
+// for plainly-allocated batches (NewBatch/DerivedBatch), so callers
+// release uniformly without caring where a batch came from. Storage
+// returns to the pool when the last reference — owner or retained view —
+// drops; a batch with no retained views recycles immediately, exactly as
+// before views existed. Releasing the same handle twice panics: the
+// second release would hand storage that is already aliased by a new
+// owner to yet another one.
 func (b *Batch) Release() {
-	p := b.pool
-	if p == nil {
+	if b.pool == nil {
 		return
 	}
 	if b.released {
 		panic(fmt.Sprintf("stream: double release of batch (query %d frag %d ts %d)", b.Query, b.Frag, b.TS))
 	}
 	b.released = true
+	b.decref()
+}
+
+// decref drops one reference and recycles at zero. The atomic decrement
+// orders the releasing goroutine's prior writes before the recycling
+// goroutine's reads, so whichever goroutine drops the count to zero owns
+// the batch exclusively.
+func (b *Batch) decref() {
+	if b.refs.Add(-1) > 0 {
+		return
+	}
+	b.recycle()
+}
+
+// recycle returns the batch's storage to its pool and drops the reference
+// it held on its parent, if any. Called exactly once per pool draw, by
+// the goroutine whose release dropped the count to zero.
+func (b *Batch) recycle() {
+	p := b.pool
+	parent := b.parent
+	b.parent = nil
 	tuples, slab, view := b.Tuples, b.slab, b.view
 	b.Tuples, b.slab = nil, nil
 	p.mu.Lock()
@@ -196,6 +243,9 @@ func (b *Batch) Release() {
 	}
 	p.mu.Unlock()
 	p.live.Add(-1)
+	if parent != nil {
+		parent.decref()
+	}
 }
 
 // Pooled reports whether the batch came from a pool — test helper for

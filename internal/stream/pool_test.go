@@ -182,6 +182,130 @@ func TestPoolConcurrentGetRelease(t *testing.T) {
 	}
 }
 
+// TestPoolRetainedViewKeepsParentAlive releases owner and views in every
+// order and checks the parent's storage survives until the last reference
+// drops, then recycles exactly once.
+func TestPoolRetainedViewKeepsParentAlive(t *testing.T) {
+	orders := [][]int{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {1, 2, 0}}
+	for _, order := range orders {
+		p := NewPool()
+		parent := p.Get(1, 0, 0, 0, 8, 1)
+		fillSentinel(parent, 50)
+		v1 := p.ViewRetained(parent, 2, 0, 0, 0, parent.Tuples[:4])
+		v2 := p.ViewRetained(parent, 3, 0, 0, 0, parent.Tuples[4:])
+		handles := []*Batch{parent, v1, v2}
+		for k, idx := range order {
+			// Before the last release the parent payload must be intact.
+			for i := range parent.Tuples {
+				if parent.Tuples[i].V[0] != 50+float64(i*10) {
+					t.Fatalf("order %v: parent payload clobbered at %d before release %d", order, i, k)
+				}
+			}
+			handles[idx].Release()
+		}
+		if p.Live() != 0 {
+			t.Fatalf("order %v: live %d after all releases", order, p.Live())
+		}
+		// The recycled storage must be reusable and zeroed.
+		b := p.Get(9, 0, 0, 0, 8, 1)
+		for i := range b.Tuples {
+			if b.Tuples[i].V[0] != 0 {
+				t.Fatalf("order %v: recycled payload leaks %g", order, b.Tuples[i].V[0])
+			}
+		}
+		b.Release()
+	}
+}
+
+// TestPoolRetainedViewChains checks a retained view of a retained view
+// keeps the whole chain alive.
+func TestPoolRetainedViewChains(t *testing.T) {
+	p := NewPool()
+	root := p.Get(1, 0, 0, 0, 8, 1)
+	fillSentinel(root, 10)
+	mid := p.ViewRetained(root, 2, 0, 0, 0, root.Tuples[:6])
+	leaf := p.ViewRetained(mid, 3, 0, 0, 0, mid.Tuples[:3])
+	root.Release()
+	mid.Release()
+	// root's handle fields are cleared only at recycle time, so a nil
+	// Tuples here would mean the chain failed to keep root alive.
+	if root.Tuples == nil {
+		t.Fatal("root recycled while a transitive view is live")
+	}
+	if leaf.Tuples[0].V[0] != 10 {
+		t.Fatal("leaf lost payload while retained")
+	}
+	leaf.Release()
+	if p.Live() != 0 {
+		t.Fatalf("live after chain release: %d", p.Live())
+	}
+}
+
+// TestPoolRetainedViewDoubleReleaseStillPanics keeps the per-handle
+// double-release guard with refcounts in play.
+func TestPoolRetainedViewDoubleReleaseStillPanics(t *testing.T) {
+	p := NewPool()
+	parent := p.Get(1, 0, 0, 0, 4, 1)
+	v := p.ViewRetained(parent, 2, 0, 0, 0, parent.Tuples)
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release of retained view did not panic")
+		}
+		parent.Release()
+		if p.Live() != 0 {
+			t.Fatalf("live: %d", p.Live())
+		}
+	}()
+	v.Release()
+}
+
+// TestPoolRetainedViewUnpooledParent: retaining a plainly-allocated batch
+// degrades to a plain view — no refcount, no panic, GC owns the parent.
+func TestPoolRetainedViewUnpooledParent(t *testing.T) {
+	p := NewPool()
+	parent := NewBatch(1, 0, 0, 0, 4, 1)
+	v := p.ViewRetained(parent, 2, 0, 0, 0, parent.Tuples)
+	v.Release()
+	parent.Release() // no-op
+	if p.Live() != 0 {
+		t.Fatalf("live: %d", p.Live())
+	}
+}
+
+// TestPoolConcurrentRetainedViewRelease fans one parent out to many
+// goroutines releasing concurrently — the engine's compute phase ticks
+// subscriber fragments on different workers — and relies on -race plus
+// the zero-live postcondition to prove the refcount chain is sound.
+func TestPoolConcurrentRetainedViewRelease(t *testing.T) {
+	p := NewPool()
+	for round := 0; round < 200; round++ {
+		parent := p.Get(1, 0, 0, 0, 64, 1)
+		fillSentinel(parent, float64(round))
+		const fan = 8
+		views := make([]*Batch, fan)
+		for i := range views {
+			views[i] = p.ViewRetained(parent, QueryID(i), 0, 0, 0, parent.Tuples[i*8:(i+1)*8])
+		}
+		var wg sync.WaitGroup
+		for i := range views {
+			wg.Add(1)
+			go func(v *Batch, want float64) {
+				defer wg.Done()
+				if v.Tuples[0].SIC != want {
+					t.Errorf("view observed wrong payload generation")
+				}
+				v.Release()
+			}(views[i], float64(round))
+		}
+		parent.Release()
+		wg.Wait()
+		if p.Live() != 0 {
+			t.Fatalf("round %d: live %d", round, p.Live())
+		}
+	}
+}
+
 func TestPoolOversizeRequestsStillWork(t *testing.T) {
 	p := NewPool()
 	huge := classSizes[numClasses-1] + 1

@@ -71,6 +71,13 @@ type Controller struct {
 
 	sicFn func(q stream.QueryID, now stream.Time, v float64)
 
+	// planCache memoises Submit's local planning step (text and canonical
+	// shape level), invalidated on membership change. Host nodes still
+	// re-plan the travelling CQL text themselves — fragment dedup across
+	// queries is an engine-runtime feature and does not extend to the
+	// networked transport in this iteration.
+	planCache *cql.PlanCache
+
 	// stopping flips before the stop handshake; read-loop errors after
 	// that are expected connection teardown, errors before it are node
 	// failures surfaced from Run.
@@ -164,6 +171,7 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		norecover: cfg.DisableRecovery,
 		fail:      make(chan nodeFailure, 64),
 		statsCh:   make(chan struct{}, 256),
+		planCache: cql.NewPlanCache(),
 	}
 	if len(nodeAddrs) > 0 {
 		p, err := federation.NewPlacer(cfg.Placement, len(nodeAddrs), cfg.Seed)
@@ -205,6 +213,9 @@ func (c *Controller) AddNode(addr string) (int, error) {
 	ls.Store(time.Now().UnixNano())
 	c.lastSeen = append(c.lastSeen, ls)
 	c.rebuildPlacerLocked()
+	// Membership changed: conservatively drop cached plans so nothing
+	// planned against the old epoch survives into the new one.
+	c.planCache.Invalidate()
 	// Read running under the same lock Run holds while it snapshots the
 	// connection list and flips running: exactly one of Run and AddNode
 	// starts this connection's read loop, never both and never neither.
@@ -377,13 +388,13 @@ func (c *Controller) DeployCQL(cqlText string, fragments, dataset int, rate, bat
 // toward its mean only after its own warmup, and its coordinator
 // registers for result-SIC dissemination immediately.
 func (c *Controller) Submit(cqlText string, fragments, dataset int, rate, batchesPerSec float64, placement []int) (stream.QueryID, error) {
-	st, err := cql.Parse(cqlText)
-	if err != nil {
-		return 0, err
-	}
 	// Plan locally first: reject malformed statements before any node
-	// sees them, and learn the workload label for results.
-	plan, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Dataset(dataset)), fragments)
+	// sees them, and learn the workload label for results. The plan cache
+	// makes repeat submissions of the same (or same-shaped) text skip the
+	// parse and planning work entirely; plans are read-only templates, so
+	// sharing one across query ids is safe.
+	ds := sources.Dataset(dataset)
+	plan, _, err := c.planCache.PlanDistributed(cqlText, cql.DefaultCatalog(ds), ds.String(), fragments)
 	if err != nil {
 		return 0, err
 	}
@@ -691,6 +702,7 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 	}
 	c.dead[f.idx] = true
 	c.rebuildPlacerLocked()
+	c.planCache.Invalidate()
 	deadAddr := c.addrs[f.idx]
 	cn := c.nodes[f.idx]
 	var affected []stream.QueryID

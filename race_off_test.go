@@ -1,0 +1,5 @@
+//go:build !race
+
+package themis_test
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package themis_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock budget tests skip under it (instrumentation inflates step
+// time several-fold), while the plain benchmark-smoke CI stage still
+// enforces them.
+const raceEnabled = true

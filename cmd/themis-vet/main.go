@@ -1,0 +1,141 @@
+// Command themis-vet is the static-analysis driver for the themis
+// invariants (DESIGN.md §11): it runs the releasecheck, determinism,
+// allochygiene, lockorder and themisdirective analyzers over the module
+// and exits nonzero if any diagnostic fires.
+//
+// Usage:
+//
+//	go run ./cmd/themis-vet ./...            # analyze packages
+//	go run ./cmd/themis-vet -genroots        # regenerate the allochygiene hot set
+//	go run ./cmd/themis-vet -genroots -check # verify the hot set is current (CI)
+//
+// Analyzer flags are exposed with an <analyzer>. prefix, e.g.
+// -determinism.packages=... — the defaults encode this repository's
+// invariants and are what CI runs.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis/allochygiene"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockorder"
+	"repro/internal/analysis/releasecheck"
+	"repro/internal/analysis/run"
+	"repro/internal/analysis/themisdirective"
+	"repro/internal/xtools/go/analysis"
+)
+
+var suite = []*analysis.Analyzer{
+	releasecheck.Analyzer,
+	determinism.Analyzer,
+	allochygiene.Analyzer,
+	lockorder.Analyzer,
+	themisdirective.Analyzer,
+}
+
+func main() {
+	genroots := flag.Bool("genroots", false, "regenerate internal/analysis/allochygiene/hotset_gen.go from the call graph")
+	check := flag.Bool("check", false, "with -genroots: verify the generated file is current instead of writing it")
+	for _, a := range suite {
+		a := a
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	flag.Parse()
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *genroots {
+		if err := genRoots(root, *check); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := load.Module(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pkg := range res.Packages {
+		for _, te := range pkg.TypeErrors {
+			fatal(fmt.Errorf("type error in %s: %v", pkg.ImportPath, te))
+		}
+	}
+	diags, err := run.Analyzers(res.Fset, res.Packages, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "themis-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func genRoots(root string, check bool) error {
+	res, err := load.Module(root, "./...")
+	if err != nil {
+		return err
+	}
+	want, err := allochygiene.GenerateHotSet(res)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(root, "internal", "analysis", "allochygiene", "hotset_gen.go")
+	if check {
+		have, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(have, want) {
+			return fmt.Errorf("%s is stale: run `go generate ./internal/analysis/allochygiene`", path)
+		}
+		fmt.Println("themis-vet: hot set is up to date")
+		return nil
+	}
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("themis-vet: wrote %s\n", path)
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the go.mod —
+// go:generate runs tools from the package directory, not the root.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("themis-vet: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "themis-vet: %v\n", err)
+	os.Exit(3)
+}

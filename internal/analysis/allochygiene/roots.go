@@ -1,0 +1,29 @@
+package allochygiene
+
+// Seeds is the hand-maintained list of steady-state entry points. The
+// hot set checked by the analyzer is everything statically reachable
+// from these roots across the module (hotset_gen.go) — regenerate it
+// after changing the call graph:
+//
+//	go generate ./internal/analysis/allochygiene
+//
+// CI verifies the generated file is current (themis-vet -genroots -check).
+//
+//go:generate go run repro/cmd/themis-vet -genroots
+var Seeds = []string{
+	// The virtual-time engine's per-tick step: the path that must stay
+	// at 0 allocs in steady state (TestSteadyStateZeroAlloc).
+	"(*repro/internal/federation.Engine).Step",
+	// The wall-clock runtime's per-tick body on live nodes: same data
+	// path, driven from the transport tick loop.
+	"(*repro/internal/node.Node).TickSpan",
+}
+
+// Stops are reachability barriers: functions reachable from the roots
+// that are, by design, not steady-state — they run only on node/query
+// churn ticks, where allocation is expected and budgeted separately.
+// The traversal does not descend into them.
+var Stops = []string{
+	"(*repro/internal/federation.Engine).applyChurn",
+	"(*repro/internal/federation.Engine).applyQueryChurn",
+}

@@ -1,0 +1,25 @@
+// Package astparents builds child→parent maps for AST subtrees, shared
+// by the themis-vet analyzers that need ancestor context (releasecheck
+// escape classification, allochygiene cold-branch detection).
+package astparents
+
+import "go/ast"
+
+// Map returns a child→parent map covering the whole subtree rooted at
+// root, including nested function literals.
+func Map(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,17 @@
+// Package analysis hosts the themis-vet static-analysis suite: custom
+// go/analysis analyzers mechanically enforcing the repository's runtime
+// invariants (DESIGN.md §11).
+//
+//	releasecheck    — pooled batch acquire/release lifecycle (DESIGN.md §9)
+//	determinism     — no wall clock, global RNG, order-escaping map
+//	                  ranges or stray goroutines in hot-path packages
+//	allochygiene    — no unconditional allocation on the steady-state
+//	                  call graph (hot set generated from roots)
+//	lockorder       — ranked mutexes acquired in strictly increasing order
+//	themisdirective — //themis: suppression grammar (name + justification)
+//
+// cmd/themis-vet is the driver; the subpackages load, run, directives,
+// astparents and harness are the stdlib-only stand-ins for the parts of
+// golang.org/x/tools that are not vendored (go/packages, multichecker,
+// analysistest). Golden fixtures live under testdata/src.
+package analysis

@@ -1,0 +1,181 @@
+// Package harness is an analysistest-style golden-test runner for the
+// themis-vet analyzers. Fixture packages live under
+// internal/analysis/testdata/src/<name>; each line that should produce a
+// diagnostic carries a trailing `// want "regexp"` comment (several
+// quoted regexps mean several diagnostics on that line). The harness
+// type-checks the fixture against the real module — fixtures may import
+// repro/internal/stream and friends — runs the analyzers, and fails the
+// test on any missing or unexpected diagnostic.
+//
+// This replaces golang.org/x/tools/go/analysis/analysistest, which is
+// not vendored in this repository (see internal/xtools/README.md).
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/run"
+	"repro/internal/xtools/go/analysis"
+)
+
+var (
+	loadOnce sync.Once
+	loaded   *load.Result
+	loadErr  error
+)
+
+// Module loads and caches the enclosing module (all packages): the
+// fixture type-checker resolves `repro/...` imports against it, sharing
+// one FileSet and importer universe. The load shells out to `go list`
+// once per test binary.
+func Module(t *testing.T) *load.Result {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err == nil {
+			loaded, loadErr = load.Module(root, "./...")
+		} else {
+			loadErr = err
+		}
+	})
+	if loadErr != nil {
+		t.Fatalf("harness: loading module: %v", loadErr)
+	}
+	return loaded
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("harness: no go.mod above the test working directory")
+		}
+		dir = parent
+	}
+}
+
+// RunFixture type-checks testdata/src/<name> (testdata relative to the
+// calling test's directory) as package "fixture/<name>", runs the
+// analyzers over it, and diffs the diagnostics against the fixture's
+// want comments.
+func RunFixture(t *testing.T, name string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	res := Module(t)
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := res.CheckDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("harness: checking fixture %s: %v", name, err)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("harness: fixture %s does not type-check: %v", name, te)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	diags, err := run.Analyzers(res.Fset, []*load.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("harness: running analyzers on %s: %v", name, err)
+	}
+	wants, err := parseWants(pkg.GoFiles)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	diff(t, name, wants, diags)
+}
+
+// want is one expected diagnostic: a regexp anchored to a file line.
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var (
+	// want-above expects the diagnostic on the nearest preceding
+	// non-blank line — needed when the diagnostic position is itself a
+	// comment (directive grammar errors), which cannot share a line
+	// with a want comment and which gofmt keeps in its own group.
+	wantRe   = regexp.MustCompile(`//\s*want(-above)?\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+)
+
+func parseWants(files []string) ([]*want, error) {
+	var wants []*want
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(path)
+		lines := strings.Split(string(data), "\n")
+		for i, text := range lines {
+			m := wantRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			qs := quotedRe.FindAllStringSubmatch(m[2], -1)
+			if len(qs) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment with no quoted regexp", base, i+1)
+			}
+			line := i + 1
+			if m[1] == "-above" {
+				for j := i - 1; j >= 0; j-- {
+					if strings.TrimSpace(lines[j]) != "" {
+						line = j + 1
+						break
+					}
+				}
+			}
+			for _, q := range qs {
+				lit := q[1]
+				if q[2] != "" {
+					lit = q[2]
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %v", base, i+1, err)
+				}
+				wants = append(wants, &want{file: base, line: line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+func diff(t *testing.T, name string, wants []*want, diags []run.Diag) {
+	t.Helper()
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == base && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s: %s", name, base, d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", name, w.file, w.line, w.re)
+		}
+	}
+}

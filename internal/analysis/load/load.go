@@ -1,0 +1,217 @@
+// Package load type-checks the module's packages without any external
+// dependencies. It shells out to `go list -deps -export -json` for
+// package discovery and for compiled export data of out-of-module
+// dependencies (the standard library), and type-checks in-module
+// packages from source in dependency order so every loaded package
+// shares one token.FileSet and one types.Importer universe — the type
+// identity guarantees the analyzers rely on.
+//
+// This is a deliberately small stand-in for golang.org/x/tools/go/packages,
+// which is not vendored in this repository (see internal/xtools/README.md).
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, in-module package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string // absolute paths, excludes tests
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []types.Error
+	Imports    []string
+}
+
+// Result holds everything a driver needs to run analyzers.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package // in dependency order (imports before importers)
+	ByPath   map[string]*Package
+
+	modPath   string
+	exports   map[string]string // import path -> export data file (out-of-module deps)
+	gcImports types.ImporterFrom
+	srcPkgs   map[string]*types.Package
+}
+
+// listPkg mirrors the subset of `go list -json` output we consume.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Module     *struct{ Path string }
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// Module loads and type-checks the packages matching patterns (plus any
+// extra out-of-module patterns whose export data fixtures need), rooted
+// at the module directory dir.
+func Module(dir string, patterns ...string) (*Result, error) {
+	modBytes, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("load: reading go.mod: %w", err)
+	}
+	m := moduleRe.FindSubmatch(modBytes)
+	if m == nil {
+		return nil, fmt.Errorf("load: no module directive in %s/go.mod", dir)
+	}
+	modPath := string(m[1])
+
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Name,Dir,Standard,Export,GoFiles,Imports,Module"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+
+	res := &Result{
+		Fset:    token.NewFileSet(),
+		ByPath:  map[string]*Package{},
+		modPath: modPath,
+		exports: map[string]string{},
+		srcPkgs: map[string]*types.Package{},
+	}
+	res.gcImports = importer.ForCompiler(res.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := res.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(exp)
+	}).(types.ImporterFrom)
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var order []*listPkg
+	for {
+		var lp listPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		order = append(order, &lp)
+	}
+
+	for _, lp := range order {
+		inModule := !lp.Standard && lp.Module != nil && lp.Module.Path == modPath
+		if !inModule {
+			if lp.Export != "" {
+				res.exports[lp.ImportPath] = lp.Export
+			}
+			continue
+		}
+		pkg, err := res.checkSource(lp)
+		if err != nil {
+			return nil, err
+		}
+		res.Packages = append(res.Packages, pkg)
+		res.ByPath[pkg.ImportPath] = pkg
+	}
+	return res, nil
+}
+
+// CheckDir parses and type-checks a single out-of-tree directory (a test
+// fixture) as though it were the package importPath, resolving imports
+// against the already-loaded result. Type errors are returned on the
+// Package, not as an error, so harnesses can assert on broken fixtures.
+func (r *Result) CheckDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	lp := &listPkg{ImportPath: importPath, Dir: dir, GoFiles: nil}
+	for _, f := range files {
+		lp.GoFiles = append(lp.GoFiles, filepath.Base(f))
+	}
+	return r.checkSource(lp)
+}
+
+func (r *Result) checkSource(lp *listPkg) (*Package, error) {
+	pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Imports: lp.Imports}
+	for _, f := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, f)
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		af, err := parser.ParseFile(r.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: parsing %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{
+		Importer: (*resultImporter)(r),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				pkg.TypeErrors = append(pkg.TypeErrors, te)
+			}
+		},
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, r.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Name = tpkg.Name()
+	pkg.Info = info
+	r.srcPkgs[lp.ImportPath] = tpkg
+	return pkg, nil
+}
+
+// resultImporter resolves in-module packages to their source-checked
+// types.Package (type identity!) and everything else via export data.
+type resultImporter Result
+
+func (ri *resultImporter) Import(path string) (*types.Package, error) {
+	return ri.ImportFrom(path, "", 0)
+}
+
+func (ri *resultImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := ri.srcPkgs[path]; ok {
+		return p, nil
+	}
+	return ri.gcImports.ImportFrom(path, srcDir, 0)
+}

@@ -1,0 +1,113 @@
+// Package run executes go/analysis analyzers over packages loaded by
+// internal/analysis/load — a minimal in-process multichecker. Facts are
+// not supported (the themis analyzers are intraprocedural by design);
+// the fact callbacks are wired to inert stubs so analyzers that probe
+// them fail soft rather than nil-panic.
+package run
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+
+	"repro/internal/analysis/load"
+	"repro/internal/xtools/go/analysis"
+)
+
+// Diag is one reported diagnostic, with its position resolved.
+type Diag struct {
+	Analyzer string
+	Pkg      string
+	Pos      token.Position
+	End      token.Position
+	Message  string
+}
+
+func (d Diag) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers runs each analyzer (and its Requires closure) over every
+// package, returning all diagnostics sorted by position. An error means
+// the run itself failed (invalid analyzer graph, analyzer returned an
+// error), not that diagnostics were found.
+func Analyzers(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Diag, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diag
+	for _, pkg := range pkgs {
+		results := map[*analysis.Analyzer]interface{}{}
+		var runOne func(a *analysis.Analyzer) error
+		runOne = func(a *analysis.Analyzer) error {
+			if _, done := results[a]; done {
+				return nil
+			}
+			for _, req := range a.Requires {
+				if err := runOne(req); err != nil {
+					return err
+				}
+			}
+			resultOf := map[*analysis.Analyzer]interface{}{}
+			for _, req := range a.Requires {
+				resultOf[req] = results[req]
+			}
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.Info,
+				TypesSizes: types.SizesFor("gc", "amd64"),
+				TypeErrors: pkg.TypeErrors,
+				ResultOf:   resultOf,
+				ReadFile:   os.ReadFile,
+				Report: func(d analysis.Diagnostic) {
+					diags = append(diags, Diag{
+						Analyzer: a.Name,
+						Pkg:      pkg.ImportPath,
+						Pos:      fset.Position(d.Pos),
+						End:      fset.Position(d.End),
+						Message:  d.Message,
+					})
+				},
+				ImportObjectFact:  func(obj types.Object, fact analysis.Fact) bool { return false },
+				ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
+				ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
+				ExportPackageFact: func(fact analysis.Fact) {},
+				AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+				AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			if a.ResultType != nil && res != nil {
+				results[a] = res
+			} else {
+				results[a] = nil
+			}
+			return nil
+		}
+		for _, a := range analyzers {
+			if err := runOne(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		if diags[i].Pos.Column != diags[j].Pos.Column {
+			return diags[i].Pos.Column < diags[j].Pos.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

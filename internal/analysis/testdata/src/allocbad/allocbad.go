@@ -1,0 +1,72 @@
+// Package allocbad exercises the allochygiene analyzer. The golden test
+// marks hotFn/hotMethod/etc as hot via the -hotlist override; coldFn is
+// deliberately left out to prove the hot set gates the check.
+package allocbad
+
+import "fmt"
+
+type T struct {
+	buf []int
+	cb  func()
+}
+
+func hotMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+func hotFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want `fmt.Sprintf allocates`
+}
+
+func hotComposite() *T {
+	return &T{} // want `&composite literal escapes`
+}
+
+func hotSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+func hotMapLit() map[int]int {
+	return map[int]int{} // want `map literal allocates`
+}
+
+func hotCrossAppend(dst, src []int) []int {
+	out := append(dst, src...) // want `append result assigned to a different variable`
+	return out
+}
+
+func (t *T) hotStoredClosure(n int) {
+	t.cb = func() { _ = n } // want `closure allocation`
+}
+
+func hotGoClosure() {
+	go func() {}() // want `closure allocation`
+}
+
+// The negatives below must produce no diagnostics.
+
+func (t *T) hotGuardedGrow(n int) {
+	if cap(t.buf) < n {
+		t.buf = make([]int, n)
+	}
+	t.buf = t.buf[:n]
+}
+
+func hotSameAppend(buf []int, v int) []int {
+	buf = append(buf, v)
+	return buf
+}
+
+func hotCallbackClosure(xs []int) {
+	sortish(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortish(xs []int, less func(i, j int) bool) {}
+
+func hotAnnotated(n int) []int {
+	return make([]int, n) //themis:coldalloc fixture negative: reviewed one-off setup allocation.
+}
+
+func coldFn(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,16 @@
+// Package determallowed is the allowlist-gate negative for the
+// determinism analyzer: it contains violations on every rule, but the
+// golden test runs it WITHOUT adding the package to -packages, so the
+// analyzer must stay silent.
+package determallowed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+func globalRand() int { return rand.Int() }
+
+func spawn(done chan struct{}) { go close(done) }

@@ -1,0 +1,13 @@
+// Package determpool is the worker-pool exemption negative for the
+// determinism analyzer: the golden test lists this package in
+// -goroutines-ok (like repro/internal/parallel), so the go statement is
+// permitted while the other rules still apply.
+package determpool
+
+import "time"
+
+func spawn(done chan struct{}) { go close(done) }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in hot-path package`
+}

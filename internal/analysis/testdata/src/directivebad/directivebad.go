@@ -1,0 +1,19 @@
+// Package directivebad exercises the themisdirective grammar checker.
+// The want-above comments sit in their own comment groups so gofmt does
+// not fold them into the directive lines they point at.
+package directivebad
+
+//themis:frobnicate this name is not in the directive vocabulary
+
+// want-above `unknown directive //themis:frobnicate`
+func unknownName() {}
+
+//themis:wallclock
+
+// want-above `//themis:wallclock needs a one-line justification`
+func bareDirective() {}
+
+// The negative below must produce no diagnostics.
+
+//themis:maporder fixture negative: well-formed directive with a justification.
+func wellFormed() {}

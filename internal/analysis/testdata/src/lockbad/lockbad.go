@@ -1,0 +1,87 @@
+// Package lockbad exercises the lockorder analyzer. The golden test
+// ranks A.mu=10 outermost and B.mu=20 innermost via the -ranks override.
+package lockbad
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func inverted(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want `acquiring fixture/lockbad.A.mu \(rank 10\) while holding fixture/lockbad.B.mu \(rank 20\)`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func selfNested(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `acquiring fixture/lockbad.A.mu \(rank 10\) while holding fixture/lockbad.A.mu \(rank 10\)`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func invertedViaCall(a *A, b *B) {
+	b.mu.Lock()
+	lockA(a) // want `call to lockA may acquire fixture/lockbad.A.mu \(rank 10\) while fixture/lockbad.B.mu \(rank 20\) is held`
+	b.mu.Unlock()
+}
+
+func lockAIndirect(a *A) {
+	lockA(a)
+}
+
+func invertedTransitive(a *A, b *B) {
+	b.mu.Lock()
+	lockAIndirect(a) // want `call to lockAIndirect may acquire fixture/lockbad.A.mu \(rank 10\)`
+	b.mu.Unlock()
+}
+
+func deferredHold(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `acquiring fixture/lockbad.A.mu \(rank 10\) while holding fixture/lockbad.B.mu \(rank 20\)`
+	a.mu.Unlock()
+}
+
+// The negatives below must produce no diagnostics.
+
+func ordered(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func sequential(a *A, b *B) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+func goStmtNotUnderLock(a *A, b *B, wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Add(1)
+	//themis:goroutine fixture negative: the spawned body runs outside the caller's critical section.
+	go func() {
+		defer wg.Done()
+		a.mu.Lock()
+		a.mu.Unlock()
+	}()
+}
+
+func annotated(a *A, b *B) {
+	b.mu.Lock()
+	//themis:lockorder fixture negative: reviewed inversion with an external happens-before edge.
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,76 @@
+// Package releasebad exercises the releasecheck analyzer: one function
+// per lifecycle-violation class, plus the sanctioned negative idioms.
+package releasebad
+
+import "repro/internal/stream"
+
+func sink(b *stream.Batch) {}
+
+func doubleRelease(p *stream.Pool) {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	b.Release()
+	b.Release() // want `pooled batch b released twice`
+}
+
+func useAfterRelease(p *stream.Pool) int {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	b.Release()
+	return b.Len() // want `use of pooled batch b after Release`
+}
+
+func handoffAfterRelease(p *stream.Pool) {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	b.Release()
+	sink(b) // want `pooled batch b handed off after Release`
+}
+
+func mayLeak(p *stream.Pool, drop bool) {
+	b := p.Get(1, 2, 3, 0, 4, 2) // want `pooled batch b may leak`
+	if drop {
+		return
+	}
+	b.Release()
+}
+
+func discarded(p *stream.Pool) {
+	_ = p.Get(1, 2, 3, 0, 4, 2) // want `acquired and discarded`
+}
+
+// The negatives below must produce no diagnostics.
+
+func releasedOnAllPaths(p *stream.Pool, early bool) {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	if early {
+		b.Release()
+		return
+	}
+	b.Release()
+}
+
+func branchHandoff(p *stream.Pool, keep bool) {
+	b := p.GetView(1, 2, 3, 0, nil)
+	if keep {
+		sink(b)
+		return
+	}
+	b.Release()
+}
+
+func returned(p *stream.Pool) *stream.Batch {
+	b := p.ViewRetained(nil, 1, 2, 3, 0, nil)
+	return b
+}
+
+func annotatedTransfer(p *stream.Pool) {
+	//themis:owns fixture negative: ownership handed to an external registry the analysis cannot see.
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	_ = b.Len()
+}
+
+func panicPathExcused(p *stream.Pool, n int) {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	if n < 0 {
+		panic("bad n")
+	}
+	b.Release()
+}

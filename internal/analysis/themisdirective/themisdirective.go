@@ -1,0 +1,38 @@
+// Package themisdirective validates the //themis: annotation grammar
+// itself: every directive must use a known name and carry a one-line
+// justification, so suppressions cannot silently accrete without
+// recorded reasons (DESIGN.md §11).
+package themisdirective
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/directives"
+	"repro/internal/xtools/go/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "themisdirective",
+	Doc:  `validate //themis: annotations: known name, mandatory justification`,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	dirs := directives.Parse(pass.Fset, pass.Files)
+	for _, d := range dirs.All {
+		if _, ok := directives.Known[d.Name]; !ok {
+			names := make([]string, 0, len(directives.Known))
+			for n := range directives.Known {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			pass.Reportf(d.Pos, "unknown directive //themis:%s (known: %s)", d.Name, strings.Join(names, ", "))
+			continue
+		}
+		if d.Justification == "" {
+			pass.Reportf(d.Pos, "//themis:%s needs a one-line justification after the directive name", d.Name)
+		}
+	}
+	return nil, nil
+}

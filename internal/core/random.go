@@ -60,15 +60,23 @@ func (r *Random) Select(ib []*stream.Batch, capacity int, _ ResultSICFunc) []int
 }
 
 // KeepAll is a no-shedding policy used for perfect-processing reference
-// runs (the "perfect result" of §7.1) and underload validation.
-type KeepAll struct{}
+// runs (the "perfect result" of §7.1) and underload validation. It
+// carries a reusable index buffer like the other shedders, so reference
+// runs share the steady-state allocation profile of the policies they
+// are compared against.
+type KeepAll struct {
+	keep []int
+}
 
 // Name implements Shedder.
-func (KeepAll) Name() string { return "keep-all" }
+func (k *KeepAll) Name() string { return "keep-all" }
 
 // Select implements Shedder, keeping every batch regardless of capacity.
-func (KeepAll) Select(ib []*stream.Batch, _ int, _ ResultSICFunc) []int {
-	keep := make([]int, len(ib))
+func (k *KeepAll) Select(ib []*stream.Batch, _ int, _ ResultSICFunc) []int {
+	if cap(k.keep) < len(ib) {
+		k.keep = make([]int, len(ib))
+	}
+	keep := k.keep[:len(ib)]
 	for i := range ib {
 		keep[i] = i
 	}

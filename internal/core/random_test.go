@@ -66,11 +66,11 @@ func TestRandomEdgeCases(t *testing.T) {
 
 func TestKeepAll(t *testing.T) {
 	ib := unitBatches(1, 7, 0.1)
-	keep := KeepAll{}.Select(ib, 0, nil)
+	keep := (&KeepAll{}).Select(ib, 0, nil)
 	if len(keep) != 7 {
 		t.Errorf("keep-all kept %d of 7", len(keep))
 	}
-	if (KeepAll{}).Name() != "keep-all" {
+	if (&KeepAll{}).Name() != "keep-all" {
 		t.Error("name")
 	}
 }

@@ -121,7 +121,7 @@ func TestShedderSelectProperties(t *testing.T) {
 func TestShedderKeepAllIgnoresCapacity(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ib := randomIB(rng, 10)
-	keep := (KeepAll{}).Select(ib, 1, nil)
+	keep := (&KeepAll{}).Select(ib, 1, nil)
 	if len(keep) != len(ib) {
 		t.Errorf("KeepAll kept %d of %d batches", len(keep), len(ib))
 	}

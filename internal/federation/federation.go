@@ -381,7 +381,7 @@ func (e *Engine) newShedder() core.Shedder {
 	case PolicyRandom:
 		return core.NewRandom(seed)
 	case PolicyKeepAll:
-		return core.KeepAll{}
+		return &core.KeepAll{}
 	default:
 		s := core.NewBalanceSIC(seed)
 		s.Projection = !e.cfg.DisableProjection

@@ -542,6 +542,9 @@ func (n *Node) RemoveQuery(q stream.QueryID) int {
 			keys = append(keys, k)
 		}
 	}
+	// Teardown order matters when shared instances rebind to a surviving
+	// subscriber: sort so retracts are bit-identical across runs.
+	sort.Slice(keys, func(i, j int) bool { return keys[i].f < keys[j].f })
 	for _, k := range keys {
 		n.RemoveFragment(k.q, k.f)
 	}
@@ -611,6 +614,7 @@ func (n *Node) HostedQueries() []stream.QueryID {
 	for q := range n.hostedQ {
 		out = append(out, q)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -893,8 +897,10 @@ func (n *Node) TickSpan(from, to stream.Time) {
 		// would never observe a processed tuple again.
 		n.splitOversized(capacity)
 		n.stats.ShedInvocations++
+		//themis:wallclock SelectNanos is a profiling counter (shedder CPU cost, §7.5); it never feeds back into results.
 		start := time.Now()
 		keepIdx := n.shedder.Select(n.ib, capacity, n.ResultSIC)
+		//themis:wallclock paired with the time.Now above; stats-only.
 		n.stats.SelectNanos += time.Since(start).Nanoseconds()
 		if cap(n.keepMark) < len(n.ib) {
 			n.keepMark = make([]bool, len(n.ib))

@@ -123,7 +123,7 @@ func TestNodeSICStampingMatchesEq1(t *testing.T) {
 }
 
 func TestNodeDerivedBatchRestamping(t *testing.T) {
-	n := New(1, Config{Interval: 250, STW: 10000, CapacityPerSec: 1000, Seed: 1}, core.KeepAll{})
+	n := New(1, Config{Interval: 250, STW: 10000, CapacityPerSec: 1000, Seed: 1}, &core.KeepAll{})
 	// A derived batch arriving late gets restamped to arrival time.
 	b := stream.DerivedBatch(1, 0, 0, 100, []stream.Tuple{{TS: 100, SIC: 0.1, V: []float64{1}}})
 	n.Enqueue(b, 1000)
@@ -140,7 +140,7 @@ func TestNodeDerivedBatchRestamping(t *testing.T) {
 
 func TestNodeRoutesDownstreamFragments(t *testing.T) {
 	router := newFakeRouter()
-	n := New(1, Config{Interval: 250, STW: 10 * stream.Second, CapacityPerSec: 1e6, Seed: 1}, core.KeepAll{})
+	n := New(1, Config{Interval: 250, STW: 10 * stream.Second, CapacityPerSec: 1e6, Seed: 1}, &core.KeepAll{})
 	plan := query.NewCov(2, sources.Uniform)
 	// Host the non-root fragment (index 1); its output goes downstream to
 	// fragment 0 on some other node.
@@ -168,7 +168,7 @@ func TestNodeRoutesDownstreamFragments(t *testing.T) {
 }
 
 func TestNodeHostedQueriesAndLookup(t *testing.T) {
-	n := New(1, Config{}, core.KeepAll{})
+	n := New(1, Config{}, &core.KeepAll{})
 	plan := query.NewAggregate(operator.AggMax, sources.Uniform)
 	n.HostFragment(3, 0, query.NewFragmentExec(plan.Fragments[0]), 1, -1, -1)
 	n.HostFragment(5, 0, query.NewFragmentExec(plan.Fragments[0]), 1, -1, -1)
@@ -182,7 +182,7 @@ func TestNodeHostedQueriesAndLookup(t *testing.T) {
 }
 
 func TestNodeCoordinatorUpdates(t *testing.T) {
-	n := New(1, Config{}, core.KeepAll{})
+	n := New(1, Config{}, &core.KeepAll{})
 	plan := query.NewAggregate(operator.AggMax, sources.Uniform)
 	n.HostFragment(4, 0, query.NewFragmentExec(plan.Fragments[0]), 1, -1, -1)
 	n.SetResultSIC(4, 0.7)
@@ -250,7 +250,7 @@ func TestRemoveQueryReturnsStateToBaseline(t *testing.T) {
 }
 
 func TestAttachSourceForUnknownFragmentPanics(t *testing.T) {
-	n := New(1, Config{}, core.KeepAll{})
+	n := New(1, Config{}, &core.KeepAll{})
 	defer func() {
 		if recover() == nil {
 			t.Error("attaching a source for an unhosted fragment should panic")

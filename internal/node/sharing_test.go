@@ -43,7 +43,7 @@ func sharedAggNode(t *testing.T, nSubs int) (*Node, *fakeRouter) {
 }
 
 func TestAttachSharedUnknownKeyRefuses(t *testing.T) {
-	n := New(1, Config{}, core.KeepAll{})
+	n := New(1, Config{}, &core.KeepAll{})
 	if n.AttachShared("nope", 5, 0, -1, -1) {
 		t.Fatal("attached to a share key nobody registered")
 	}

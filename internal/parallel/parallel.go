@@ -35,8 +35,10 @@ func ForEach(n, workers int, fn func(i int)) {
 	)
 	wg.Add(workers)
 	for g := 0; g < workers; g++ {
+		//themis:coldalloc worker spawn happens only when workers>1; the zero-alloc steady-state contract is measured on the sequential branch above.
 		go func() {
 			defer wg.Done()
+			//themis:coldalloc panic-recovery wrapper allocated per spawned worker, same workers>1 budget as the goroutine itself.
 			defer func() {
 				if r := recover(); r != nil {
 					panicOnce.Do(func() { panicVal = r })

@@ -68,7 +68,7 @@ func (b *Batch) RecomputeSIC() {
 // performs exactly two allocations regardless of n. Tuples are zeroed;
 // the caller fills timestamps, SIC values and payloads.
 func NewBatch(query QueryID, frag FragID, src SourceID, ts Time, n, arity int) *Batch {
-	b := &Batch{Query: query, Frag: frag, Source: src, TS: ts}
+	b := &Batch{Query: query, Frag: frag, Source: src, TS: ts} //themis:coldalloc pool-miss slow path: Pool.take calls this only when the free list is empty, and recycling amortises both allocs to zero in steady state.
 	b.Tuples = make([]Tuple, n)
 	if arity > 0 {
 		backing := make([]float64, n*arity)

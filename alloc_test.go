@@ -26,6 +26,22 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestCheckpointSteadyStateZeroAlloc extends the gate to the checkpoint
+// path (PR 8): with operator-state snapshots taken every tick, a warm
+// step must still perform zero heap allocations — the engine reuses one
+// snapshot encoder and the per-fragment record buffers, and the
+// per-operator Snapshot implementations write into them without
+// spilling per-tick scratch to the heap.
+func TestCheckpointSteadyStateZeroAlloc(t *testing.T) {
+	e := experiments.SteadyStateCheckpointEngine()
+	for i := 0; i < 400; i++ {
+		e.Step()
+	}
+	if avg := testing.AllocsPerRun(400, func() { e.Step() }); avg != 0 {
+		t.Fatalf("checkpointing Engine.Step allocates %.2f objects/step, want 0", avg)
+	}
+}
+
 // TestSteadyStateNoBatchLeak bounds the pool's outstanding-batch count
 // over a long run: a missing Release anywhere in the engine/node/outbox
 // chain would grow it linearly with ticks.

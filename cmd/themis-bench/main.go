@@ -67,7 +67,8 @@ func main() {
 
 	if *churnBench != "" {
 		r, err := experiments.ChurnRecovery([]stream.Duration{
-			1 * stream.Second, 2 * stream.Second, 5 * stream.Second, 10 * stream.Second,
+			1 * stream.Second, 2 * stream.Second, 5 * stream.Second,
+			10 * stream.Second, 20 * stream.Second,
 		}, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "themis-bench: churnbench: %v\n", err)

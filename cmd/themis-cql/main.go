@@ -82,6 +82,7 @@ func main() {
 	stw := flag.Duration("stw", 10*time.Second, "source time window (-net mode)")
 	interval := flag.Duration("interval", 250*time.Millisecond, "shedding/update interval (-net mode)")
 	seed := flag.Int64("seed", 1, "deployment seed (-net mode)")
+	checkpoint := flag.Duration("checkpoint", 0, "operator-state checkpoint cadence; failure recovery restores windows from the newest snapshot instead of refilling them (-net mode; 0 disables)")
 
 	// Live query churn: mid-run submissions and retracts, in both modes.
 	// The initial -query is query 0; scheduled submissions are numbered
@@ -129,7 +130,7 @@ func main() {
 
 	if *netAddrs != "" {
 		runNetworked(*netAddrs, *queryText, int(ds), *fragments, *placement,
-			*rate, *batches, *duration, *warmup, *stw, *interval, *seed, *quietFlag,
+			*rate, *batches, *duration, *warmup, *stw, *interval, *checkpoint, *seed, *quietFlag,
 			submits, retracts)
 		return
 	}
@@ -212,7 +213,7 @@ func main() {
 // ticking.
 func runNetworked(addrList, queryText string, dataset, fragments int, placement string,
 	rate, batchesPerSec float64, duration, warmup time.Duration,
-	stw, interval time.Duration, seed int64, quiet bool,
+	stw, interval, checkpoint time.Duration, seed int64, quiet bool,
 	submits []timedSubmit, retracts []timedRetract) {
 	addrs := strings.Split(addrList, ",")
 	for i := range addrs {
@@ -223,10 +224,11 @@ func runNetworked(addrList, queryText string, dataset, fragments int, placement 
 	}
 
 	ctrl, err := transport.NewController(transport.ControllerConfig{
-		STW:       stream.Duration(stw.Milliseconds()),
-		Interval:  stream.Duration(interval.Milliseconds()),
-		Seed:      seed,
-		Placement: placement,
+		STW:        stream.Duration(stw.Milliseconds()),
+		Interval:   stream.Duration(interval.Milliseconds()),
+		Seed:       seed,
+		Placement:  placement,
+		Checkpoint: checkpoint,
 	}, addrs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "themis-cql: %v\n", err)
@@ -304,8 +306,12 @@ func runNetworked(addrList, queryText string, dataset, fragments int, placement 
 
 	fmt.Printf("\nnetworked run over %d nodes (%s placement)\n", ctrl.NumNodes(), placement)
 	for _, rec := range res.Recoveries {
-		fmt.Printf("recovered from failure of node %s at t=%.2fs: re-placed queries %v in %v\n",
-			rec.Node, rec.At.Seconds(), rec.Queries, rec.Took)
+		mode := ""
+		if rec.Restored {
+			mode = " (restored from checkpoint)"
+		}
+		fmt.Printf("recovered from failure of node %s at t=%.2fs: re-placed queries %v in %v%s\n",
+			rec.Node, rec.At.Seconds(), rec.Queries, rec.Took, mode)
 	}
 	qids := make([]themis.QueryID, 0, len(res.PerQuery))
 	for id := range res.PerQuery {
@@ -316,7 +322,9 @@ func runNetworked(addrList, queryText string, dataset, fragments int, placement 
 		suffix := ""
 		for _, rec := range res.Recoveries {
 			for _, rq := range rec.Queries {
-				if rq == id {
+				if rq == id && !rec.Restored {
+					// A checkpoint-restored query carried its accounting
+					// through the failure — no epoch to call out.
 					suffix = "   (post-recovery epoch)"
 				}
 			}

@@ -36,7 +36,29 @@ func discarded(p *stream.Pool) {
 	_ = p.Get(1, 2, 3, 0, 4, 2) // want `acquired and discarded`
 }
 
+// Snapshot-buffer ownership (PR 8): encoding a batch's tuples into a
+// snapshot copies them — the encoder never retains the batch — so
+// encode-then-Release is the sanctioned checkpoint idiom, while feeding
+// an already-released batch to the encoder is a lifecycle violation
+// like any other handoff.
+
+func encodeBatch(enc *stream.SnapEncoder, b *stream.Batch) {
+	enc.TupleSlice(b.Tuples)
+}
+
+func snapshotAfterRelease(p *stream.Pool, enc *stream.SnapEncoder) {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	b.Release()
+	encodeBatch(enc, b) // want `pooled batch b handed off after Release`
+}
+
 // The negatives below must produce no diagnostics.
+
+func snapshotShipThenRelease(p *stream.Pool, enc *stream.SnapEncoder) {
+	b := p.Get(1, 2, 3, 0, 4, 2)
+	encodeBatch(enc, b)
+	b.Release()
+}
 
 func releasedOnAllPaths(p *stream.Pool, early bool) {
 	b := p.Get(1, 2, 3, 0, 4, 2)

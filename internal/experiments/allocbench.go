@@ -59,9 +59,24 @@ type AllocBenchResult struct {
 // nodes with capacity far above load, so the shedder never runs and a
 // warmed step touches no allocator.
 func SteadyStateEngine() *federation.Engine {
+	return steadyStateEngine(0)
+}
+
+// SteadyStateCheckpointEngine is SteadyStateEngine with operator-state
+// checkpointing at every tick — the most aggressive cadence — so the
+// zero-alloc acceptance gate also covers the checkpoint path: a warm
+// snapshot tick reuses the engine's encoder and per-fragment record
+// buffers and must not touch the allocator either.
+func SteadyStateCheckpointEngine() *federation.Engine {
+	cfg := federation.Defaults()
+	return steadyStateEngine(cfg.Interval)
+}
+
+func steadyStateEngine(checkpoint stream.Duration) *federation.Engine {
 	cfg := federation.Defaults()
 	cfg.Workers = 1
 	cfg.Seed = 3
+	cfg.Checkpoint = checkpoint
 	e := federation.NewEngine(cfg)
 	e.AddNodes(4, 1e6)
 	for _, d := range []struct {

@@ -259,34 +259,44 @@ func TestTableRendering(t *testing.T) {
 }
 
 // TestChurnRecoveryExperiment: the recovery-time experiment must show
-// the canonical shape — near-perfect SIC before the kill, a deep dip at
-// the recovery epoch, and recovery within a few STWs whose duration
-// grows with the window.
+// the canonical shape in both regimes — near-perfect SIC before the
+// kill; without checkpointing a deep dip at the recovery epoch and a
+// refill whose duration grows with the window; with checkpointing no
+// deep dip and an immediate 90% recovery regardless of the window.
 func TestChurnRecoveryExperiment(t *testing.T) {
 	res, err := ChurnRecovery([]stream.Duration{1 * stream.Second, 2 * stream.Second}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
+	if len(res.Rows) != 4 {
 		t.Fatalf("rows: %+v", res.Rows)
 	}
 	for _, row := range res.Rows {
 		if row.PreKillSIC < 0.9 {
 			t.Errorf("stw %dms: pre-kill SIC %.3f, want steady state", row.STWMs, row.PreKillSIC)
 		}
-		if row.DipSIC > 0.5*row.PreKillSIC {
-			t.Errorf("stw %dms: dip SIC %.3f vs pre-kill %.3f: recovery epoch not visible", row.STWMs, row.DipSIC, row.PreKillSIC)
-		}
 		if row.RecoveryTicks < 0 {
-			t.Errorf("stw %dms: SIC never recovered", row.STWMs)
+			t.Errorf("stw %dms ckpt=%v: SIC never recovered", row.STWMs, row.Checkpoint)
 		}
 		if row.RecoveredSIC < 0.9*row.PreKillSIC {
-			t.Errorf("stw %dms: recovered SIC %.3f below threshold", row.STWMs, row.RecoveredSIC)
+			t.Errorf("stw %dms ckpt=%v: recovered SIC %.3f below threshold", row.STWMs, row.Checkpoint, row.RecoveredSIC)
+		}
+		if !row.Checkpoint && row.DipSIC > 0.5*row.PreKillSIC {
+			t.Errorf("stw %dms: dip SIC %.3f vs pre-kill %.3f: recovery epoch not visible", row.STWMs, row.DipSIC, row.PreKillSIC)
+		}
+		if row.Checkpoint {
+			if row.DipSIC < 0.5*row.PreKillSIC {
+				t.Errorf("stw %dms: checkpointed dip SIC %.3f — restore did not skip the refill", row.STWMs, row.DipSIC)
+			}
+			if row.RecoveryTicks > 20 {
+				t.Errorf("stw %dms: checkpointed 90%% recovery took %d ticks, want <= 2 slides", row.STWMs, row.RecoveryTicks)
+			}
 		}
 	}
-	// Window refill dominates recovery: a 2 s STW must take longer than 1 s.
-	if res.Rows[1].RecoveryMs <= res.Rows[0].RecoveryMs {
-		t.Errorf("recovery %d ms (2s STW) not above %d ms (1s STW)", res.Rows[1].RecoveryMs, res.Rows[0].RecoveryMs)
+	// Rows alternate off/on per STW. Window refill dominates the legacy
+	// recovery: a 2 s STW must take longer than 1 s.
+	if res.Rows[2].RecoveryMs <= res.Rows[0].RecoveryMs {
+		t.Errorf("recovery %d ms (2s STW) not above %d ms (1s STW)", res.Rows[2].RecoveryMs, res.Rows[0].RecoveryMs)
 	}
 }
 
@@ -304,11 +314,25 @@ func TestChurnRecoverySettlesFully(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row := res.Rows[0]
-	if row.FullRecoveryTicks < 0 {
-		t.Fatalf("stw %dms: SIC never settled (recovered %.4f)", row.STWMs, row.RecoveredSIC)
+	for _, row := range res.Rows {
+		if row.FullRecoveryTicks < 0 {
+			t.Fatalf("stw %dms ckpt=%v: SIC never settled (recovered %.4f)", row.STWMs, row.Checkpoint, row.RecoveredSIC)
+		}
 	}
-	if row.RecoveredSIC < 0.99*row.PreKillSIC {
-		t.Errorf("stw %dms: settled SIC %.4f below pre-kill %.4f", row.STWMs, row.RecoveredSIC, row.PreKillSIC)
+	legacy, ckpt := res.Rows[0], res.Rows[1]
+	if legacy.RecoveredSIC < 0.99*legacy.PreKillSIC {
+		t.Errorf("stw %dms: settled SIC %.4f below pre-kill %.4f", legacy.STWMs, legacy.RecoveredSIC, legacy.PreKillSIC)
+	}
+	// The checkpointed run settles within ~2 slides — ten slides sooner
+	// than the legacy refill for this window — and its plateau is within
+	// the in-transit loss (2 of 30 partial-units) of pre-kill.
+	if ckpt.SettledTicks > 20 {
+		t.Errorf("checkpointed run settled after %d ticks, want <= 2 slides", ckpt.SettledTicks)
+	}
+	if legacy.SettledTicks <= 2*ckpt.SettledTicks {
+		t.Errorf("legacy settle %d ticks vs checkpointed %d: refill advantage not visible", legacy.SettledTicks, ckpt.SettledTicks)
+	}
+	if ckpt.RecoveredSIC < (1-2.0/30)*ckpt.PreKillSIC-0.005 {
+		t.Errorf("checkpointed plateau %.4f below the in-transit bound of pre-kill %.4f", ckpt.RecoveredSIC, ckpt.PreKillSIC)
 	}
 }

@@ -1,0 +1,201 @@
+package federation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// Checkpointed recovery tests (PR 8): with Config.Checkpoint set, a kill
+// restores the displaced fragment's windows from the newest snapshot and
+// keeps the query's SIC accounting running, so recovery settles within a
+// couple of result slides instead of one STW refill.
+
+// churnEngine builds the churn-experiment topology: 4 nodes (one spare),
+// a 3-fragment AVG-all query on nodes {0,1,2}, node 0 killed at killTick.
+func ckptChurnEngine(t *testing.T, stw, interval, ckpt stream.Duration, killTick int64) (*Engine, stream.QueryID) {
+	t.Helper()
+	cfg := Defaults()
+	cfg.STW = stw
+	cfg.Interval = interval
+	cfg.SourceRate = 50
+	cfg.Seed = 11
+	cfg.Checkpoint = ckpt
+	if killTick >= 0 {
+		cfg.Churn = []ChurnEvent{{Tick: killTick, Kill: []stream.NodeID{0}}}
+	}
+	e := NewEngine(cfg)
+	e.AddNodes(4, 50_000)
+	q, err := e.DeployQuery(query.NewAvgAll(3, sources.Uniform), []stream.NodeID{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, q
+}
+
+// TestCheckpointRecoveryConvergence is the differential acceptance test:
+// a run that loses the root fragment's host with checkpointing on must
+// converge back to the undisturbed run's per-tick SIC within two result
+// slides of the kill — for a long STW that is an order of magnitude
+// faster than the window refill the legacy recovery needs.
+func TestCheckpointRecoveryConvergence(t *testing.T) {
+	const (
+		stw      = 10 * stream.Second
+		interval = 100 * stream.Millisecond
+		slide    = stream.Second // AVG-all result slide
+	)
+	killTick := 3 * int64(stw) / int64(interval)
+	churned, q := ckptChurnEngine(t, stw, interval, interval, killTick)
+	calm, cq := ckptChurnEngine(t, stw, interval, interval, -1)
+	if cq != q {
+		t.Fatalf("query ids diverge: %d vs %d", q, cq)
+	}
+	for i := int64(0); i < killTick; i++ {
+		churned.Step()
+		calm.Step()
+	}
+	pre := churned.CurrentSIC(q)
+	if pre < 0.9 {
+		t.Fatalf("pre-kill SIC %.3f, federation never reached steady state", pre)
+	}
+	// The restore brings the window back, but the partial batches that
+	// were in flight to the dead host when it died are gone for good —
+	// one slide's emissions from the two upstream fragments, 2 of the
+	// 3·(STW/slide) = 30 partial-units the sliding accumulator covers.
+	// That bounds the permissible divergence from the calm twin until
+	// the lost slide retires from the window, one STW after the kill.
+	transitLoss := 2.0 / (3.0 * float64(stw) / float64(slide))
+	deadline := 2 * int64(slide) / int64(interval)
+	retire := (int64(stw) + 3*int64(slide)) / int64(interval)
+	horizon := 2 * int64(stw) / int64(interval)
+	var atDeadline, worstMid, worstLate float64
+	for i := int64(0); i <= horizon; i++ {
+		churned.Step()
+		calm.Step()
+		diff := math.Abs(churned.CurrentSIC(q) - calm.CurrentSIC(q))
+		switch {
+		case i == deadline:
+			atDeadline = churned.CurrentSIC(q)
+		case i > deadline && i < retire-3*int64(slide)/int64(interval):
+			// Settled plateau: no further drift beyond the bounded loss,
+			// and no change from the level reached at the deadline.
+			if diff > worstMid {
+				worstMid = diff
+			}
+			if d := math.Abs(churned.CurrentSIC(q) - atDeadline); d > 0.005 {
+				t.Fatalf("t+%d: SIC %.4f drifted from the 2-slide settle level %.4f", i, churned.CurrentSIC(q), atDeadline)
+			}
+		case i >= retire:
+			if diff > worstLate {
+				worstLate = diff
+			}
+		}
+	}
+	if worstMid > transitLoss+0.005 {
+		t.Errorf("checkpointed run diverges %.4f from the undisturbed run, beyond the %.4f in-transit bound", worstMid, transitLoss)
+	}
+	if worstLate > 1e-9 {
+		t.Errorf("checkpointed run still diverges %.2e after the lost slide retired from the window", worstLate)
+	}
+	if got := churned.CurrentSIC(q); got < 0.99*pre {
+		t.Errorf("settled SIC %.4f below 99%% of pre-kill %.4f", got, pre)
+	}
+}
+
+// TestCheckpointRecoveryBeatsLegacy pins the headline property: with a
+// long STW, the checkpointed run settles within two result slides while
+// the legacy run is still refilling its window.
+func TestCheckpointRecoveryBeatsLegacy(t *testing.T) {
+	const (
+		stw      = 20 * stream.Second
+		interval = 100 * stream.Millisecond
+		slide    = stream.Second
+	)
+	killTick := 3 * int64(stw) / int64(interval)
+	ck, q := ckptChurnEngine(t, stw, interval, interval, killTick)
+	legacy, _ := ckptChurnEngine(t, stw, interval, 0, killTick)
+	for i := int64(0); i < killTick; i++ {
+		ck.Step()
+		legacy.Step()
+	}
+	pre := ck.CurrentSIC(q)
+	deadline := 2 * int64(slide) / int64(interval)
+	for i := int64(0); i <= deadline; i++ {
+		ck.Step()
+		legacy.Step()
+	}
+	if got := ck.CurrentSIC(q); got < 0.95*pre {
+		t.Errorf("checkpointed SIC %.4f two slides after the kill, want >= 95%% of pre-kill %.4f", got, pre)
+	}
+	// The legacy recovery epoch resets the sliding accumulator; two
+	// slides into a 20 s STW it can only have refilled ~10% of it.
+	if got := legacy.CurrentSIC(q); got > 0.5*pre {
+		t.Errorf("legacy SIC %.4f two slides after the kill — refill finished implausibly fast", got)
+	}
+}
+
+// TestCheckpointReadOnlyBitExact: checkpointing is a read-only observer
+// until a restore happens, so an undisturbed run with it on must be
+// bit-identical to one with it off.
+func TestCheckpointReadOnlyBitExact(t *testing.T) {
+	const (
+		stw      = 5 * stream.Second
+		interval = 100 * stream.Millisecond
+	)
+	on, q := ckptChurnEngine(t, stw, interval, interval, -1)
+	off, _ := ckptChurnEngine(t, stw, interval, 0, -1)
+	ticks := 4 * int64(stw) / int64(interval)
+	for i := int64(0); i < ticks; i++ {
+		on.Step()
+		off.Step()
+		a, b := on.CurrentSIC(q), off.CurrentSIC(q)
+		if a != b {
+			t.Fatalf("tick %d: SIC %v with checkpointing, %v without — snapshot path mutated state", i, a, b)
+		}
+	}
+}
+
+// TestCheckpointStateNoLeak: records of removed queries must be pruned at
+// the next slot rebuild, so a long-lived federation absorbing query churn
+// does not accumulate dead snapshots.
+func TestCheckpointStateNoLeak(t *testing.T) {
+	cfg := Defaults()
+	cfg.Interval = 100 * stream.Millisecond
+	cfg.STW = 2 * stream.Second
+	cfg.SourceRate = 30
+	cfg.Checkpoint = cfg.Interval
+	cfg.Seed = 5
+	e := NewEngine(cfg)
+	e.AddNodes(3, 50_000)
+	q1, err := e.DeployQuery(query.NewAvgAll(1, sources.Uniform), []stream.NodeID{0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.DeployQuery(query.NewAvgAll(2, sources.Gaussian), []stream.NodeID{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	for _, q := range []stream.QueryID{q1, q2} {
+		if rec := e.ckptRecs[ckptKey{q: q, fi: 0}]; rec == nil || !rec.valid {
+			t.Fatalf("query %d has no valid checkpoint record after 10 ticks", q)
+		}
+	}
+	e.RemoveQuery(q1)
+	for i := 0; i < 2; i++ {
+		e.Step() // next checkpoint tick rebuilds the slots and prunes
+	}
+	for k := range e.ckptRecs {
+		if k.q == q1 {
+			t.Errorf("removed query %d still owns checkpoint record %+v", q1, k)
+		}
+	}
+	if rec := e.ckptRecs[ckptKey{q: q2, fi: 0}]; rec == nil || !rec.valid {
+		t.Error("surviving query's checkpoint record was dropped by the prune")
+	}
+}

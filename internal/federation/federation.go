@@ -166,6 +166,14 @@ type Config struct {
 	// Sharing selects the multi-query sharing mode for CQL submissions
 	// (SharingOff preserves the legacy per-query behaviour exactly).
 	Sharing Sharing
+	// Checkpoint is the operator-state checkpoint cadence in virtual time:
+	// every Checkpoint the engine snapshots the window and accumulator
+	// state of every live fragment, and KillNode restores displaced
+	// fragments from the newest compatible snapshot instead of refilling
+	// their windows over a full STW. Zero disables checkpointing (the
+	// legacy empty-window recovery). Sub-interval values clamp to one
+	// checkpoint per tick.
+	Checkpoint stream.Duration
 	// Seed drives all randomness in the deployment.
 	Seed int64
 }
@@ -324,6 +332,19 @@ type Engine struct {
 	planCache *cql.PlanCache
 	catalogs  map[sources.Dataset]*cql.Catalog
 
+	// Checkpoint schedule state (see checkpoint.go). ckptEvery is the
+	// cadence in ticks (0 = off); ckptSlots is the precomputed per-tick
+	// walk, rebuilt lazily when ckptDirty marks the query set changed;
+	// ckptRecs holds the newest snapshot per fragment and ckptCompat
+	// indexes those records by shape+rate compatibility key; ckptEnc is
+	// the one reused encoder.
+	ckptEvery  int64
+	ckptDirty  bool
+	ckptSlots  []ckptSlot
+	ckptRecs   map[ckptKey]*snapshotRec
+	ckptCompat map[string]*snapshotRec
+	ckptEnc    stream.SnapEncoder
+
 	nextQuery  stream.QueryID
 	nextSource stream.SourceID
 }
@@ -354,6 +375,14 @@ func NewEngine(cfg Config) *Engine {
 		accBatch:  make(map[stream.QueryID][]float64),
 		planCache: cql.NewPlanCache(),
 		catalogs:  make(map[sources.Dataset]*cql.Catalog),
+	}
+	if cfg.Checkpoint > 0 {
+		e.ckptEvery = int64(cfg.Checkpoint / cfg.Interval)
+		if e.ckptEvery < 1 {
+			e.ckptEvery = 1
+		}
+		e.ckptRecs = make(map[ckptKey]*snapshotRec)
+		e.ckptCompat = make(map[string]*snapshotRec)
 	}
 	// Ring length covers the longest possible delivery delay (the link
 	// latency in ticks) plus the current tick's drain slot.
@@ -488,6 +517,7 @@ func (e *Engine) deployShaped(plan *query.Plan, placement []stream.NodeID, rate 
 	e.coords[q] = coordinator.New(q, e.cfg.UpdateMode, e.cfg.STW, e.cfg.Interval)
 	e.queries[q] = rt
 	e.order = append(e.order, q)
+	e.ckptDirty = true
 	return q, nil
 }
 
@@ -518,6 +548,7 @@ func (e *Engine) RemoveQuery(q stream.QueryID) bool {
 	// weight once the query's statistics are frozen.
 	rt.resultAcc = nil
 	rt.resultFn = nil
+	e.ckptDirty = true
 	return true
 }
 
@@ -604,12 +635,17 @@ func (e *Engine) applyChurn() {
 // KillNode fails a node mid-run, mirroring the transport controller's
 // recovery: every query fragment the node hosted is re-placed on the
 // lowest-numbered surviving nodes not already hosting the query, with a
-// fresh executor and fresh sources (operator window state dies with the
-// node, exactly as in a real crash), and the affected queries' SIC
-// accounting resets at this recovery epoch — their statistics describe
-// the post-recovery pipeline. A query that cannot be re-placed (too few
-// survivors) departs. Batches in transit to the dead node are dropped on
-// delivery and counted against the sender's dropped-SIC stats.
+// fresh executor and fresh sources. Without checkpointing, operator
+// window state dies with the node, exactly as in a real crash, and the
+// affected queries' SIC accounting resets at this recovery epoch — their
+// statistics describe the post-recovery pipeline. With Config.Checkpoint
+// set, each displaced fragment is restored from the newest compatible
+// snapshot instead; when every displaced fragment of a query restores,
+// the epoch resets are skipped and the query's surviving accumulators
+// carry straight through the failure (checkpoint.go). A query that
+// cannot be re-placed (too few survivors) departs. Batches in transit
+// to the dead node are dropped on delivery and counted against the
+// sender's dropped-SIC stats.
 func (e *Engine) KillNode(id stream.NodeID) {
 	if int(id) < 0 || int(id) >= len(e.nodes) || e.dead[id] {
 		return
@@ -662,6 +698,24 @@ func (e *Engine) KillNode(id stream.NodeID) {
 				hostSeen[nd] = true
 				rt.hosts = append(rt.hosts, nd)
 			}
+		}
+		// With checkpointing on, try to restore every displaced fragment
+		// from its newest compatible snapshot. All-or-nothing per query:
+		// a partially-restored query would mix warm and cold windows under
+		// one surviving accumulator, so any failure falls back to the full
+		// legacy recovery epoch.
+		restored := false
+		if e.ckptEvery > 0 {
+			restored = true
+			for _, fi := range displaced {
+				if !e.restoreDisplaced(rt, fi) {
+					restored = false
+					break
+				}
+			}
+		}
+		if restored {
+			continue
 		}
 		// Recovery epoch: measured SIC and per-run samples restart so the
 		// post-recovery pipeline is measured cleanly.
@@ -1043,6 +1097,13 @@ func (e *Engine) Step() {
 		if e.cfg.KeepSamples {
 			rt.samples = append(rt.samples, s)
 		}
+	}
+	// Checkpoint the end-of-tick operator state on the configured virtual
+	// time cadence. Snapshots are read-only against node state, so a run
+	// with checkpointing on is bit-identical to one with it off until the
+	// first restore.
+	if e.ckptEvery > 0 && (e.tick+1)%e.ckptEvery == 0 {
+		e.checkpointTick()
 	}
 	e.tick++
 }

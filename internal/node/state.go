@@ -1,0 +1,148 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Per-fragment checkpoint surface (PR 8). A fragment's recoverable state
+// is its executor's operator state (windows, capture stores, pending
+// buffers) plus the rate-estimator rings of the sources attached to it —
+// without the estimators a restored fragment would re-enter warm-start
+// extrapolation and mis-stamp Eq. (1) SIC for a window's worth of tuples.
+//
+// The snapshot payload layout, inside the stream codec's version byte and
+// checksum trailer (the caller owns Reset and Seal):
+//
+//	[fragment executor state]        — FragmentExec.Snapshot
+//	[u32 source count]
+//	per source, in attach order:     — positional; attach order is
+//	  [bool has estimator]             deterministic on both runtimes
+//	  [estimator state if present]
+
+// ErrNotHosted reports a state operation against a fragment the node does
+// not host.
+var ErrNotHosted = errors.New("node: fragment not hosted")
+
+// ErrSharedSubscriber reports a snapshot request against a shared
+// subscriber fragment: it executes on another query's primary instance
+// and has no private state of its own.
+var ErrSharedSubscriber = errors.New("node: fragment is a shared subscriber; state lives on its primary")
+
+// FragRef names one hosted fragment.
+type FragRef struct {
+	Query stream.QueryID
+	Frag  stream.FragID
+}
+
+// ForEachFragment calls fn for every hosted executing fragment in the
+// node's deterministic hosting order. Shared subscribers are skipped —
+// they carry no private state.
+func (n *Node) ForEachFragment(fn func(q stream.QueryID, f stream.FragID)) {
+	for _, key := range n.fragOrder {
+		fn(key.q, key.f)
+	}
+}
+
+// StateSnapshot writes the fragment's full recoverable state into enc.
+// The caller owns the encoder lifecycle (Reset before, Seal after), so
+// the engine's checkpoint tick reuses one encoder across every fragment
+// without allocating. Returns ErrSharedSubscriber for subscriber
+// fragments and ErrNotHosted for unknown ones.
+func (n *Node) StateSnapshot(q stream.QueryID, f stream.FragID, enc *stream.SnapEncoder) error {
+	key := fragKey{q: q, f: f}
+	if _, ok := n.subOf[key]; ok {
+		return ErrSharedSubscriber
+	}
+	inst, ok := n.frags[key]
+	if !ok {
+		return ErrNotHosted
+	}
+	inst.exec.Snapshot(enc)
+	cnt := 0
+	for _, s := range n.srcs {
+		if s.Query == q && s.Frag == f {
+			cnt++
+		}
+	}
+	enc.U32(uint32(cnt))
+	for _, s := range n.srcs {
+		if s.Query != q || s.Frag != f {
+			continue
+		}
+		if re := n.rateEst[s.ID]; re != nil {
+			enc.Bool(true)
+			re.Snapshot(enc)
+		} else {
+			enc.Bool(false)
+		}
+	}
+	return nil
+}
+
+// RestoreState replaces the fragment's state with a sealed snapshot taken
+// from a fragment of the same plan (same query, or a shape-and-rate
+// compatible one under keyed sharing). After the operator state is
+// applied, every window's emission cursor is reopened at the node's
+// current time, so edges between the checkpoint and the restore are
+// skipped rather than re-emitted.
+//
+// Restoring a shared subscriber fragment is a success no-op: its state
+// lives on the primary instance, which the primary's own query restores.
+// A decode or compatibility error may leave a prefix of the operators
+// restored; the executor remains safe to run, and callers respond by
+// taking the legacy reset path instead.
+func (n *Node) RestoreState(q stream.QueryID, f stream.FragID, data []byte) error {
+	key := fragKey{q: q, f: f}
+	if _, ok := n.subOf[key]; ok {
+		return nil
+	}
+	inst, ok := n.frags[key]
+	if !ok {
+		return ErrNotHosted
+	}
+	var dec stream.SnapDecoder
+	if err := dec.Init(data); err != nil {
+		return err
+	}
+	if err := inst.exec.Restore(&dec); err != nil {
+		return err
+	}
+	cnt := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	applied := 0
+	for _, s := range n.srcs {
+		if s.Query != q || s.Frag != f {
+			continue
+		}
+		if applied >= cnt {
+			applied++
+			continue
+		}
+		if dec.Bool() {
+			re := n.rateEst[s.ID]
+			if re == nil {
+				return fmt.Errorf("node: snapshot carries an estimator for source %d, none attached", s.ID)
+			}
+			if err := re.Restore(&dec); err != nil {
+				return err
+			}
+		}
+		applied++
+	}
+	if applied != cnt {
+		return fmt.Errorf("node: snapshot has %d source estimators, fragment has %d", cnt, applied)
+	}
+	if dec.Remaining() != 0 {
+		return stream.ErrSnapCorrupt
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	inst.exec.Reopen(n.now)
+	return nil
+}

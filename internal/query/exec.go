@@ -1,6 +1,8 @@
 package query
 
 import (
+	"fmt"
+
 	"repro/internal/operator"
 	"repro/internal/stream"
 )
@@ -77,6 +79,72 @@ func (e *FragmentExec) AdvanceTo(now stream.Time) {
 	for _, op := range e.ops {
 		if adv, ok := op.(operator.TimeAdvancer); ok {
 			adv.AdvanceTo(now)
+		}
+	}
+}
+
+// Snapshot writes the executor's full operator state (PR 8): an operator
+// count, then per operator its Name tag and a length-prefixed state blob.
+// Operators without cross-tick state encode an empty blob, so the layout
+// is positionally self-describing and Restore can verify both identity
+// (the tag) and exact consumption (the length) per operator.
+func (e *FragmentExec) Snapshot(enc *stream.SnapEncoder) {
+	enc.U32(uint32(len(e.ops)))
+	for _, op := range e.ops {
+		enc.Str(op.Name())
+		mark := enc.BeginBlob()
+		if s, ok := op.(operator.Stateful); ok {
+			s.SnapshotState(enc)
+		}
+		enc.EndBlob(mark)
+	}
+}
+
+// Restore replaces the executor's operator state with a snapshot taken
+// from an executor of the same plan. Any mismatch — operator count, name
+// tag, a blob an operator does not consume exactly — is an error; the
+// caller then falls back to the legacy empty-window recovery.
+func (e *FragmentExec) Restore(dec *stream.SnapDecoder) error {
+	n := int(dec.U32())
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(e.ops) {
+		return fmt.Errorf("query: snapshot has %d operators, executor has %d", n, len(e.ops))
+	}
+	for i, op := range e.ops {
+		name := dec.Str()
+		blobLen := int(dec.U32())
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		if name != op.Name() {
+			return fmt.Errorf("query: snapshot operator %d is %q, executor has %q", i, name, op.Name())
+		}
+		if blobLen > dec.Remaining() {
+			return stream.ErrSnapCorrupt
+		}
+		start := dec.Offset()
+		if s, ok := op.(operator.Stateful); ok {
+			if err := s.RestoreState(dec); err != nil {
+				return err
+			}
+		}
+		if dec.Offset()-start != blobLen {
+			return fmt.Errorf("query: operator %q consumed %d of its %d snapshot bytes", name, dec.Offset()-start, blobLen)
+		}
+	}
+	return dec.Err()
+}
+
+// Reopen advances every windowed operator's emission cursor past now
+// after a restore, so edges between the checkpoint and the restore are
+// skipped instead of re-emitted (their SIC already reached the surviving
+// engine-side accumulators). See operator.Reopener.
+func (e *FragmentExec) Reopen(now stream.Time) {
+	for _, op := range e.ops {
+		if r, ok := op.(operator.Reopener); ok {
+			r.Reopen(now)
 		}
 	}
 }

@@ -16,7 +16,11 @@
 // 0 means everything was shed.
 package sic
 
-import "repro/internal/stream"
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
 
 // SourceTupleSIC assigns the SIC value of a single source tuple per
 // Eq. (1), given the (estimated) number of tuples its source generates
@@ -139,6 +143,46 @@ func (a *Accumulator) Reset() {
 	a.head, a.curSlide, a.total = 0, 0, 0
 }
 
+// Snapshot writes the ring state — bucket count, head, current slide,
+// running total and every bucket — through the state-snapshot codec
+// (PR 8), so a restored fragment's accumulators resume mid-window.
+func (a *Accumulator) Snapshot(enc *stream.SnapEncoder) {
+	enc.U32(uint32(len(a.buckets)))
+	enc.U32(uint32(a.head))
+	enc.I64(a.curSlide)
+	enc.F64(a.total)
+	for _, b := range a.buckets {
+		enc.F64(b)
+	}
+}
+
+// Restore replaces the ring state with a snapshot. The snapshot's bucket
+// count must match the accumulator's — a mismatch means the snapshot was
+// taken under a different STW or slide configuration and is incompatible.
+func (a *Accumulator) Restore(dec *stream.SnapDecoder) error {
+	n := int(dec.U32())
+	head := int(dec.U32())
+	curSlide := dec.I64()
+	total := dec.F64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if n != len(a.buckets) {
+		return fmt.Errorf("sic: snapshot has %d buckets, accumulator has %d", n, len(a.buckets))
+	}
+	if head < 0 || head >= n {
+		return stream.ErrSnapCorrupt
+	}
+	for i := range a.buckets {
+		a.buckets[i] = dec.F64()
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	a.head, a.curSlide, a.total = head, curSlide, total
+	return nil
+}
+
 // RateEstimator estimates |T^S_s| — the tuples a source generates per
 // STW — online, relaxing Assumption 2 (§6: "THEMIS uses the STW
 // approximation of sliding windows to update the SIC values of all source
@@ -163,6 +207,27 @@ func (r *RateEstimator) Observe(t stream.Time, n int) {
 		r.first = t
 	}
 	r.acc.Add(t, float64(n))
+}
+
+// Snapshot writes the estimator's warm-start markers and counting ring.
+// Restoring it on a re-placed fragment keeps Eq. (1) SIC stamping
+// continuous: a fresh estimator would re-enter the warm-start
+// extrapolation and briefly over- or under-value source tuples.
+func (r *RateEstimator) Snapshot(enc *stream.SnapEncoder) {
+	enc.Bool(r.started)
+	enc.I64(int64(r.first))
+	r.acc.Snapshot(enc)
+}
+
+// Restore replaces the estimator state with a snapshot.
+func (r *RateEstimator) Restore(dec *stream.SnapDecoder) error {
+	started := dec.Bool()
+	first := stream.Time(dec.I64())
+	if err := r.acc.Restore(dec); err != nil {
+		return err
+	}
+	r.started, r.first = started, first
+	return nil
 }
 
 // PerSTW estimates the number of tuples the source generates during one

@@ -167,6 +167,62 @@ func (wb *WindowBuffer) FastForward(now Time) {
 	}
 }
 
+// Snapshot writes the buffer's full state — spec, emission cursor and
+// buffered tuples with deep payload copies — so a re-placed fragment can
+// resume from a warm window (PR 8). The arena-backed layout makes this a
+// contiguous copy: no per-tuple pointers are chased.
+func (wb *WindowBuffer) Snapshot(enc *SnapEncoder) {
+	enc.U8(uint8(wb.spec.Kind))
+	enc.I64(wb.spec.Range)
+	enc.I64(wb.spec.Slide)
+	enc.I64(wb.nextEdge)
+	enc.I64(wb.seen)
+	enc.TupleSlice(wb.buf)
+}
+
+// Restore replaces the buffer's state with a snapshot. The snapshot's
+// window spec must match the buffer's: a mismatch means the snapshot
+// belongs to a differently-planned fragment and restoring it would emit
+// at wrong edges, so Restore rejects it.
+func (wb *WindowBuffer) Restore(dec *SnapDecoder) error {
+	kind := WindowKind(dec.U8())
+	rng := dec.I64()
+	slide := dec.I64()
+	nextEdge := dec.I64()
+	seen := dec.I64()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if kind != wb.spec.Kind || rng != wb.spec.Range || slide != wb.spec.Slide {
+		return fmt.Errorf("stream: snapshot window %v/%d/%d incompatible with buffer %v/%d/%d",
+			kind, rng, slide, wb.spec.Kind, wb.spec.Range, wb.spec.Slide)
+	}
+	buf, vals := dec.TupleSlice(wb.buf[:0], wb.vals[:0])
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	wb.buf, wb.vals = buf, vals
+	wb.nextEdge, wb.seen = nextEdge, seen
+	return nil
+}
+
+// Reopen advances the next emission boundary past now without closing the
+// intervening windows, preserving slide alignment. It is the restore-time
+// counterpart of FastForward, legal on a non-empty buffer: a restored
+// window must not replay edges between the checkpoint and the restore,
+// because the engine-side result accumulator survived the failure and
+// would double-count their SIC. Tuples below the reopened window range
+// simply stop being collected and retire after the first emission.
+func (wb *WindowBuffer) Reopen(now Time) {
+	if wb.spec.Kind != TimeWindow {
+		return
+	}
+	if wb.nextEdge <= int64(now) {
+		steps := (int64(now)-wb.nextEdge)/wb.spec.Slide + 1
+		wb.nextEdge += steps * wb.spec.Slide
+	}
+}
+
 // Tick advances the buffer to logical time now and invokes emit once per
 // closed window with that window's contents. The emitted slice aliases the
 // internal buffer and is only valid during the call.

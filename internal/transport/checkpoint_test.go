@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/cql"
+	"repro/internal/federation"
+	"repro/internal/sources"
+	"repro/internal/stream"
+)
+
+// TestCheckpointedRecoveryEndToEnd is the differential acceptance test
+// for checkpointed recovery over the wire: the same 4-node loopback
+// topology as TestChurnRecoveryEndToEnd — root fragment's host crashed
+// mid-run — but with operator-state checkpointing on. The hosts ship
+// sealed snapshots to the controller every cadence; recovery must
+// restore the displaced root from its newest blob (RecoveryEvent.
+// Restored), carry the query's SIC accounting through the failure
+// instead of resetting a recovery epoch, and converge on the
+// virtual-time engine running the identical churn schedule with the
+// identical checkpoint cadence. Post-recovery both runs sit near SIC 1
+// within a slide — the restored window needs no refill — so this also
+// pins the "no STW-length dependence" property at the wire level.
+func TestCheckpointedRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock federation test in -short mode")
+	}
+	const (
+		cqlText  = "Select Avg(t.v) From AllSrc[Range 1 sec]"
+		frags    = 3
+		dataset  = 1 // uniform
+		rate     = 20.0
+		batches  = 4.0
+		capacity = 50_000.0
+	)
+	addrs, srvs := startNodes(t, 4, capacity)
+	ctrl, err := NewController(ControllerConfig{
+		STW:        3 * stream.Second,
+		Interval:   100 * stream.Millisecond,
+		Seed:       1,
+		Checkpoint: 300 * time.Millisecond,
+	}, addrs[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.CloseAll()
+	if idx, err := ctrl.AddNode(addrs[3]); err != nil || idx != 3 {
+		t.Fatalf("AddNode: idx %d, err %v", idx, err)
+	}
+
+	placement, err := ctrl.AutoPlace(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ctrl.DeployCQL(cqlText, frags, dataset, rate, batches, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootHost := placement[0]
+
+	go func() {
+		time.Sleep(3 * time.Second)
+		srvs[rootHost].Close() // crash the root's host mid-run
+	}()
+	res, err := ctrl.Run(10*time.Second, 6*time.Second)
+	if err != nil {
+		t.Fatalf("Run aborted on a recoverable failure: %v", err)
+	}
+	if len(res.Recoveries) != 1 {
+		t.Fatalf("recoveries: %+v, want exactly one", res.Recoveries)
+	}
+	rec := res.Recoveries[0]
+	if !rec.Restored {
+		t.Errorf("recovery fell back to the legacy epoch reset — no checkpoint blob for the displaced root after %v of %v-cadence checkpointing", rec.At, 300*time.Millisecond)
+	}
+	if len(rec.Queries) != 1 || rec.Queries[0] != q {
+		t.Errorf("recovery re-placed queries %v, want [%d]", rec.Queries, q)
+	}
+	netSIC := res.PerQuery[q]
+
+	// The deterministic mirror: same plan, same membership, same churn
+	// schedule, same checkpoint cadence in virtual time.
+	st, err := cql.Parse(cqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := cql.PlanDistributed(st, cql.DefaultCatalog(sources.Dataset(dataset)), frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := federation.Defaults()
+	cfg.STW = 3 * stream.Second
+	cfg.Interval = 100 * stream.Millisecond
+	cfg.Duration = 10 * stream.Second
+	cfg.Warmup = 6 * stream.Second
+	cfg.SourceRate = rate
+	cfg.BatchesPerSec = batches
+	cfg.Seed = 1
+	cfg.Checkpoint = 300 * stream.Millisecond
+	cfg.Churn = []federation.ChurnEvent{{Tick: 30, Kill: []stream.NodeID{stream.NodeID(rootHost)}}}
+	eng := federation.NewEngine(cfg)
+	eng.AddNodes(4, capacity)
+	vq, err := eng.DeployQuery(plan, []stream.NodeID{0, 1, 2}, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vres := eng.Run()
+	virtSIC := vres.Queries[int(vq)].MeanSIC
+	t.Logf("networked SIC %.3f, virtual-time SIC %.3f (recovery: restored=%v, took %v)",
+		netSIC, virtSIC, rec.Restored, rec.Took)
+	if math.Abs(netSIC-virtSIC) > 0.15 {
+		t.Errorf("checkpointed networked SIC %.3f vs virtual-time SIC %.3f: disagree beyond tolerance", netSIC, virtSIC)
+	}
+	// The measurement window opens 3 s after the kill — exactly one STW.
+	// A legacy refill would just be completing; a restored window was
+	// already settled, so the mean over the window must sit near 1, not
+	// blend a refill ramp.
+	if netSIC < 0.85 {
+		t.Errorf("post-restore SIC %.3f: the restored root did not resume with warm windows", netSIC)
+	}
+}

@@ -53,9 +53,15 @@ type Controller struct {
 	epoch    time.Time
 	stw      stream.Duration
 	ival     stream.Duration
-	nextQ    stream.QueryID
-	seed     int64
-	placer   *federation.Placer
+	ckpt     time.Duration
+	// ckpts holds the newest checkpoint blob per fragment, replaced on
+	// every KindCheckpoint frame and dropped on retract. Blobs are
+	// opaque here — versioned and checksummed by the stream snapshot
+	// codec, verified by the restoring node.
+	ckpts  map[peerKey][]byte
+	nextQ  stream.QueryID
+	seed   int64
+	placer *federation.Placer
 
 	strategy  string
 	hbTimeout time.Duration
@@ -115,6 +121,10 @@ type RecoveryEvent struct {
 	Queries []stream.QueryID
 	// Took measures detection → last recovery deploy on the wire.
 	Took time.Duration
+	// Restored reports whether every re-placed fragment was restored
+	// from a banked checkpoint (warm recovery, SIC accounting carried
+	// through) rather than restarted with an empty window.
+	Restored bool
 }
 
 // ControllerConfig parameterises the controller.
@@ -138,6 +148,15 @@ type ControllerConfig struct {
 	// DisableRecovery restores the pre-churn behaviour: any node failure
 	// aborts the run instead of re-placing the dead node's fragments.
 	DisableRecovery bool
+	// Checkpoint is the operator-state checkpoint cadence: every
+	// Checkpoint of wall clock each host snapshots its fragments and
+	// ships the sealed blobs here; failure recovery then restores a
+	// displaced fragment's newest blob on its replacement host instead
+	// of refilling its windows over a full STW, and — when every
+	// displaced fragment of a query has a blob — keeps the query's SIC
+	// accounting running through the failure. Zero disables
+	// checkpointing (the legacy recovery-epoch behaviour).
+	Checkpoint time.Duration
 }
 
 // NewController connects to the given node addresses.
@@ -165,6 +184,8 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		finished:  make(map[stream.QueryID]float64),
 		stw:       cfg.STW,
 		ival:      cfg.Interval,
+		ckpt:      cfg.Checkpoint,
+		ckpts:     make(map[peerKey][]byte),
 		seed:      cfg.Seed,
 		strategy:  cfg.Placement,
 		hbTimeout: hb,
@@ -226,7 +247,8 @@ func (c *Controller) AddNode(addr string) (int, error) {
 	c.mu.Unlock()
 	if running {
 		cn.send(&Envelope{Kind: KindStart, Start: &Start{
-			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw), CheckpointMs: c.ckptMs(),
+			RunOffsetMs: c.runOffsetMs(),
 		}})
 		go func() {
 			defer c.wg.Done()
@@ -441,6 +463,11 @@ func (c *Controller) Retract(q stream.QueryID) error {
 	delete(c.hosts, q)
 	delete(c.deps, q)
 	delete(c.qEpochs, q)
+	for k := range c.ckpts {
+		if k.q == q {
+			delete(c.ckpts, k)
+		}
+	}
 	placement = append([]int(nil), placement...)
 	conns := append([]*conn(nil), c.nodes...)
 	dead := append([]bool(nil), c.dead...)
@@ -482,7 +509,7 @@ func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.Qu
 	c.mu.Unlock()
 
 	for f, ni := range placement {
-		d := fragDeploy(d, q, stream.FragID(f), peers, seed, c.stw, c.ival)
+		d := fragDeploy(d, q, stream.FragID(f), peers, seed, c.stw, c.ival, c.ckptMs())
 		if err := conns[ni].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
 			return 0, err
 		}
@@ -495,7 +522,7 @@ func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.Qu
 // so a recovery re-deploy reconstructs the displaced fragment's sources
 // exactly as the original deploy did.
 func fragDeploy(d Deploy, q stream.QueryID, f stream.FragID, peers map[stream.FragID]string,
-	seed int64, stw, ival stream.Duration) Deploy {
+	seed int64, stw, ival stream.Duration, ckptMs int64) Deploy {
 	d.Query = q
 	d.Frag = f
 	d.Peers = peers
@@ -503,7 +530,22 @@ func fragDeploy(d Deploy, q stream.QueryID, f stream.FragID, peers map[stream.Fr
 	d.FirstSourceID = stream.SourceID(int(q)*1000 + 100*int(f))
 	d.STWMs = int64(stw)
 	d.IntervalMs = int64(ival)
+	d.CheckpointMs = ckptMs
 	return d
+}
+
+// ckptMs is the checkpoint cadence in wall-clock milliseconds (zero when
+// checkpointing is off). c.ckpt is immutable after construction.
+func (c *Controller) ckptMs() int64 { return int64(c.ckpt / time.Millisecond) }
+
+// runOffsetMs is the run clock carried on Start messages so mid-run
+// joiners align their logical clocks with the founding members. Zero
+// before Run begins.
+func (c *Controller) runOffsetMs() int64 {
+	if c.epoch.IsZero() {
+		return 0
+	}
+	return time.Since(c.epoch).Milliseconds()
 }
 
 // Run starts all nodes, processes reports for the given wall-clock
@@ -532,7 +574,8 @@ func (c *Controller) Run(duration, warmup time.Duration) (*NetResults, error) {
 	defer c.running.Store(false)
 	for _, n := range conns {
 		if err := n.send(&Envelope{Kind: KindStart, Start: &Start{
-			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw), CheckpointMs: c.ckptMs(),
+			RunOffsetMs: c.runOffsetMs(),
 		}}); err != nil {
 			c.CloseAll()
 			return nil, err
@@ -721,14 +764,17 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 	start := time.Now()
+	restored := len(affected) > 0
 	for _, q := range affected {
-		if err := c.replaceFragments(q, f.idx); err != nil {
+		warm, err := c.replaceFragments(q, f.idx)
+		if err != nil {
 			return fmt.Errorf("node %s: %v: %w", deadAddr, f.err, err)
 		}
+		restored = restored && warm
 	}
 	ev := RecoveryEvent{
 		Node: deadAddr, At: time.Since(c.epoch), Queries: affected,
-		Took: time.Since(start),
+		Took: time.Since(start), Restored: restored,
 	}
 	c.mu.Lock()
 	c.recoveries = append(c.recoveries, ev)
@@ -746,7 +792,7 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 // accounting resets at this recovery epoch: accepted/result accumulators
 // and the run's sample sums restart, so the reported mean describes the
 // post-recovery pipeline instead of blending two incomparable regimes.
-func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
+func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) (restored bool, err error) {
 	c.mu.Lock()
 	placement := c.hosts[q]
 	rec := c.deps[q]
@@ -756,7 +802,7 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 		// racing recovery is a legal interleaving and whichever side
 		// runs second stands down.
 		c.mu.Unlock()
-		return nil
+		return true, nil
 	}
 	var displaced []int
 	used := make(map[int]bool, len(placement))
@@ -775,18 +821,18 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 	}
 	if len(candidates) < len(displaced) {
 		c.mu.Unlock()
-		return fmt.Errorf("transport: query %d: %d fragments displaced, %d candidate survivors",
+		return false, fmt.Errorf("transport: query %d: %d fragments displaced, %d candidate survivors",
 			q, len(displaced), len(candidates))
 	}
 	placer, err := federation.NewPlacer(c.strategy, len(candidates), c.seed+int64(q))
 	if err != nil {
 		c.mu.Unlock()
-		return err
+		return false, err
 	}
 	picked, err := placer.Place(len(displaced))
 	if err != nil {
 		c.mu.Unlock()
-		return err
+		return false, err
 	}
 	picks := make([]int, len(displaced))
 	for i, p := range picked {
@@ -797,17 +843,36 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 	for f, ni := range placement {
 		peers[stream.FragID(f)] = c.addrs[ni]
 	}
-	// Recovery epoch: wipe pre-failure SIC state so post-recovery values
-	// are measured cleanly. Guarded lookups — a retract may have won the
-	// race for individual records.
-	if co, ok := c.coords[q]; ok {
-		co.ResetEpoch()
+	// With checkpointing on and a blob banked for every displaced
+	// fragment, recovery restores warm state: the blobs ship to the new
+	// hosts after their deploys below, and the query's SIC accounting
+	// carries straight through the failure — no recovery epoch. A node-
+	// side restore failure (stale or corrupt blob) degrades that query's
+	// dip to roughly the legacy one; the blob's checksum and plan tags
+	// make the failure clean either way.
+	restoring := c.ckpt > 0
+	blobs := make([][]byte, len(displaced))
+	for i, f := range displaced {
+		blob, ok := c.ckpts[peerKey{q, stream.FragID(f)}]
+		if !ok {
+			restoring = false
+			break
+		}
+		blobs[i] = blob
 	}
-	if acc, ok := c.accs[q]; ok {
-		acc.Reset()
-	}
-	if _, ok := c.sums[q]; ok {
-		c.sums[q] = &sampleStats{}
+	if !restoring {
+		// Recovery epoch: wipe pre-failure SIC state so post-recovery
+		// values are measured cleanly. Guarded lookups — a retract may
+		// have won the race for individual records.
+		if co, ok := c.coords[q]; ok {
+			co.ResetEpoch()
+		}
+		if acc, ok := c.accs[q]; ok {
+			acc.Reset()
+		}
+		if _, ok := c.sums[q]; ok {
+			c.sums[q] = &sampleStats{}
+		}
 	}
 	base, seed := rec.base, rec.seed
 	conns := append([]*conn(nil), c.nodes...)
@@ -819,13 +884,21 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 	// idle spare begins ticking here; handleStart is idempotent on nodes
 	// already running.
 	for i, f := range displaced {
-		d := fragDeploy(base, q, stream.FragID(f), peers, seed, c.stw, c.ival)
+		d := fragDeploy(base, q, stream.FragID(f), peers, seed, c.stw, c.ival, c.ckptMs())
 		if err := conns[picks[i]].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
-			return fmt.Errorf("transport: re-deploy fragment %d on %s: %w", f, addrs[picks[i]], err)
+			return false, fmt.Errorf("transport: re-deploy fragment %d on %s: %w", f, addrs[picks[i]], err)
 		}
 		conns[picks[i]].send(&Envelope{Kind: KindStart, Start: &Start{
-			IntervalMs: int64(c.ival), STWMs: int64(c.stw),
+			IntervalMs: int64(c.ival), STWMs: int64(c.stw), CheckpointMs: c.ckptMs(),
+			RunOffsetMs: c.runOffsetMs(),
 		}})
+		if restoring {
+			// Per-connection sends are ordered, so the restore lands
+			// after the deploy that builds its target executor.
+			conns[picks[i]].send(&Envelope{Kind: KindRestoreState, Restore: &RestoreStateMsg{
+				Query: q, Frag: stream.FragID(f), State: blobs[i],
+			}})
+		}
 	}
 	// Rewire every surviving host of the query. The new hosts' deploys
 	// already carried the updated peer map; the redundant rewire is
@@ -850,7 +923,7 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) error {
 			}
 		}
 	}
-	return nil
+	return restoring, nil
 }
 
 // stopTimeout bounds the stop handshake's wait for node stats.
@@ -903,6 +976,19 @@ func (c *Controller) readLoop(idx int, n *conn) {
 				} else {
 					coord.ReportAccepted(now, r.Accepted)
 				}
+			}
+			c.mu.Unlock()
+		case KindCheckpoint:
+			ck := e.Checkpoint
+			if ck == nil {
+				continue
+			}
+			c.mu.Lock()
+			// Keep the newest blob per fragment, and only for queries
+			// still deployed — a checkpoint racing a retract must not
+			// resurrect the query's state map entry.
+			if _, ok := c.deps[ck.Query]; ok {
+				c.ckpts[peerKey{ck.Query, ck.Frag}] = ck.State
 			}
 			c.mu.Unlock()
 		case KindStats:

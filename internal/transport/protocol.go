@@ -37,6 +37,9 @@ type Envelope struct {
 	Stats   *StatsMsg  `json:"stats,omitempty"`
 	Rewire  *Rewire    `json:"rewire,omitempty"`
 	Retract *Retract   `json:"retract,omitempty"`
+
+	Checkpoint *CheckpointMsg   `json:"checkpoint,omitempty"`
+	Restore    *RestoreStateMsg `json:"restore,omitempty"`
 }
 
 // Message kinds.
@@ -59,6 +62,14 @@ const (
 	// and per-query state leave the node without pausing other queries'
 	// ticks.
 	KindRetract = "retract"
+	// KindCheckpoint flows host → controller: one fragment's sealed
+	// operator-state snapshot, shipped on the node's checkpoint cadence.
+	// The controller keeps only the newest blob per fragment.
+	KindCheckpoint = "checkpoint"
+	// KindRestoreState flows controller → host on the failure-recovery
+	// path: the newest checkpoint of a re-placed fragment, applied after
+	// the fragment's re-deploy so recovery skips the window refill.
+	KindRestoreState = "restore_state"
 )
 
 // Hello introduces a connection.
@@ -97,6 +108,9 @@ type Deploy struct {
 	// result-SIC measurement by controllerSTW/nodeSTW.
 	STWMs      int64 `json:"stw_ms"`
 	IntervalMs int64 `json:"interval_ms"`
+	// CheckpointMs is the operator-state checkpoint cadence in wall-clock
+	// milliseconds; zero disables checkpoint shipping from this host.
+	CheckpointMs int64 `json:"checkpoint_ms,omitempty"`
 }
 
 // Start begins real-time processing on a node. The tick interval and
@@ -109,6 +123,17 @@ type Deploy struct {
 type Start struct {
 	IntervalMs int64 `json:"interval_ms"`
 	STWMs      int64 `json:"stw_ms"`
+	// CheckpointMs echoes the deploy's checkpoint cadence, so spare nodes
+	// adopted as recovery targets checkpoint the fragments they inherit.
+	CheckpointMs int64 `json:"checkpoint_ms,omitempty"`
+	// RunOffsetMs is the controller's run clock at the moment this Start
+	// was sent. A node started mid-run (a spare adopted during failure
+	// recovery) backdates its epoch by this much, so its logical clock —
+	// source timestamps, window edges — aligns with the founding
+	// members' instead of restarting at zero. Without the alignment a
+	// restored snapshot's window edges sit a whole run-offset ahead of
+	// the local clock and the fragment stalls until it catches up.
+	RunOffsetMs int64 `json:"run_offset_ms,omitempty"`
 }
 
 // BatchMsg carries one tuple batch between nodes. Tuples are flattened
@@ -183,6 +208,32 @@ type Rewire struct {
 // is gone; nothing of it survives past that tick.
 type Retract struct {
 	Query stream.QueryID `json:"query"`
+}
+
+// CheckpointMsg carries one fragment's sealed state snapshot from its
+// host to the controller. State is the opaque output of the stream
+// snapshot codec — versioned and checksummed, so the restoring node
+// detects truncation or corruption itself. JSON base64-encodes the
+// bytes; snapshots are off the hot path, so debuggability wins over
+// compactness here as for the other control messages.
+type CheckpointMsg struct {
+	Query stream.QueryID `json:"query"`
+	Frag  stream.FragID  `json:"frag"`
+	// Tick is the host's local tick count at the snapshot, for ordering
+	// diagnostics only — the controller keeps the last blob received.
+	Tick  int64  `json:"tick"`
+	State []byte `json:"state"`
+}
+
+// RestoreStateMsg delivers a checkpointed snapshot to the node now
+// hosting the fragment. The node applies it to the freshly deployed
+// executor and reopens the windows at its current time; a blob that
+// fails to decode or no longer matches the plan is logged and dropped —
+// the fragment then recovers the legacy way, by refilling.
+type RestoreStateMsg struct {
+	Query stream.QueryID `json:"query"`
+	Frag  stream.FragID  `json:"frag"`
+	State []byte         `json:"state"`
 }
 
 // SICMsg is a coordinator result-SIC update (30 bytes in the paper's

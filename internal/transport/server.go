@@ -36,6 +36,16 @@ type NodeServer struct {
 	seed     int64
 	policy   string
 
+	// Checkpoint shipping (PR 8): every ckptMs of wall clock the tick
+	// loop snapshots each hosted fragment and sends the sealed blobs to
+	// the controller, which keeps the newest per fragment for the
+	// failure-recovery restore path. Zero disables shipping. All three
+	// fields are guarded by mu (collectCheckpoints holds it while the
+	// encoder is in use).
+	ckptMs   int64
+	ckptTick int64
+	ckptEnc  stream.SnapEncoder
+
 	ctrl  *conn
 	outMu sync.Mutex
 	outs  map[string]*conn // peer address → connection
@@ -204,6 +214,8 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 			s.handleRewire(e.Rewire)
 		case KindRetract:
 			s.handleRetract(e.Retract)
+		case KindRestoreState:
+			s.handleRestore(e.Restore)
 		case KindStop:
 			s.handleStop(out)
 			return
@@ -265,6 +277,9 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 	defer s.mu.Unlock()
 	if s.nd == nil {
 		s.initNode(d.STWMs, d.IntervalMs)
+	}
+	if d.CheckpointMs > 0 {
+		s.ckptMs = d.CheckpointMs
 	}
 	fp := plan.Fragments[d.Frag]
 	downstream := stream.FragID(-1)
@@ -408,11 +423,21 @@ func (s *NodeServer) handleStart(st *Start, ctrl *conn) {
 	}
 	s.ctrl = ctrl
 	s.started = true
+	if st != nil && st.CheckpointMs > 0 {
+		s.ckptMs = st.CheckpointMs
+	}
 	interval := 250 * time.Millisecond
 	if st != nil && st.IntervalMs > 0 {
 		interval = time.Duration(st.IntervalMs) * time.Millisecond
 	}
 	s.epoch = time.Now()
+	if st != nil && st.RunOffsetMs > 0 {
+		// A mid-run joiner backdates its epoch so its logical clock lines
+		// up with the founding members'. Restored snapshots then carry
+		// window edges the local clock has already reached, and upstream
+		// batches' timestamps fall inside the local windows immediately.
+		s.epoch = s.epoch.Add(-time.Duration(st.RunOffsetMs) * time.Millisecond)
+	}
 	go s.tickLoop(interval)
 }
 
@@ -420,7 +445,14 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 	defer close(s.done)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
-	last := stream.Time(0)
+	// Start spans from the current logical clock: for founding members
+	// that is ~0, for mid-run joiners the backdated epoch already places
+	// it at the federation's run offset — the joiner must not replay the
+	// whole pre-join span as one giant source burst.
+	s.mu.Lock()
+	last := s.now()
+	s.mu.Unlock()
+	lastCkpt := time.Now()
 	for {
 		select {
 		case <-s.stop:
@@ -453,11 +485,68 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 			// mistake for a partition.
 			s.mu.Lock()
 			ctrl := s.ctrl
+			ckptMs := s.ckptMs
 			s.mu.Unlock()
 			if ctrl != nil {
 				ctrl.send(&Envelope{Kind: KindHeartbeat})
 			}
+			// Ship operator-state checkpoints on the configured cadence.
+			// Snapshots are collected under the node mutex but sent
+			// outside it, like the outbox drain above.
+			if ctrl != nil && ckptMs > 0 &&
+				time.Since(lastCkpt) >= time.Duration(ckptMs)*time.Millisecond {
+				lastCkpt = time.Now()
+				for _, env := range s.collectCheckpoints() {
+					ctrl.send(env)
+				}
+			}
 		}
+	}
+}
+
+// collectCheckpoints snapshots every hosted fragment into ready-to-send
+// checkpoint envelopes. The node mutex is held for the duration so each
+// snapshot captures a consistent between-ticks state; the shared encoder
+// is reused across fragments and the sealed bytes are copied out, since
+// Seal's return aliases the encoder buffer.
+func (s *NodeServer) collectCheckpoints() []*Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nd == nil {
+		return nil
+	}
+	var msgs []*Envelope
+	s.nd.ForEachFragment(func(q stream.QueryID, f stream.FragID) {
+		s.ckptEnc.Reset()
+		if err := s.nd.StateSnapshot(q, f, &s.ckptEnc); err != nil {
+			return
+		}
+		sealed := s.ckptEnc.Seal()
+		state := make([]byte, len(sealed))
+		copy(state, sealed)
+		msgs = append(msgs, &Envelope{Kind: KindCheckpoint, Checkpoint: &CheckpointMsg{
+			Query: q, Frag: f, Tick: s.ckptTick, State: state,
+		}})
+	})
+	s.ckptTick++
+	return msgs
+}
+
+// handleRestore applies a checkpointed snapshot to a re-deployed
+// fragment. Failures are logged and dropped — the blob is versioned and
+// checksummed, so a stale or corrupt snapshot is rejected cleanly and
+// the fragment recovers the legacy way, by refilling its windows.
+func (s *NodeServer) handleRestore(r *RestoreStateMsg) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nd == nil {
+		return
+	}
+	if err := s.nd.RestoreState(r.Query, r.Frag, r.State); err != nil {
+		s.logf("themis-node %s: restore q%d/f%d: %v", s.Name, r.Query, r.Frag, err)
 	}
 }
 

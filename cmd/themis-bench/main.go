@@ -35,7 +35,26 @@ func main() {
 	churnBench := flag.String("churnbench", "", "measure node-failure recovery time across STWs and write the JSON result to this file")
 	allocBench := flag.String("allocbench", "", "measure per-step allocations on the pooled data path and write the JSON comparison to this file")
 	queryBench := flag.String("querybench", "", "measure marginal per-query cost across sharing modes and write the JSON result to this file")
+	wireBench := flag.String("wirebench", "", "measure node→node wire throughput (per-batch flush vs coalesced vectored writes) and write the JSON result to this file")
 	flag.Parse()
+
+	if *wireBench != "" {
+		r, err := experiments.WireBench(600)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: wirebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+		buf, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*wireBench, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "themis-bench: wirebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *queryBench != "" {
 		r := experiments.QueryBench(60)

@@ -17,6 +17,12 @@ var Seeds = []string{
 	// The wall-clock runtime's per-tick body on live nodes: same data
 	// path, driven from the transport tick loop.
 	"(*repro/internal/node.Node).TickSpan",
+	// The transport write pipeline (PR 9): encode into a pooled buffer
+	// and queue per peer, then flush each queue with one vectored write.
+	// Both must stay at 0 allocs in steady state
+	// (TestSteadyStateSendZeroAlloc).
+	"(*repro/internal/transport.NodeServer).RouteDownstream",
+	"(*repro/internal/transport.NodeServer).flushPeers",
 }
 
 // Stops are reachability barriers: functions reachable from the roots
@@ -30,4 +36,7 @@ var Stops = []string{
 	// ckptDirty flag); the per-tick snapshot body itself stays in the
 	// hot set and is covered by TestCheckpointSteadyStateZeroAlloc.
 	"(*repro/internal/federation.Engine).rebuildCheckpointSlots",
+	// Dialling happens only on first contact with a peer or after an
+	// evict/redial; steady-state flushes hit the connection cache.
+	"repro/internal/transport.dial",
 }

@@ -50,6 +50,8 @@ calls.`,
 //	Controller.mu (10)  — controller state; never nests inside others
 //	NodeServer.mu (20)  — the node mutex; taken before any send/pool lock
 //	NodeServer.outMu (30), NodeServer.connMu (40) — connection caches
+//	peerQueue.mu (44)   — per-peer send queue; push/take under outMu snapshots
+//	bufPool.mu (46)     — write-buffer free list
 //	conn.mu (50)        — per-connection send lock
 //	PlanCache.mu (60)   — plan memo
 //	Pool.mu (100)       — free lists; innermost leaf, may nest under all
@@ -58,6 +60,8 @@ var Ranks = strings.Join([]string{
 	"repro/internal/transport.NodeServer.mu=20",
 	"repro/internal/transport.NodeServer.outMu=30",
 	"repro/internal/transport.NodeServer.connMu=40",
+	"repro/internal/transport.peerQueue.mu=44",
+	"repro/internal/transport.bufPool.mu=46",
 	"repro/internal/transport.conn.mu=50",
 	"repro/internal/cql.PlanCache.mu=60",
 	"repro/internal/stream.Pool.mu=100",

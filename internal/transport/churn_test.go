@@ -224,6 +224,7 @@ func TestPeerConnRedial(t *testing.T) {
 	s := routingServer(t, addr)
 
 	s.RouteDownstream(0, testBatch(3))
+	s.flushPeers()
 	select {
 	case <-peer.got:
 	case <-time.After(2 * time.Second):
@@ -241,6 +242,7 @@ func TestPeerConnRedial(t *testing.T) {
 	deadline := time.After(5 * time.Second)
 	for {
 		s.RouteDownstream(0, testBatch(3))
+		s.flushPeers()
 		select {
 		case <-peer2.got:
 			return // re-dial reached the restarted peer
@@ -269,6 +271,9 @@ func TestDroppedSICAccounting(t *testing.T) {
 	s.RouteDownstream(0, b)
 	// A batch with no peer entry at all is dropped too.
 	s.RouteDownstream(0, &stream.Batch{Query: 9, Frag: 9, Tuples: testBatch(2).Tuples, SIC: 0.5})
+	// The dial failure (and the drop accounting for the queued frame)
+	// happens at flush time.
+	s.flushPeers()
 
 	s.mu.Lock()
 	st := s.nd.Stats()

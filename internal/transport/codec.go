@@ -123,10 +123,14 @@ func decodeWireBatch(p []byte, pool *stream.Pool) (*stream.Batch, error) {
 }
 
 // frameReader reads frames off a connection, reusing one payload buffer
-// and decoding batch frames into pooled batches when given a pool.
+// and decoding batch frames into pooled batches when given a pool. The
+// header scratch lives on the reader, not the stack: a stack array's
+// slice would escape through io.ReadFull's interface call and cost one
+// heap allocation per frame.
 type frameReader struct {
 	r    *bufio.Reader
 	buf  []byte
+	hdr  [frameHeaderLen]byte
 	pool *stream.Pool
 }
 
@@ -145,13 +149,17 @@ func newPooledFrameReader(c io.Reader, pool *stream.Pool) *frameReader {
 // frames return a non-nil batch. The batch owns its storage; the envelope
 // is freshly unmarshalled — neither aliases the reader's buffer.
 func (fr *frameReader) next() (*Envelope, *stream.Batch, error) {
-	var hdr [frameHeaderLen]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return nil, nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr[1:])
+	size := binary.BigEndian.Uint32(fr.hdr[1:])
 	if size > maxFramePayload {
 		return nil, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	if cap(fr.buf) > maxWireScratch && int(size) <= maxWireScratch {
+		// Mirror of the write-side scratch shrink: one pathological frame
+		// must not pin its high-water mark on this reader forever.
+		fr.buf = nil
 	}
 	if cap(fr.buf) < int(size) {
 		fr.buf = make([]byte, size)
@@ -160,7 +168,7 @@ func (fr *frameReader) next() (*Envelope, *stream.Batch, error) {
 	if _, err := io.ReadFull(fr.r, p); err != nil {
 		return nil, nil, err
 	}
-	switch hdr[0] {
+	switch fr.hdr[0] {
 	case frameJSON:
 		var e Envelope
 		if err := json.Unmarshal(p, &e); err != nil {
@@ -171,6 +179,6 @@ func (fr *frameReader) next() (*Envelope, *stream.Batch, error) {
 		b, err := decodeWireBatch(p, fr.pool)
 		return nil, b, err
 	default:
-		return nil, nil, fmt.Errorf("transport: unknown frame type 0x%02x", hdr[0])
+		return nil, nil, fmt.Errorf("transport: unknown frame type 0x%02x", fr.hdr[0])
 	}
 }

@@ -202,7 +202,7 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		c.placer = p
 	}
 	for _, addr := range nodeAddrs {
-		cn, err := dial(addr, "controller")
+		cn, err := dial(addr, "controller", defaultWriteTimeout)
 		if err != nil {
 			c.CloseAll()
 			return nil, err
@@ -221,7 +221,7 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 // for subsequent deploys. Joining is legal mid-run: the node is started
 // and its reports are ingested immediately.
 func (c *Controller) AddNode(addr string) (int, error) {
-	cn, err := dial(addr, "controller")
+	cn, err := dial(addr, "controller", defaultWriteTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -640,15 +640,35 @@ loop:
 			c.mu.Unlock()
 			// Network writes happen outside c.mu: a node with a full TCP
 			// send buffer must not stall readLoop's report ingestion.
+			// Every query's update to the same host is coalesced into one
+			// vectored write — at 48 queries over 24 nodes this interval
+			// costs one syscall per host, not one per (query, host) pair.
+			perNode := make([][]*Envelope, len(conns))
 			for _, b := range outs {
 				for _, ni := range b.hosts {
 					if dead[ni] {
 						continue
 					}
-					conns[ni].send(&Envelope{Kind: KindSIC, SIC: &SICMsg{Query: b.q, Value: b.v}})
+					perNode[ni] = append(perNode[ni], &Envelope{Kind: KindSIC, SIC: &SICMsg{Query: b.q, Value: b.v}})
 				}
 				if c.sicFn != nil {
 					c.sicFn(b.q, now, b.v)
+				}
+			}
+			for ni, es := range perNode {
+				if len(es) == 0 {
+					continue
+				}
+				if err := conns[ni].sendMany(es); err != nil {
+					// A write deadline expiry or a broken conn is a failure
+					// signal like any read error: surface it (non-blocking —
+					// heartbeat detection is the backstop) so the node is
+					// declared dead and its fragments re-placed instead of
+					// silently starving of SIC updates.
+					select {
+					case c.fail <- nodeFailure{ni, err}:
+					default:
+					}
 				}
 			}
 		}

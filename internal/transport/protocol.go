@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -272,6 +273,18 @@ type StatsMsg struct {
 	DroppedSIC    float64 `json:"dropped_sic"`
 }
 
+// Write-path timing defaults. Every frame write — control and batch —
+// carries a write deadline: a peer that accepts the connection but
+// stops reading must surface as a conn error within writeTimeout, not
+// wedge the sender under c.mu forever. Dials are bounded too, and a
+// failed dial opens a cooldown window (see NodeServer.peerConn) so a
+// down peer fails fast instead of costing a full dial timeout per tick.
+const (
+	defaultWriteTimeout = 2 * time.Second
+	defaultDialTimeout  = 2 * time.Second
+	defaultDialCooldown = 1 * time.Second
+)
+
 // conn wraps a TCP connection with synchronised frame writing: JSON
 // frames for control envelopes, binary frames for batches. The scratch
 // buffer makes a steady-state batch send allocation-free.
@@ -280,18 +293,33 @@ type conn struct {
 	c   net.Conn
 	w   *bufio.Writer
 	buf []byte
+	// hdr is the frame-header scratch: a stack array's slice would
+	// escape through the writer's interface call and cost one heap
+	// allocation per frame. Guarded by mu like buf.
+	hdr [frameHeaderLen]byte
+	// wt bounds every frame write; a deadline expiry surfaces as a
+	// net.Error with Timeout() true and feeds the evict/redial/dropped
+	// accounting paths. Zero disables deadlines (tests only).
+	wt time.Duration
 }
 
 func newConn(c net.Conn) *conn {
-	return &conn{c: c, w: bufio.NewWriter(c)}
+	return newConnTimeout(c, defaultWriteTimeout)
 }
 
-// writeFrameLocked writes one frame and flushes. Callers hold c.mu.
+func newConnTimeout(c net.Conn, wt time.Duration) *conn {
+	return &conn{c: c, w: bufio.NewWriter(c), wt: wt}
+}
+
+// writeFrameLocked writes one frame and flushes, under a fresh write
+// deadline. Callers hold c.mu.
 func (c *conn) writeFrameLocked(kind byte, payload []byte) error {
-	var hdr [frameHeaderLen]byte
-	hdr[0] = kind
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
+	if c.wt > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.wt))
+	}
+	c.hdr[0] = kind
+	binary.BigEndian.PutUint32(c.hdr[1:], uint32(len(payload)))
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
 		return err
 	}
 	if _, err := c.w.Write(payload); err != nil {
@@ -312,24 +340,88 @@ func (c *conn) send(e *Envelope) error {
 	return c.writeFrameLocked(frameJSON, p)
 }
 
+// sendMany writes several control envelopes as back-to-back JSON frames
+// flushed with a single vectored write — the controller's per-interval
+// SIC fan-out coalesces every query's update to one node into one
+// syscall instead of one flush per query.
+func (c *conn) sendMany(es []*Envelope) error {
+	if len(es) == 0 {
+		return nil
+	}
+	bufs := make(net.Buffers, 0, len(es))
+	for _, e := range es {
+		p, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		bufs = append(bufs, appendFrame(make([]byte, 0, frameHeaderLen+len(p)), frameJSON, p))
+	}
+	return c.writeFrames(&bufs)
+}
+
 // sendBatch writes one tuple batch as a binary frame; safe for
-// concurrent use.
+// concurrent use. It is the per-batch-flush legacy path, kept for the
+// wire benchmark baseline and debug tooling — the transport's tick
+// drain goes through the per-peer queues and writeFrames instead.
 func (c *conn) sendBatch(b *stream.Batch) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.buf = appendWireBatch(c.buf[:0], b)
-	return c.writeFrameLocked(frameBatch, c.buf)
+	err := c.writeFrameLocked(frameBatch, c.buf)
+	if cap(c.buf) > maxWireScratch {
+		// One pathological batch must not pin its high-water mark on
+		// this conn for the rest of its life.
+		c.buf = nil
+	}
+	return err
+}
+
+// writeFrames writes pre-encoded frames back-to-back with one vectored
+// write (writev on TCP) under a single write deadline; safe for
+// concurrent use with send/sendBatch. The buffers are consumed in
+// place — bufs is a pointer so the steady-state flush does not box a
+// fresh slice header per call.
+func (c *conn) writeFrames(bufs *net.Buffers) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if c.wt > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.wt))
+	}
+	_, err := bufs.WriteTo(c.c)
+	return err
 }
 
 func (c *conn) Close() error { return c.c.Close() }
 
-// dial connects and sends a hello.
-func dial(addr, from string) (*conn, error) {
-	nc, err := net.Dial("tcp", addr)
+// appendFrame appends a complete frame — header plus payload — to dst.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	dst = append(dst, kind, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-4:], uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// appendBatchFrame appends a complete frameBatch frame for b to dst,
+// encoding the batch payload in place (no intermediate copy).
+func appendBatchFrame(dst []byte, b *stream.Batch) []byte {
+	start := len(dst)
+	dst = append(dst, frameBatch, 0, 0, 0, 0)
+	dst = appendWireBatch(dst, b)
+	binary.BigEndian.PutUint32(dst[start+1:start+frameHeaderLen], uint32(len(dst)-start-frameHeaderLen))
+	return dst
+}
+
+// dial connects (bounded by the dial timeout) and sends a hello. wt is
+// the write deadline applied to every frame written on the resulting
+// conn.
+func dial(addr, from string, wt time.Duration) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, defaultDialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	c := newConn(nc)
+	c := newConnTimeout(nc, wt)
 	if err := c.send(&Envelope{Kind: KindHello, Hello: &Hello{From: from}}); err != nil {
 		nc.Close()
 		return nil, err

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -48,7 +49,26 @@ type NodeServer struct {
 
 	ctrl  *conn
 	outMu sync.Mutex
-	outs  map[string]*conn // peer address → connection
+	outs  map[string]*conn      // peer address → connection
+	wq    map[string]*peerQueue // peer address → this tick's pending frames
+	cool  map[string]time.Time  // peer address → dial-cooldown deadline
+
+	// Flush scratch, owned by the single flusher (the tick loop): the
+	// parallel addr/queue snapshot flushPeers takes under outMu each
+	// tick, reused so steady-state flushes allocate nothing.
+	flushAddrs []string
+	flushQs    []*peerQueue
+
+	// wbufs recycles encoded-frame buffers between the enqueue side
+	// (RouteDownstream, queueCtrl) and the flush side; ctrlQ coalesces
+	// the tick's control frames (reports, heartbeat, checkpoints) bound
+	// for the controller the same way the per-peer queues coalesce
+	// batches.
+	wbufs bufPool
+	ctrlQ peerQueue
+
+	wtimeout time.Duration // per-write deadline on every outbound conn
+	dialCool time.Duration // negative-cache window after a dial/write timeout
 
 	// pool recycles the node's batches: the wire decoder draws inbound
 	// batches from it and the node releases them after the tick that
@@ -85,6 +105,16 @@ type NodeServerConfig struct {
 	Seed int64
 	// Quiet suppresses logging.
 	Quiet bool
+	// WriteTimeout bounds every outbound frame write (zero means the
+	// transport default). A peer that accepts but never reads surfaces
+	// as a conn error within this deadline instead of wedging the tick
+	// drain forever.
+	WriteTimeout time.Duration
+	// DialCooldown is the negative-cache window after a failed dial or
+	// a timed-out write (zero means the transport default): sends to
+	// the address fail fast until the window expires, instead of eating
+	// a dial timeout per tick while a peer is down.
+	DialCooldown time.Duration
 }
 
 // NewNodeServer starts listening (processing begins on Start).
@@ -102,11 +132,21 @@ func NewNodeServer(cfg NodeServerConfig) (*NodeServer, error) {
 		seed:     cfg.Seed,
 		policy:   cfg.Policy,
 		outs:     make(map[string]*conn),
+		wq:       make(map[string]*peerQueue),
+		cool:     make(map[string]time.Time),
 		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		closed:   make(chan struct{}),
+		wtimeout: cfg.WriteTimeout,
+		dialCool: cfg.DialCooldown,
 		logf:     log.Printf,
+	}
+	if s.wtimeout <= 0 {
+		s.wtimeout = defaultWriteTimeout
+	}
+	if s.dialCool <= 0 {
+		s.dialCool = defaultDialCooldown
 	}
 	if cfg.Quiet {
 		s.logf = func(string, ...any) {}
@@ -172,7 +212,7 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 		s.connMu.Unlock()
 	}()
 	fr := newPooledFrameReader(nc, s.pool)
-	out := newConn(nc)
+	out := newConnTimeout(nc, s.wtimeout)
 	for {
 		e, b, err := fr.next()
 		if err != nil {
@@ -363,19 +403,40 @@ func (s *NodeServer) handleRetract(r *Retract) {
 // evictStalePeers closes and forgets outbound peer connections whose
 // address no query references any more; live holds the addresses still
 // in use. Rewire and retract share this so a torn-down route never
-// keeps feeding a dead or departed peer.
+// keeps feeding a dead or departed peer. The address's send queue and
+// cooldown entry go with the connection — frames already queued for a
+// departed peer are dropped with their tuples and SIC mass accounted,
+// exactly as an undeliverable send would be.
 func (s *NodeServer) evictStalePeers(live map[string]bool) {
 	s.outMu.Lock()
 	var stale []*conn
+	var staleQ []*peerQueue
 	for addr, c := range s.outs {
 		if !live[addr] {
 			delete(s.outs, addr)
 			stale = append(stale, c)
 		}
 	}
+	for addr, q := range s.wq {
+		if !live[addr] {
+			delete(s.wq, addr)
+			staleQ = append(staleQ, q)
+		}
+	}
+	for addr := range s.cool {
+		if !live[addr] {
+			delete(s.cool, addr)
+		}
+	}
 	s.outMu.Unlock()
 	for _, c := range stale {
 		c.Close()
+	}
+	for _, q := range staleQ {
+		if frames := q.take(); frames != nil {
+			s.noteDroppedFrames(frames)
+			s.recycleFrames(q, frames)
+		}
 	}
 }
 
@@ -474,10 +535,12 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 			out := s.nd.TakeOutbox()
 			last = now
 			s.mu.Unlock()
-			// Drain the outbox outside the node mutex: network sends to
-			// peers and the controller no longer block Enqueue/SetResultSIC
-			// handlers. tickLoop is the only goroutine ticking the node, so
-			// the outbox stays valid until the next iteration.
+			// Drain the outbox outside the node mutex: the router methods
+			// below *encode and queue* rather than send, so the drain no
+			// longer blocks on the network at all — and inbound
+			// Enqueue/SetResultSIC handlers are never behind a send.
+			// tickLoop is the only goroutine ticking the node, so the
+			// outbox stays valid until the next iteration.
 			out.Replay(0, s)
 			// Liveness beacon: a node hosting no (or only displaced-away)
 			// fragments may otherwise stay silent for whole intervals,
@@ -488,18 +551,22 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 			ckptMs := s.ckptMs
 			s.mu.Unlock()
 			if ctrl != nil {
-				ctrl.send(&Envelope{Kind: KindHeartbeat})
+				s.queueCtrl(&Envelope{Kind: KindHeartbeat})
 			}
 			// Ship operator-state checkpoints on the configured cadence.
-			// Snapshots are collected under the node mutex but sent
-			// outside it, like the outbox drain above.
+			// Snapshots are collected under the node mutex but queued and
+			// flushed outside it, like the outbox drain above.
 			if ctrl != nil && ckptMs > 0 &&
 				time.Since(lastCkpt) >= time.Duration(ckptMs)*time.Millisecond {
 				lastCkpt = time.Now()
 				for _, env := range s.collectCheckpoints() {
-					ctrl.send(env)
+					s.queueCtrl(env)
 				}
 			}
+			// One vectored write per destination for everything this tick
+			// produced: batches to each peer, reports + heartbeat +
+			// checkpoints to the controller.
+			s.flushPeers()
 		}
 	}
 }
@@ -582,19 +649,42 @@ func (s *NodeServer) handleStop(out *conn) {
 	s.Close()
 }
 
-// peerConn returns (dialling if needed) the connection to a peer address.
+// errPeerCooling reports a send refused because the peer's address is
+// inside its dial-cooldown window.
+var errPeerCooling = errors.New("transport: peer in dial cooldown")
+
+// peerConn returns (dialling if needed) the connection to a peer
+// address. A dead peer fails fast: a failed dial (and a timed-out
+// write, via coolDown) opens a cooldown window during which sends to
+// the address are refused without touching the network, so an outage
+// costs one bounded dial per probe window rather than one per tick.
 func (s *NodeServer) peerConn(addr string) (*conn, error) {
 	s.outMu.Lock()
 	defer s.outMu.Unlock()
 	if c, ok := s.outs[addr]; ok {
 		return c, nil
 	}
-	c, err := dial(addr, s.Name)
+	if until, ok := s.cool[addr]; ok {
+		if time.Now().Before(until) {
+			return nil, errPeerCooling
+		}
+		delete(s.cool, addr)
+	}
+	c, err := dial(addr, s.Name, s.wtimeout)
 	if err != nil {
+		s.cool[addr] = time.Now().Add(s.dialCool)
 		return nil, err
 	}
 	s.outs[addr] = c
 	return c, nil
+}
+
+// coolDown opens the dial-cooldown window for addr: the next sends fail
+// fast until the window expires and the peer is probed again.
+func (s *NodeServer) coolDown(addr string) {
+	s.outMu.Lock()
+	s.cool[addr] = time.Now().Add(s.dialCool)
+	s.outMu.Unlock()
 }
 
 // dropPeerConn evicts a broken outbound connection so the next send to
@@ -619,20 +709,34 @@ func (s *NodeServer) noteDropped(b *stream.Batch) {
 	s.mu.Unlock()
 }
 
+// noteDroppedFrames records a queue's worth of encoded batch frames lost
+// to an undeliverable flush: each frame's tuple count and pre-credited
+// SIC mass land in the node's dropped counters under one mutex hold.
+func (s *NodeServer) noteDroppedFrames(frames []qframe) {
+	s.mu.Lock()
+	if s.nd != nil {
+		for i := range frames {
+			s.nd.NoteDropped(frames[i].tuples, frames[i].sic)
+		}
+	}
+	s.mu.Unlock()
+}
+
 // --- node.Router implementation (wall-clock federation) ---
 //
 // These methods are no longer called mid-tick: tickLoop drains the node's
 // outbox through Outbox.Replay after releasing the node mutex, so they
 // run concurrently with inbound Enqueue/SetResultSIC handlers and must
-// take s.mu themselves where they touch the node.
+// take s.mu themselves where they touch the node. They encode into
+// per-destination queues rather than send: the network is touched once
+// per destination per tick, by flushPeers.
 
-// RouteDownstream implements node.Router by shipping the batch to the
-// peer hosting the destination fragment. A send error evicts the cached
-// connection and retries once over a fresh dial — a peer that restarted
-// (or was re-placed onto the same address) is reached again without
-// poisoning every future batch. Batches that still cannot be delivered
-// are counted as dropped: their SIC mass was pre-credited by the
-// shedding round, so the loss must be visible in the node's stats.
+// RouteDownstream implements node.Router by encoding the batch as a wire
+// frame (into a pooled buffer — the batch itself is borrowed and released
+// by the outbox replay) and queueing it for the peer hosting the
+// destination fragment. A full queue means the peer is not draining:
+// the batch is dropped with its tuples and pre-credited SIC mass
+// accounted, never buffered unboundedly.
 func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 	s.mu.Lock()
 	addr, ok := s.peers[peerKey{b.Query, b.Frag}]
@@ -641,30 +745,145 @@ func (s *NodeServer) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 		s.noteDropped(b)
 		return
 	}
-	c, err := s.peerConn(addr)
-	if err != nil {
-		s.logf("themis-node %s: route %s: %v", s.Name, addr, err)
+	buf := appendBatchFrame(s.wbufs.get(), b)
+	if !s.queueFor(addr).push(buf, b.Len(), b.SIC) {
+		s.wbufs.put(buf)
 		s.noteDropped(b)
-		return
-	}
-	if err := c.sendBatch(b); err != nil {
-		s.dropPeerConn(addr, c)
-		c, rerr := s.peerConn(addr)
-		if rerr == nil {
-			rerr = c.sendBatch(b)
-			if rerr != nil {
-				s.dropPeerConn(addr, c)
-			}
-		}
-		if rerr != nil {
-			s.logf("themis-node %s: send %s: %v (re-dial: %v)", s.Name, addr, err, rerr)
-			s.noteDropped(b)
-		}
 	}
 }
 
-// DeliverResult implements node.Router by forwarding result SIC mass and
-// tuple counts to the controller.
+// queueFor returns (creating if needed) the send queue for a peer
+// address.
+func (s *NodeServer) queueFor(addr string) *peerQueue {
+	s.outMu.Lock()
+	q, ok := s.wq[addr]
+	if !ok {
+		q = &peerQueue{}
+		s.wq[addr] = q
+	}
+	s.outMu.Unlock()
+	return q
+}
+
+// flushPeers writes every non-empty send queue — one vectored write per
+// destination — in deterministic address order, then flushes the
+// controller queue. Called once per tick by the tick loop (and directly
+// by tests and the wire benchmark).
+func (s *NodeServer) flushPeers() {
+	s.outMu.Lock()
+	s.flushAddrs = s.flushAddrs[:0]
+	s.flushQs = s.flushQs[:0]
+	for addr, q := range s.wq {
+		s.flushAddrs = append(s.flushAddrs, addr)
+		s.flushQs = append(s.flushQs, q)
+	}
+	s.outMu.Unlock()
+	sortFlush(s.flushAddrs, s.flushQs)
+	for i, addr := range s.flushAddrs {
+		s.flushQueue(addr, s.flushQs[i])
+	}
+	s.flushCtrl()
+}
+
+// flushQueue drains one peer's queue onto the wire. Undeliverable frames
+// are dropped with accounting; the encode buffers are recycled either
+// way.
+func (s *NodeServer) flushQueue(addr string, q *peerQueue) {
+	frames := q.take()
+	if frames == nil {
+		return
+	}
+	if err := s.writeQueued(addr, q, frames); err != nil {
+		s.logf("themis-node %s: flush %s: %v", s.Name, addr, err)
+		s.noteDroppedFrames(frames)
+	}
+	s.recycleFrames(q, frames)
+}
+
+// writeQueued performs the vectored write for one taken queue, deciding
+// the failure policy by error kind. A deadline expiry means the peer
+// accepted but stopped reading: retrying immediately would eat another
+// full deadline mid-tick, so the conn is evicted and the address put in
+// cooldown until its next probe window. Any other error gets the classic
+// evict + one re-dial retry — a peer that restarted is reached again
+// without poisoning every future tick.
+func (s *NodeServer) writeQueued(addr string, q *peerQueue, frames []qframe) error {
+	c, err := s.peerConn(addr)
+	if err != nil {
+		return err
+	}
+	q.flushes.Add(1)
+	err = c.writeFrames(q.buffers(frames))
+	if err == nil {
+		return nil
+	}
+	s.dropPeerConn(addr, c)
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.coolDown(addr)
+		return err
+	}
+	c, rerr := s.peerConn(addr)
+	if rerr != nil {
+		return fmt.Errorf("%w (re-dial: %w)", err, rerr)
+	}
+	q.flushes.Add(1)
+	// WriteTo consumed the first attempt's buffer view; rebuild it from
+	// the retained frames.
+	if rerr := c.writeFrames(q.buffers(frames)); rerr != nil {
+		s.dropPeerConn(addr, c)
+		return fmt.Errorf("%w (retry: %w)", err, rerr)
+	}
+	return nil
+}
+
+// recycleFrames returns a drained queue's encode buffers to the free
+// list and the frame slice to the queue for the next tick.
+func (s *NodeServer) recycleFrames(q *peerQueue, frames []qframe) {
+	for i := range frames {
+		s.wbufs.put(frames[i].buf)
+	}
+	q.giveBack(frames)
+}
+
+// queueCtrl encodes one control envelope and appends it to the
+// controller send queue; overflow drops the frame (the controller's
+// report stream is advisory — heartbeats resume next tick).
+func (s *NodeServer) queueCtrl(e *Envelope) {
+	p, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	buf := appendFrame(s.wbufs.get(), frameJSON, p)
+	if !s.ctrlQ.push(buf, 0, 0) {
+		s.wbufs.put(buf)
+	}
+}
+
+// flushCtrl writes the tick's queued control frames to the controller
+// with one vectored write. Errors are logged, not retried: the
+// controller declares this node failed through its own missed-heartbeat
+// and read-error detection, and re-places its fragments.
+func (s *NodeServer) flushCtrl() {
+	frames := s.ctrlQ.take()
+	if frames == nil {
+		return
+	}
+	s.mu.Lock()
+	ctrl := s.ctrl
+	s.mu.Unlock()
+	if ctrl != nil {
+		s.ctrlQ.flushes.Add(1)
+		if err := ctrl.writeFrames(s.ctrlQ.buffers(frames)); err != nil {
+			s.logf("themis-node %s: ctrl flush: %v", s.Name, err)
+		}
+	}
+	s.recycleFrames(&s.ctrlQ, frames)
+}
+
+// DeliverResult implements node.Router by queueing result SIC mass and
+// tuple counts for the controller; the tick-end flush coalesces them
+// with the heartbeat and any checkpoints into one write.
 func (s *NodeServer) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple) {
 	s.mu.Lock()
 	ctrl := s.ctrl
@@ -676,7 +895,7 @@ func (s *NodeServer) DeliverResult(q stream.QueryID, _ stream.Time, tuples []str
 	for i := range tuples {
 		total += tuples[i].SIC
 	}
-	ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{
+	s.queueCtrl(&Envelope{Kind: KindReport, Report: &ReportMsg{
 		Query: q, Result: total, Tuples: len(tuples), IsResult: true,
 	}})
 }
@@ -689,5 +908,5 @@ func (s *NodeServer) ReportAccepted(q stream.QueryID, _ stream.Time, delta float
 	if ctrl == nil {
 		return
 	}
-	ctrl.send(&Envelope{Kind: KindReport, Report: &ReportMsg{Query: q, Accepted: delta}})
+	s.queueCtrl(&Envelope{Kind: KindReport, Report: &ReportMsg{Query: q, Accepted: delta}})
 }

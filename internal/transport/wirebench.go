@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Node→node wire throughput benchmark (themis-bench -wirebench): one
+// sender NodeServer routes derived batches to a fleet of receiver sinks
+// over real loopback TCP, once through the legacy per-batch-flush path
+// (one frame write + bufio flush per batch — the pre-PR-9 RouteDownstream)
+// and once through the coalesced pipeline (encode into per-peer queues,
+// one vectored write per peer per tick). The clock stops when the last
+// tuple has been decoded on the receive side, so both modes are measured
+// end to end, not just to the kernel buffer.
+
+// WireBenchRun is one mode's measured throughput.
+type WireBenchRun struct {
+	Mode          string  `json:"mode"`
+	Batches       int64   `json:"batches"`
+	Tuples        int64   `json:"tuples"`
+	Dropped       int64   `json:"dropped_batches"`
+	Seconds       float64 `json:"seconds"`
+	TuplesPerSec  float64 `json:"tuples_per_sec"`
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	// Writes counts wire write operations: frame flushes in per-batch
+	// mode, vectored writev calls in coalesced mode.
+	Writes int64 `json:"writes"`
+	// AllocsPerTick is the steady-state allocator cost of routing and
+	// flushing one tick's worth of batches (send side only).
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+}
+
+// benchSink is one receiver peer: it accepts connections, decodes
+// frames into pooled batches, counts tuples, and releases every batch.
+type benchSink struct {
+	ln      net.Listener
+	pool    *stream.Pool
+	batches atomic.Int64
+	tuples  atomic.Int64
+}
+
+func newBenchSink() (*benchSink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	k := &benchSink{ln: ln, pool: stream.NewPool()}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				fr := newPooledFrameReader(nc, k.pool)
+				for {
+					_, b, err := fr.next()
+					if err != nil {
+						return
+					}
+					if b != nil {
+						k.batches.Add(1)
+						k.tuples.Add(int64(len(b.Tuples)))
+						b.Release()
+					}
+				}
+			}()
+		}
+	}()
+	return k, nil
+}
+
+// routePerBatch is the pre-coalescing write path, kept as the wire
+// benchmark baseline: look up the destination, dial if needed, and
+// encode + frame + flush this one batch synchronously.
+func (s *NodeServer) routePerBatch(b *stream.Batch) {
+	s.mu.Lock()
+	addr, ok := s.peers[peerKey{b.Query, b.Frag}]
+	s.mu.Unlock()
+	if !ok {
+		s.noteDropped(b)
+		return
+	}
+	c, err := s.peerConn(addr)
+	if err != nil {
+		s.noteDropped(b)
+		return
+	}
+	if err := c.sendBatch(b); err != nil {
+		s.dropPeerConn(addr, c)
+		s.noteDropped(b)
+	}
+}
+
+// RunWireBench measures node→node throughput for one write-path mode at
+// the given shape: queries fan out round-robin over peers, each query
+// emitting batchesPerTick batches of tuplesPerBatch tuples per tick.
+func RunWireBench(peers, queries, batchesPerTick, ticks, tuplesPerBatch int, coalesced bool) (*WireBenchRun, error) {
+	sinks := make([]*benchSink, peers)
+	for i := range sinks {
+		k, err := newBenchSink()
+		if err != nil {
+			return nil, err
+		}
+		defer k.ln.Close()
+		sinks[i] = k
+	}
+	s, err := NewNodeServer(NodeServerConfig{
+		Name: "wirebench", Addr: "127.0.0.1:0", CapacityPerSec: 1e9, Quiet: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	s.mu.Lock()
+	s.initNode(0, 0)
+	for q := 0; q < queries; q++ {
+		s.peers[peerKey{stream.QueryID(q + 1), 2}] = sinks[q%peers].ln.Addr().String()
+	}
+	s.mu.Unlock()
+
+	batches := make([]*stream.Batch, queries)
+	for q := range batches {
+		b := stream.NewBatch(stream.QueryID(q+1), 2, -1, 100, tuplesPerBatch, 1)
+		for i := range b.Tuples {
+			b.Tuples[i].TS = 100
+			b.Tuples[i].SIC = 1.0 / float64(tuplesPerBatch)
+			b.Tuples[i].V[0] = float64(i)
+		}
+		b.RecomputeSIC()
+		batches[q] = b
+	}
+	tick := func() {
+		for q := range batches {
+			for j := 0; j < batchesPerTick; j++ {
+				if coalesced {
+					s.RouteDownstream(0, batches[q])
+				} else {
+					s.routePerBatch(batches[q])
+				}
+			}
+		}
+		if coalesced {
+			s.flushPeers()
+		}
+	}
+
+	received := func() (int64, int64) {
+		var nb, nt int64
+		for _, k := range sinks {
+			nb += k.batches.Load()
+			nt += k.tuples.Load()
+		}
+		return nb, nt
+	}
+	dropped := func() int64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.nd.Stats().DroppedBatches
+	}
+
+	tick() // warm: dials, pools, queue slices
+	warmSent := int64(queries * batchesPerTick)
+	waitFor := func(want int64) error {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			if nb, _ := received(); nb+dropped() >= want {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				nb, _ := received()
+				return fmt.Errorf("transport: wirebench stalled: %d of %d batches arrived", nb, want)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	if err := waitFor(warmSent); err != nil {
+		return nil, err
+	}
+
+	b0, t0 := received()
+	d0 := dropped()
+	start := time.Now()
+	for i := 0; i < ticks; i++ {
+		tick()
+	}
+	sent := int64(ticks * queries * batchesPerTick)
+	if err := waitFor(warmSent + sent); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+	b1, t1 := received()
+
+	r := &WireBenchRun{
+		Mode:    "per-batch",
+		Batches: b1 - b0,
+		Tuples:  t1 - t0,
+		Dropped: dropped() - d0,
+		Seconds: elapsed,
+	}
+	if coalesced {
+		r.Mode = "coalesced"
+		s.outMu.Lock()
+		for _, q := range s.wq {
+			r.Writes += q.flushes.Load()
+		}
+		s.outMu.Unlock()
+	} else {
+		r.Writes = r.Batches
+	}
+	if elapsed > 0 {
+		r.TuplesPerSec = float64(r.Tuples) / elapsed
+		r.BatchesPerSec = float64(r.Batches) / elapsed
+	}
+	// Steady-state allocator cost of one tick, measured after the run so
+	// every pool and scratch buffer is warm. The sinks decode through
+	// pooled frame readers, so the concurrent receive side is itself
+	// allocation-free and does not pollute the process-wide counter.
+	runtime.GC()
+	const measured = 20
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < measured; i++ {
+		tick()
+	}
+	runtime.ReadMemStats(&m1)
+	r.AllocsPerTick = float64(m1.Mallocs-m0.Mallocs) / measured
+	return r, nil
+}

@@ -1,0 +1,43 @@
+// Wire throughput regression test for the coalesced transport write
+// path (DESIGN.md §13): per-peer send queues flushed with one vectored
+// write per peer per tick must beat the legacy per-batch flush, and
+// steady-state sends must stay off the allocator. The committed record
+// is BENCH_throughput.json (~3.6x at 600 ticks); the CI smoke budget
+// here is deliberately softer — shared runners are noisy and the
+// per-batch baseline is bimodal on few cores — so it catches the write
+// path regressing to per-batch behaviour, not run-to-run jitter.
+package themis_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestWireThroughputBudget is the CI smoke threshold for the node→node
+// wire benchmark at the overloaded 24-peer/48-query shape.
+func TestWireThroughputBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-scale loopback federation")
+	}
+	const (
+		minSpeedup    = 1.2 // committed record: ~3.6x
+		allocsPerTick = 8.0 // committed record: ~0
+	)
+	r, err := experiments.WireBench(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("per-batch %.2fM tuples/s, coalesced %.2fM tuples/s (%.2fx, %.0fx fewer writes, %.1f allocs/tick)",
+		r.PerBatch.TuplesPerSec/1e6, r.Coalesced.TuplesPerSec/1e6,
+		r.Speedup, r.WriteReduction, r.Coalesced.AllocsPerTick)
+	if r.Speedup < minSpeedup {
+		t.Errorf("coalesced write path is %.2fx the per-batch baseline, want >= %.1fx", r.Speedup, minSpeedup)
+	}
+	if r.Coalesced.AllocsPerTick > allocsPerTick {
+		t.Errorf("coalesced steady state allocates %.1f objects/tick, budget %.0f", r.Coalesced.AllocsPerTick, allocsPerTick)
+	}
+	if r.Coalesced.Dropped != 0 {
+		t.Errorf("coalesced run dropped %d batches with all peers live, want 0", r.Coalesced.Dropped)
+	}
+}

@@ -35,6 +35,7 @@ func main() {
 	churnBench := flag.String("churnbench", "", "measure node-failure recovery time across STWs and write the JSON result to this file")
 	allocBench := flag.String("allocbench", "", "measure per-step allocations on the pooled data path and write the JSON comparison to this file")
 	queryBench := flag.String("querybench", "", "measure marginal per-query cost across sharing modes and write the JSON result to this file")
+	netBench := flag.Bool("net", false, "with -querybench: also sweep a loopback networked federation (slower; adds the distributed share-index rows)")
 	wireBench := flag.String("wirebench", "", "measure node→node wire throughput (per-batch flush vs coalesced vectored writes) and write the JSON result to this file")
 	flag.Parse()
 
@@ -58,6 +59,14 @@ func main() {
 
 	if *queryBench != "" {
 		r := experiments.QueryBench(60)
+		if *netBench {
+			net, err := experiments.QueryBenchNet(6)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "themis-bench: querybench -net: %v\n", err)
+				os.Exit(1)
+			}
+			r.Net = net
+		}
 		fmt.Println(r.Render())
 		buf, err := json.MarshalIndent(r, "", "  ")
 		if err == nil {

@@ -1,0 +1,104 @@
+package cql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// SubtreeKeys gives every fragment of a distributed plan a canonical
+// shape key for the plan subtree rooted at that fragment: the fragment's
+// own structure (operator names and wiring, entry ports, source specs,
+// upstream port) combined recursively with the keys of the fragments
+// feeding it. Two fragments — in the same plan or across plans — get
+// equal keys exactly when the pipelines upstream of and including them
+// are structurally identical, so a key is a sound dedup identity for the
+// whole subtree's work.
+//
+// Operator names alone do not determine operator behaviour (a "filter"
+// op's predicate constant lives in its constructor closure, not its
+// name), so every key also folds in the statement's canonical Shape —
+// the string that pins down every windowing, predicate and aggregate
+// constant. Shape equality implies plan-structure equality
+// (TestShapeImpliesIdenticalPlans), making the combination exact: keys
+// collide only for subtrees that compute the same function of the same
+// structurally-described inputs.
+//
+// The returned keys deliberately exclude the fragment index: an AVG
+// tree's leaf fragments are structurally interchangeable and render
+// identically. Callers deduplicating across queries append the index
+// (and rate/epoch pins) themselves, because interchangeable fragments of
+// one query still scan distinct sources and must not collapse onto each
+// other.
+func SubtreeKeys(p *query.Plan, shape string) []string {
+	children := make([][]int, len(p.Fragments))
+	for i, d := range p.Downstream {
+		if d >= 0 {
+			children[d] = append(children[d], i)
+		}
+	}
+	renders := make([]string, len(p.Fragments))
+	var render func(fi int) string
+	render = func(fi int) string {
+		if renders[fi] != "" {
+			return renders[fi]
+		}
+		fp := p.Fragments[fi]
+		var b strings.Builder
+		b.WriteString("ops[")
+		for oi, op := range fp.Ops {
+			if oi > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(op.Name)
+			for _, e := range op.Outs {
+				fmt.Fprintf(&b, ">%d.%d", e.To, e.Port)
+			}
+		}
+		fmt.Fprintf(&b, "]out%d entries[", fp.OutOp)
+		ports := make([]int, 0, len(fp.Entries))
+		for port := range fp.Entries {
+			ports = append(ports, port)
+		}
+		sort.Ints(ports)
+		for _, port := range ports {
+			ent := fp.Entries[port]
+			fmt.Fprintf(&b, "%d:%d.%d ", port, ent.Op, ent.Port)
+		}
+		b.WriteString("]src[")
+		for _, s := range fp.Sources {
+			fmt.Fprintf(&b, "%d/%d ", s.Port, s.Arity)
+		}
+		fmt.Fprintf(&b, "]up%d", fp.UpstreamPort)
+		// Child subtrees feed this fragment's upstream port; their order
+		// within the plan is irrelevant to what the fragment computes, so
+		// sort the renders for a canonical form.
+		if len(children[fi]) > 0 {
+			subs := make([]string, 0, len(children[fi]))
+			for _, c := range children[fi] {
+				subs = append(subs, render(c))
+			}
+			sort.Strings(subs)
+			b.WriteString(" ch[")
+			for _, s := range subs {
+				b.WriteString(s)
+				b.WriteByte(';')
+			}
+			b.WriteByte(']')
+		}
+		renders[fi] = b.String()
+		return renders[fi]
+	}
+	keys := make([]string, len(p.Fragments))
+	for fi := range p.Fragments {
+		h := fnv.New64a()
+		h.Write([]byte(shape))
+		h.Write([]byte{0})
+		h.Write([]byte(render(fi)))
+		keys[fi] = fmt.Sprintf("st%016x", h.Sum64())
+	}
+	return keys
+}

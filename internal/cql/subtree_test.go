@@ -1,0 +1,195 @@
+package cql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/sources"
+)
+
+// The sharing layers key deduplication on Statement.Shape() (plus the
+// structural subtree render): two queries may collapse onto one executing
+// instance only if their shapes agree. That is sound only if shape
+// equality implies plan equality — Shape must pin down everything
+// PlanDistributed consults. These tests are the safety net for that
+// implication: grow the grammar or the planner without growing Shape and
+// they fail before the sharing layer silently merges distinct queries.
+
+// plannableStatement derives a catalog-resolvable statement from the
+// random grammar generator shared with TestStringParseFixedPoint: the
+// synthetic stream/field names map onto the Table 1 catalog and WHERE
+// chains (unsupported on single-stream aggregates) are stripped.
+// Top-k spellings survive and fail planning — deliberately, so the
+// error path is covered by the same consistency property.
+func plannableStatement(rng *rand.Rand) string {
+	src := randomStatement(rng)
+	src = strings.ReplaceAll(src, "from Str", "from Src")
+	src = strings.ReplaceAll(src, ", s.w", "")
+	src = strings.ReplaceAll(src, "s.v", "t.v")
+	if i := strings.Index(src, " where "); i >= 0 {
+		rest := ""
+		if j := strings.Index(src, " having "); j > i {
+			rest = src[j:]
+		}
+		src = src[:i] + rest
+	}
+	return src
+}
+
+// planFingerprint renders every structural fact of a distributed plan:
+// the fragment tree, each fragment's operator names and wiring, entry
+// ports, source specs and output op. Operator *parameters* (window
+// spans, predicate constants) live in constructor closures and are
+// invisible here — they are pinned textually by Shape itself
+// (TestShapeEquivalence), which is exactly why the sharing key folds the
+// shape in alongside the structure.
+func planFingerprint(p *query.Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "type=%s nsrc=%d down=%v\n", p.Type, p.NumSources(), p.Downstream)
+	for fi, fp := range p.Fragments {
+		fmt.Fprintf(&b, "frag%d out=%d up=%d\n", fi, fp.OutOp, fp.UpstreamPort)
+		for oi, op := range fp.Ops {
+			fmt.Fprintf(&b, " op%d %s %v\n", oi, op.Name, op.Outs)
+		}
+		ports := make([]int, 0, len(fp.Entries))
+		for port := range fp.Entries {
+			ports = append(ports, port)
+		}
+		sort.Ints(ports)
+		for _, port := range ports {
+			fmt.Fprintf(&b, " entry%d=%v\n", port, fp.Entries[port])
+		}
+		for _, ss := range fp.Sources {
+			fmt.Fprintf(&b, " src%d/%d\n", ss.Port, ss.Arity)
+		}
+	}
+	return b.String()
+}
+
+// TestShapeImpliesIdenticalPlans is the sharing soundness property: over
+// 500 generator statements plus the Table 1 workloads — each tried in
+// its original, canonical (String) and lower-cased spelling, at 1, 2 and
+// 3 fragments — statements with equal shapes must produce structurally
+// identical distributed plans and identical subtree keys (or fail
+// planning identically), and distinct shapes must never collide on a
+// root subtree key.
+func TestShapeImpliesIdenticalPlans(t *testing.T) {
+	cat := DefaultCatalog(sources.Gaussian)
+	frags := []int{1, 2, 3}
+
+	type rep struct {
+		src  string
+		fp   []string // per fragment count: fingerprint or "plan-error"
+		keys []string // per fragment count: joined subtree keys
+	}
+	groups := map[string]*rep{}
+	rootKey := map[string]string{} // root subtree key -> shape that minted it
+	planned := 0
+
+	rng := rand.New(rand.NewSource(61))
+	stmts := make([]string, 0, 510)
+	for i := 0; i < 500; i++ {
+		stmts = append(stmts, plannableStatement(rng))
+	}
+	stmts = append(stmts, table1Statements...)
+
+	for _, orig := range stmts {
+		st0, err := Parse(orig)
+		if err != nil {
+			t.Fatalf("parse %q: %v", orig, err)
+		}
+		for _, src := range []string{orig, st0.String(), strings.ToLower(orig)} {
+			st, err := Parse(src)
+			if err != nil {
+				t.Fatalf("parse respelling %q of %q: %v", src, orig, err)
+			}
+			shape := st.Shape()
+			cur := &rep{src: src}
+			for _, k := range frags {
+				p, err := PlanDistributed(st, cat, k)
+				if err != nil {
+					cur.fp = append(cur.fp, "plan-error")
+					cur.keys = append(cur.keys, "")
+					continue
+				}
+				planned++
+				cur.fp = append(cur.fp, planFingerprint(p))
+				keys := SubtreeKeys(p, shape)
+				cur.keys = append(cur.keys, strings.Join(keys, ","))
+				// The root key identifies the whole query's computation:
+				// distinct shapes must never collide on it.
+				if prev, ok := rootKey[keys[0]]; ok && prev != shape {
+					t.Fatalf("root subtree key collision between shapes %q and %q", prev, shape)
+				}
+				rootKey[keys[0]] = shape
+			}
+			if first, ok := groups[shape]; ok {
+				for i, k := range frags {
+					if first.fp[i] != cur.fp[i] {
+						t.Errorf("equal shape %q, divergent %d-fragment plans:\n  %q:\n%s\n  %q:\n%s",
+							shape, k, first.src, first.fp[i], src, cur.fp[i])
+					}
+					if first.keys[i] != cur.keys[i] {
+						t.Errorf("equal shape %q, divergent %d-fragment subtree keys: %q vs %q (%q vs %q)",
+							shape, k, first.keys[i], cur.keys[i], first.src, src)
+					}
+				}
+			} else {
+				groups[shape] = cur
+			}
+		}
+	}
+	if planned < 300 {
+		t.Fatalf("property under-exercised: only %d successful plans", planned)
+	}
+	if len(groups) < 50 {
+		t.Fatalf("property under-exercised: only %d distinct shapes", len(groups))
+	}
+}
+
+// TestSubtreeKeysStructure pins the documented per-plan key properties on
+// a concrete tree: interchangeable leaf fragments of one AVG tree render
+// identically (the engine appends the fragment index so they never
+// collapse within a query), the root differs from the leaves, and
+// changing any windowing constant moves every key.
+func TestSubtreeKeysStructure(t *testing.T) {
+	cat := DefaultCatalog(sources.Gaussian)
+	plan := func(src string, k int) (*query.Plan, string) {
+		st, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := PlanDistributed(st, cat, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, st.Shape()
+	}
+	p, shape := plan("Select Avg(t.v) From Src[Range 1 sec]", 3)
+	keys := SubtreeKeys(p, shape)
+	if keys[1] != keys[2] {
+		t.Errorf("interchangeable leaves got distinct keys: %q vs %q", keys[1], keys[2])
+	}
+	if keys[0] == keys[1] {
+		t.Errorf("root and leaf share a key: %q", keys[0])
+	}
+	p2, shape2 := plan("Select Avg(t.v) From Src[Range 2 sec]", 3)
+	keys2 := SubtreeKeys(p2, shape2)
+	for i := range keys {
+		if keys[i] == keys2[i] {
+			t.Errorf("fragment %d key survived a window change: %q", i, keys[i])
+		}
+	}
+	// Same shape re-planned: keys are stable.
+	p3, shape3 := plan("select AVG(t.v) from src [range 1000 ms]", 3)
+	keys3 := SubtreeKeys(p3, shape3)
+	for i := range keys {
+		if keys[i] != keys3[i] {
+			t.Errorf("fragment %d key unstable across respelling: %q vs %q", i, keys[i], keys3[i])
+		}
+	}
+}

@@ -59,6 +59,18 @@ type QueryBenchResult struct {
 	GOMAXPROCS int             `json:"gomaxprocs"`
 	NumCPU     int             `json:"num_cpu"`
 	Rows       []QueryBenchRow `json:"rows"`
+	// NonLeafRows repeat the 480-query point with two-fragment plans:
+	// every query is a partial-aggregate leaf feeding a combining root,
+	// so dedup has to recognise interior subtrees, not just sources.
+	NonLeafRows []QueryBenchRow `json:"non_leaf_rows,omitempty"`
+	// NonLeafImprovement = marginal(480, 2-frag, off) / marginal(480,
+	// 2-frag, full). Leaf-only dedup (PR 6) can at most halve
+	// two-fragment work — the combining roots stay private — so any
+	// value above 2x certifies that interior subtrees are shared too.
+	NonLeafImprovement float64 `json:"non_leaf_improvement_vs_off,omitempty"`
+	// Net holds the loopback networked sweep when themis-bench ran with
+	// -net; nil otherwise (the engine sweep alone is much cheaper).
+	Net *QueryBenchNetResult `json:"net,omitempty"`
 	// MarginalImprovement compares the largest shared sweep point
 	// against a linear extrapolation of the unshared 48-query cost:
 	// marginal(48, off) / marginal(max queries, full). The acceptance
@@ -77,6 +89,21 @@ type QueryBenchResult struct {
 // measured is pipeline bookkeeping, not overload response — and submits
 // n single-fragment monitors round-robin across the nodes.
 func NewQueryBenchEngine(n int, mode federation.Sharing) *federation.Engine {
+	return NewQueryBenchEngineFrags(n, 1, mode)
+}
+
+// nonLeafShapes are the statements the multi-fragment rows rotate
+// through. Only time-window aggregates: those partition into per-source
+// partial-aggregate leaves under a combining root, which is the plan
+// structure non-leaf dedup exists for.
+var nonLeafShapes = queryBenchShapes[:3]
+
+// NewQueryBenchEngineFrags generalises the bench federation to
+// multi-fragment plans. Placement walks consecutive nodes from the
+// query's residue, so queries agreeing mod QueryBenchNodes share both
+// shape and placement — the co-location dedup needs — while the load
+// still spreads evenly.
+func NewQueryBenchEngineFrags(n, frags int, mode federation.Sharing) *federation.Engine {
 	cfg := federation.Defaults()
 	cfg.Workers = 1
 	cfg.Seed = 11
@@ -84,10 +111,17 @@ func NewQueryBenchEngine(n int, mode federation.Sharing) *federation.Engine {
 	cfg.SourceRate = 100
 	e := federation.NewEngine(cfg)
 	e.AddNodes(QueryBenchNodes, 1e9)
+	shapes := queryBenchShapes
+	if frags > 1 {
+		shapes = nonLeafShapes
+	}
 	for i := 0; i < n; i++ {
-		cqlText := queryBenchShapes[i%len(queryBenchShapes)]
-		placement := []stream.NodeID{stream.NodeID(i % QueryBenchNodes)}
-		if _, err := e.SubmitCQL(cqlText, 1, int(sources.Uniform), 0, placement); err != nil {
+		cqlText := shapes[i%len(shapes)]
+		placement := make([]stream.NodeID, frags)
+		for f := range placement {
+			placement[f] = stream.NodeID((i + f) % QueryBenchNodes)
+		}
+		if _, err := e.SubmitCQL(cqlText, frags, int(sources.Uniform), 0, placement); err != nil {
 			panic(err)
 		}
 	}
@@ -146,6 +180,34 @@ func QueryBench(ticks int) *QueryBenchResult {
 	if shared > 0 {
 		res.MarginalImprovement = linear / shared
 	}
+	// Non-leaf ablation at the 480 point: keyed isolates what shared
+	// source streams buy on their own; full adds interior-subtree dedup.
+	const nonLeafQueries = 480
+	var nlOff, nlFull float64
+	for _, mode := range []federation.Sharing{federation.SharingOff, federation.SharingKeyed, federation.SharingFull} {
+		e := NewQueryBenchEngineFrags(nonLeafQueries, 2, mode)
+		a := measureSteps(e, 20, ticks)
+		row := QueryBenchRow{
+			Queries: nonLeafQueries, Sharing: mode.String(),
+			NsPerStep: a.NsPerStep, AllocsPerStep: a.AllocsPerStep,
+			MarginalNs: a.NsPerStep / float64(nonLeafQueries),
+		}
+		for ni := 0; ni < e.NumNodes(); ni++ {
+			ss := e.Node(stream.NodeID(ni)).StateSize()
+			row.SharedInstances += ss.SharedInstances
+			row.Subscriptions += ss.Subscriptions
+		}
+		switch mode {
+		case federation.SharingOff:
+			nlOff = row.MarginalNs
+		case federation.SharingFull:
+			nlFull = row.MarginalNs
+		}
+		res.NonLeafRows = append(res.NonLeafRows, row)
+	}
+	if nlFull > 0 {
+		res.NonLeafImprovement = nlOff / nlFull
+	}
 	res.ColdSubmitNs, res.WarmSubmitNs = SubmitTiming()
 	if res.WarmSubmitNs > 0 {
 		res.SubmitSpeedup = res.ColdSubmitNs / res.WarmSubmitNs
@@ -199,20 +261,31 @@ func SubmitTiming() (cold, warm float64) {
 // Render prints the sweep as a text table.
 func (r *QueryBenchResult) Render() string {
 	header := []string{"queries", "sharing", "ms/step", "allocs/step", "marginal ns/q", "instances", "subs"}
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			fmt.Sprint(row.Queries), row.Sharing,
-			fmt.Sprintf("%.3f", row.NsPerStep/1e6),
-			fmt.Sprintf("%.1f", row.AllocsPerStep),
-			fmt.Sprintf("%.0f", row.MarginalNs),
-			fmt.Sprint(row.SharedInstances), fmt.Sprint(row.Subscriptions),
-		})
+	fmtRows := func(src []QueryBenchRow) [][]string {
+		rows := make([][]string, 0, len(src))
+		for _, row := range src {
+			rows = append(rows, []string{
+				fmt.Sprint(row.Queries), row.Sharing,
+				fmt.Sprintf("%.3f", row.NsPerStep/1e6),
+				fmt.Sprintf("%.1f", row.AllocsPerStep),
+				fmt.Sprintf("%.0f", row.MarginalNs),
+				fmt.Sprint(row.SharedInstances), fmt.Sprint(row.Subscriptions),
+			})
+		}
+		return rows
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "multi-query sharing: %d nodes, %d ticks (GOMAXPROCS=%d, %d CPUs) — marginal query %.1fx cheaper than linear, cached submit %.1fx faster (%.0f ns vs %.0f ns)\n",
 		r.Nodes, r.Ticks, r.GOMAXPROCS, r.NumCPU,
 		r.MarginalImprovement, r.SubmitSpeedup, r.WarmSubmitNs, r.ColdSubmitNs)
-	b.WriteString(table(header, rows))
+	b.WriteString(table(header, fmtRows(r.Rows)))
+	if len(r.NonLeafRows) > 0 {
+		fmt.Fprintf(&b, "non-leaf (2-fragment) dedup at 480 queries — %.1fx cheaper than unshared (leaf-only tops out at 2x)\n",
+			r.NonLeafImprovement)
+		b.WriteString(table(header, fmtRows(r.NonLeafRows)))
+	}
+	if r.Net != nil {
+		b.WriteString(r.Net.Render())
+	}
 	return b.String()
 }

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/stream"
+	"repro/internal/transport"
+)
+
+// Networked multi-query sharing benchmark: the engine sweep in
+// querybench.go prices the marginal dashboard in virtual time; this one
+// prices it over real sockets. A loopback federation of themis-node
+// servers receives the same stacked monitor workload through the
+// controller's CQL submission path, so the measured cost includes
+// everything the engine hides — JSON framing, per-connection writers,
+// wall-clock tick scheduling and the distributed share index that lets
+// hosts collapse same-shape deploys into fan-out views. Per-tick cost
+// comes from the nodes themselves: every server accumulates wall time
+// spent inside TickSpan and reports it in its final stats frame.
+
+// QueryBenchNetNodes fixes the loopback federation width. Narrower than
+// the engine sweep's 24: every node is a full server (listener, ticker,
+// per-peer writers) sharing one container, and eight is enough spread to
+// exercise cross-node routing without drowning the measurement in
+// scheduler noise.
+const QueryBenchNetNodes = 8
+
+// QueryBenchNetRow is one (query count, sharing mode) networked point.
+type QueryBenchNetRow struct {
+	Queries int    `json:"queries"`
+	Sharing string `json:"sharing"`
+	// NsPerTick sums the nodes' in-tick wall time over the run and
+	// divides by the per-node tick count: the federation-wide cost of
+	// advancing every node by one interval.
+	NsPerTick float64 `json:"ns_per_tick"`
+	// MarginalNs is NsPerTick/Queries — the per-query share of a tick.
+	MarginalNs float64 `json:"marginal_ns_per_query_tick"`
+	// SharedInstances and Subscriptions are summed from the nodes' stop
+	// stats: executing fragment instances vs queries riding them.
+	SharedInstances int `json:"shared_instances"`
+	Subscriptions   int `json:"subscriptions"`
+}
+
+// QueryBenchNetResult records the networked sweep.
+type QueryBenchNetResult struct {
+	Nodes   int     `json:"nodes"`
+	Seconds float64 `json:"seconds_per_point"`
+	Rows    []QueryBenchNetRow `json:"rows"`
+	// MarginalImprovement = marginal(48, off) / marginal(max, full): how
+	// far below the linear extrapolation of the unshared cost the
+	// largest shared deployment lands. The acceptance floor is 5x.
+	MarginalImprovement float64 `json:"marginal_improvement_vs_linear"`
+}
+
+// NetBenchPoint runs one (n, mode) deployment on a fresh loopback
+// federation for the given duration and returns its row. Exported so
+// the CI smoke test can price a single pair of points without paying
+// for the whole sweep.
+func NetBenchPoint(n int, mode federation.Sharing, d time.Duration) (QueryBenchNetRow, error) {
+	row := QueryBenchNetRow{Queries: n, Sharing: mode.String()}
+	addrs := make([]string, 0, QueryBenchNetNodes)
+	srvs := make([]*transport.NodeServer, 0, QueryBenchNetNodes)
+	defer func() {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}()
+	for i := 0; i < QueryBenchNetNodes; i++ {
+		srv, err := transport.NewNodeServer(transport.NodeServerConfig{
+			Name:           fmt.Sprintf("n%d", i),
+			Addr:           "127.0.0.1:0",
+			CapacityPerSec: 1e9, // underloaded: price bookkeeping, not shedding
+			Policy:         "balance-sic",
+			Seed:           int64(i + 1),
+			Quiet:          true,
+		})
+		if err != nil {
+			return row, err
+		}
+		srvs = append(srvs, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	ctrl, err := transport.NewController(transport.ControllerConfig{
+		STW:      2 * stream.Second,
+		Interval: 100 * stream.Millisecond,
+		Seed:     7,
+		Sharing:  mode,
+	}, addrs)
+	if err != nil {
+		return row, err
+	}
+	defer ctrl.CloseAll()
+	// Same rotation as the engine sweep: a handful of shapes, hundreds
+	// of repeats, co-located by residue so dedup has something to find.
+	// Tiny per-query rate keeps the tuple volume out of the picture.
+	for i := 0; i < n; i++ {
+		cqlText := queryBenchShapes[i%len(queryBenchShapes)]
+		if _, err := ctrl.Submit(cqlText, 1, 1, 4, 2, []int{i % QueryBenchNetNodes}); err != nil {
+			return row, err
+		}
+	}
+	res, err := ctrl.Run(d, d/4)
+	if err != nil {
+		return row, err
+	}
+	var tickNs, ticks int64
+	for _, ns := range res.Nodes {
+		tickNs += ns.TickNanos
+		ticks += ns.Ticks
+		row.SharedInstances += ns.SharedInstances
+		row.Subscriptions += ns.Subscriptions
+	}
+	if live := len(res.Nodes); live > 0 && ticks > 0 {
+		perNodeTicks := float64(ticks) / float64(live)
+		row.NsPerTick = float64(tickNs) / perNodeTicks
+		row.MarginalNs = row.NsPerTick / float64(n)
+	}
+	return row, nil
+}
+
+// QueryBenchNet runs the networked sweep: 48 queries unshared anchor the
+// linear extrapolation, then keyed (shared streams, private fragments)
+// and full (deduplicated instances) at each count up to 4,800.
+func QueryBenchNet(secondsPerPoint int) (*QueryBenchNetResult, error) {
+	d := time.Duration(secondsPerPoint) * time.Second
+	res := &QueryBenchNetResult{Nodes: QueryBenchNetNodes, Seconds: d.Seconds()}
+	modes := map[int][]federation.Sharing{
+		48:   {federation.SharingOff, federation.SharingKeyed, federation.SharingFull},
+		480:  {federation.SharingKeyed, federation.SharingFull},
+		4800: {federation.SharingKeyed, federation.SharingFull},
+	}
+	var linear, shared float64
+	maxQ := queryBenchCounts[len(queryBenchCounts)-1]
+	for _, n := range queryBenchCounts {
+		for _, mode := range modes[n] {
+			row, err := NetBenchPoint(n, mode, d)
+			if err != nil {
+				return nil, fmt.Errorf("net point %d/%s: %w", n, mode, err)
+			}
+			if n == queryBenchCounts[0] && mode == federation.SharingOff {
+				linear = row.MarginalNs
+			}
+			if n == maxQ && mode == federation.SharingFull {
+				shared = row.MarginalNs
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	if shared > 0 {
+		res.MarginalImprovement = linear / shared
+	}
+	return res, nil
+}
+
+// Render prints the networked sweep as a text table.
+func (r *QueryBenchNetResult) Render() string {
+	header := []string{"queries", "sharing", "ms/tick", "marginal ns/q", "instances", "subs"}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprint(row.Queries), row.Sharing,
+			fmt.Sprintf("%.3f", row.NsPerTick/1e6),
+			fmt.Sprintf("%.0f", row.MarginalNs),
+			fmt.Sprint(row.SharedInstances), fmt.Sprint(row.Subscriptions),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "networked sharing: %d loopback nodes, %.0fs per point — marginal query %.1fx cheaper than linear\n",
+		r.Nodes, r.Seconds, r.MarginalImprovement)
+	b.WriteString(table(header, rows))
+	return b.String()
+}

@@ -58,8 +58,14 @@ func (e *Engine) compatKey(rt *queryRT, fi int) string {
 	if rt.shapeKey == "" || e.cfg.Sharing == SharingOff {
 		return ""
 	}
-	return rt.shapeKey + "|f" + strconv.Itoa(fi) +
-		"|r" + strconv.FormatFloat(rt.rate, 'g', -1, 64)
+	key := rt.shapeKey + "|f" + strconv.Itoa(fi)
+	// SharingScaled shares instances across rates, so its state is
+	// compatible across rates too (the restored window holds the
+	// primary's stream either way); every exact mode keeps the rate pin.
+	if e.cfg.Sharing != SharingScaled {
+		key += "|r" + strconv.FormatFloat(rt.rate, 'g', -1, 64)
+	}
+	return key
 }
 
 // rebuildCheckpointSlots re-derives the slot list, the compat index and

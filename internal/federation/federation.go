@@ -76,12 +76,24 @@ const (
 	// for SharingFull.
 	SharingKeyed
 	// SharingFull adds fragment deduplication on top of keyed seeds: on
-	// each node, leaf fragments with the same shape, rate and deployment
-	// epoch collapse into one executing instance — one source scan, one
-	// window buffer — whose output fans out to every subscribing query as
-	// refcounted views, with per-query SIC accounting preserved at the
-	// fan-out point.
+	// each node, fragments whose plan subtrees have the same canonical
+	// shape key (cql.SubtreeKeys — leaves and interior partial-aggregate
+	// fragments alike), the same rate and the same deployment epoch
+	// collapse into one executing instance — one source scan, one window
+	// buffer, one merge — whose output fans out to every subscribing
+	// query as refcounted views, with per-query SIC accounting preserved
+	// at the fan-out point. Results stay bit-identical per query to a
+	// private deployment in underload.
 	SharingFull
+	// SharingScaled widens SharingFull's dedup domain by dropping the
+	// rate from the share key: queries whose shapes differ only in source
+	// rate ride one instance running at the primary's rate, and their SIC
+	// mass is scaled by riderRate/primaryRate at the fan-out point.
+	// Results are approximate for riders whose rate differs from the
+	// primary's (they observe the primary's stream), so this mode is a
+	// deliberate accuracy-for-cost trade and is excluded from the
+	// bit-identity guarantees of SharingFull.
+	SharingScaled
 )
 
 // String names the sharing mode for reports.
@@ -91,6 +103,8 @@ func (s Sharing) String() string {
 		return "keyed"
 	case SharingFull:
 		return "full"
+	case SharingScaled:
+		return "scaled"
 	default:
 		return "off"
 	}
@@ -278,6 +292,15 @@ type queryRT struct {
 	// statement ("" for plans deployed directly, which never share).
 	// Keyed source seeding and fragment dedup both hang off it.
 	shapeKey string
+	// subKeys holds one canonical subtree shape key per fragment
+	// (cql.SubtreeKeys), the dedup identity for leaf and interior
+	// fragments alike. nil when the query has no shape.
+	subKeys []string
+	// attached marks, per fragment, whether the fragment currently rides
+	// a shared instance as a subscriber instead of executing privately.
+	// Upstream fragments consult it to decide whether their fan-out view
+	// is needed (a shared downstream is already fed by the primary chain).
+	attached []bool
 	// removed freezes the query's statistics after RemoveQuery.
 	removed bool
 }
@@ -325,6 +348,11 @@ type Engine struct {
 	skippedSubmits  int
 	skippedRetracts int
 
+	// subKeyMemo memoises cql.SubtreeKeys per shape key: shape determines
+	// plan structure (the dedup-soundness invariant the cql tests pin), so
+	// the per-fragment subtree keys are a pure function of the shape.
+	subKeyMemo map[string][]string
+
 	// planCache memoises cql.PlanDistributed across submissions — with
 	// thousands of structurally similar queries, parsing and planning
 	// dominate submit cost. catalogs memoises DefaultCatalog per dataset
@@ -367,14 +395,15 @@ func NewEngine(cfg Config) *Engine {
 		cfg.BatchesPerSec = 3
 	}
 	e := &Engine{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		pool:      stream.NewPool(),
-		coords:    make(map[stream.QueryID]*coordinator.Coordinator),
-		queries:   make(map[stream.QueryID]*queryRT),
-		accBatch:  make(map[stream.QueryID][]float64),
-		planCache: cql.NewPlanCache(),
-		catalogs:  make(map[sources.Dataset]*cql.Catalog),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		pool:       stream.NewPool(),
+		coords:     make(map[stream.QueryID]*coordinator.Coordinator),
+		queries:    make(map[stream.QueryID]*queryRT),
+		accBatch:   make(map[stream.QueryID][]float64),
+		subKeyMemo: make(map[string][]string),
+		planCache:  cql.NewPlanCache(),
+		catalogs:   make(map[sources.Dataset]*cql.Catalog),
 	}
 	if cfg.Checkpoint > 0 {
 		e.ckptEvery = int64(cfg.Checkpoint / cfg.Interval)
@@ -502,6 +531,10 @@ func (e *Engine) deployShaped(plan *query.Plan, placement []stream.NodeID, rate 
 		epoch:     stream.Time(e.tick * int64(e.cfg.Interval)),
 		shapeKey:  shapeKey,
 	}
+	if shapeKey != "" && e.cfg.Sharing >= SharingFull {
+		rt.subKeys = e.subtreeKeys(shapeKey, plan)
+		rt.attached = make([]bool, plan.NumFragments())
+	}
 	hostSeen := make(map[stream.NodeID]bool, len(placement))
 	for _, nd := range placement {
 		if !hostSeen[nd] {
@@ -541,6 +574,17 @@ func (e *Engine) RemoveQuery(q stream.QueryID) bool {
 	for fi := range rt.plan.Fragments {
 		e.nodes[rt.placement[fi]].RemoveFragment(q, stream.FragID(fi))
 	}
+	// The departed query may have owned shared instances: each host
+	// promoted them to their first subscriber, and the instances' output
+	// already in transit belongs to the survivor's pipeline. Re-address it,
+	// or the promoted query would lose exactly the in-flight batches — a
+	// divergence from its private (SharingKeyed) execution, which keeps
+	// its own in-flight batches across another query's retract.
+	for fi := range rt.plan.Fragments {
+		for _, p := range e.nodes[rt.placement[fi]].TakePromotions() {
+			e.relabelTransit(p)
+		}
+	}
 	delete(e.coords, q)
 	delete(e.accBatch, q)
 	// The opt-in KeepSamples series survives — it is a reported result,
@@ -549,6 +593,9 @@ func (e *Engine) RemoveQuery(q stream.QueryID) bool {
 	rt.resultAcc = nil
 	rt.resultFn = nil
 	e.ckptDirty = true
+	// The departing query may have owned shared instances whose
+	// subscribers were just promoted; re-derive their fan-out boundaries.
+	e.fixShareEmits()
 	return true
 }
 
@@ -591,14 +638,13 @@ func (e *Engine) routeDownstream(from stream.NodeID, b *stream.Batch) {
 // deliverResult accumulates result SIC reaching a root fragment and feeds
 // the query's coordinator and user callback. The tuples are only
 // borrowed: callbacks that retain them (or their payloads) must copy.
-func (e *Engine) deliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple) {
+// total is the delivering batch's header SIC — identical to the
+// tuple-SIC sum except for rate-scaled fan-out views, whose headers carry
+// the subscriber's scaled mass over the primary's tuple payload.
+func (e *Engine) deliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple, total float64) {
 	rt, ok := e.queries[q]
 	if !ok || rt.removed {
 		return
-	}
-	var total float64
-	for i := range tuples {
-		total += tuples[i].SIC
 	}
 	rt.resultAcc.Add(now, total)
 	if c, ok := e.coords[q]; ok {
@@ -726,6 +772,31 @@ func (e *Engine) KillNode(id stream.NodeID) {
 			c.ResetEpoch()
 		}
 	}
+	// Re-placement changed which fragments execute privately (a displaced
+	// rider that found no same-tick sharer now runs its own executor and
+	// needs the views its upstream subscriptions previously suppressed).
+	e.fixShareEmits()
+	// Hand-offs on the dead node are moot — its instances are being
+	// re-placed, and batches in transit to it drop on delivery either way.
+	e.nodes[id].TakePromotions()
+}
+
+// relabelTransit re-addresses in-flight batches after a shared-instance
+// promotion: output the instance emitted under its old owner's identity
+// — batches bound for (OldQ, Downstream) — now belongs to the promoted
+// query, whose downstream fragment rides (or owns) the same consumer on
+// the same node, so only the label changes.
+func (e *Engine) relabelTransit(p node.Promotion) {
+	if p.Downstream < 0 {
+		return
+	}
+	for _, slot := range e.transitRing {
+		for _, d := range slot {
+			if d.b.Query == p.OldQ && d.b.Frag == p.Downstream {
+				d.b.Query = p.NewQ
+			}
+		}
+	}
 }
 
 // placeFragment instantiates fragment fi of rt's plan on the given
@@ -753,21 +824,58 @@ func (e *Engine) placeFragment(rt *queryRT, fi int, nd stream.NodeID) {
 	// private one (SharingKeyed) keep the engine's random state — and
 	// therefore everything downstream of it — bit-identical.
 	keyed := e.cfg.Sharing != SharingOff && rt.shapeKey != ""
-	// Leaf fragments (no upstream entry port) are self-contained given
-	// keyed seeds: same shape + same rate ⇒ same input forever. They
-	// deduplicate under a share key that also pins the deployment tick,
-	// so a late arrival never attaches to an instance with warm window
-	// state its private pipeline would not have had; co-displaced queries
-	// re-share at the recovery tick the same way.
+	// Every fragment — leaf scans and interior partial-aggregate merges
+	// alike — deduplicates under its canonical subtree shape key
+	// (cql.SubtreeKeys): given keyed seeds, equal subtree keys + equal
+	// rate ⇒ the same input forever, at every level of the plan. The key
+	// appends the fragment index (interchangeable leaves of one query
+	// must not collapse onto each other — they scan distinct sources) and
+	// pins the deployment tick, so a late arrival never attaches to an
+	// instance with warm window state its private pipeline would not have
+	// had; co-displaced queries re-share at the recovery tick the same
+	// way. SharingScaled drops the rate pin and scales SIC at the fan-out
+	// point instead.
 	shareKey := ""
-	if e.cfg.Sharing == SharingFull && keyed && fp.UpstreamPort < 0 {
-		shareKey = rt.shapeKey + "|f" + strconv.Itoa(fi) +
-			"|r" + strconv.FormatFloat(rt.rate, 'g', -1, 64) +
-			"|t" + strconv.FormatInt(e.tick, 10)
+	if rt.subKeys != nil && keyed {
+		shareKey = rt.subKeys[fi] + "|f" + strconv.Itoa(fi)
+		if e.cfg.Sharing != SharingScaled {
+			shareKey += "|r" + strconv.FormatFloat(rt.rate, 'g', -1, 64)
+		}
+		shareKey += "|t" + strconv.FormatInt(e.tick, 10)
 	}
-	if shareKey != "" && host.AttachShared(shareKey, rt.id, stream.FragID(fi), downstream, downstreamPort) {
-		rt.placement[fi] = nd
-		return
+	if shareKey != "" {
+		// A subscriber's fan-out view is only needed where its private
+		// pipeline resumes: the root rider always needs its own result
+		// stream, while an interior rider whose downstream fragment also
+		// rides a shared instance must not double-feed it.
+		emit := true
+		if d := plan.Downstream[fi]; d >= 0 && rt.attached[d] {
+			emit = false
+		}
+		// Rate-scaled sharing converts the primary's SIC mass into the
+		// rider's normalisation at the fan-out point. Eq. (1) stamps are
+		// fractions of the stamping query's ideal window content (rate ×
+		// |S| × T); a rider declaring twice the primary's rate receives
+		// half of *its* ideal content from the shared stream, so its view
+		// headers carry primaryRate/riderRate of the primary's mass. The
+		// per-tuple stamps inside the aliased payload stay the primary's —
+		// the header is the accountable quantity (deliverResult).
+		scale := 1.0
+		if e.cfg.Sharing == SharingScaled && rt.rate > 0 {
+			if pq, ok := host.SharedPrimary(shareKey); ok {
+				if prt := e.queries[pq]; prt != nil && prt.rate > 0 {
+					scale = prt.rate / rt.rate
+				}
+			}
+		}
+		if host.AttachShared(shareKey, rt.id, stream.FragID(fi), downstream, downstreamPort, emit, scale) {
+			rt.placement[fi] = nd
+			rt.attached[fi] = true
+			return
+		}
+	}
+	if rt.attached != nil {
+		rt.attached[fi] = false
 	}
 	host.HostFragmentShared(rt.id, stream.FragID(fi), query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort, shareKey)
 	genIdx := plan.SourceIndexOffset(fi)
@@ -788,6 +896,52 @@ func (e *Engine) placeFragment(rt *queryRT, fi int, nd stream.NodeID) {
 		host.AttachSource(src)
 	}
 	rt.placement[fi] = nd
+}
+
+// subtreeKeys memoises cql.SubtreeKeys per shape key. Shape determines
+// plan structure (the dedup-soundness invariant TestShapeImpliesIdenticalPlans
+// pins), so the per-fragment subtree keys are a pure function of the
+// shape and survive plan-cache invalidation.
+func (e *Engine) subtreeKeys(shapeKey string, plan *query.Plan) []string {
+	if ks, ok := e.subKeyMemo[shapeKey]; ok {
+		return ks
+	}
+	ks := cql.SubtreeKeys(plan, shapeKey)
+	e.subKeyMemo[shapeKey] = ks
+	return ks
+}
+
+// fixShareEmits re-establishes the fan-out boundary invariant after an
+// ownership change — a promotion following a shared primary's departure,
+// or a failure re-placement: a query's subscription at fragment u must
+// emit fan-out views exactly when the query executes u's downstream
+// fragment privately (a shared downstream is fed by its own primary's
+// chain, so a view would double-feed it; a private downstream starves
+// without one). The sweep reads the nodes' share indexes directly, so it
+// is correct even when node-side promotions have relabelled instances
+// the engine's placement records still describe by their old owner.
+func (e *Engine) fixShareEmits() {
+	if e.cfg.Sharing < SharingFull {
+		return
+	}
+	for _, qid := range e.order {
+		rt := e.queries[qid]
+		if rt.removed || rt.subKeys == nil {
+			continue
+		}
+		for u := range rt.plan.Fragments {
+			d := rt.plan.Downstream[u]
+			if d < 0 {
+				continue
+			}
+			un := e.nodes[rt.placement[u]]
+			if !un.IsShareSub(qid, stream.FragID(u)) {
+				continue
+			}
+			emit := !e.nodes[rt.placement[d]].IsShareSub(qid, stream.FragID(d))
+			un.SetSubEmit(qid, stream.FragID(u), emit)
+		}
+	}
 }
 
 // keyedSeed hashes (engine seed, shape key, fragment, source, stream tag)
@@ -1000,7 +1154,7 @@ func (e *Engine) exchangePhase(now stream.Time) {
 			e.accBatch[a.Query] = append(e.accBatch[a.Query], a.Delta)
 		}
 		for _, r := range out.Results {
-			e.deliverResult(r.Query, r.Now, r.Batch.Tuples)
+			e.deliverResult(r.Query, r.Now, r.Batch.Tuples, r.Batch.SIC)
 			r.Batch.Release()
 		}
 		for _, b := range out.Downstream {

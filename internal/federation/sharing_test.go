@@ -140,6 +140,98 @@ func TestSharingDedupActuallyShares(t *testing.T) {
 	}
 }
 
+// TestSharingNonLeafDedup checks dedup reaches interior fragments: for
+// same-shape 2-fragment queries pinned to the same two nodes, the merge
+// root deduplicates exactly like the leaf — one executing instance per
+// level, every other query riding as a subscription — and every rider
+// still receives results (the root instance fans result views out).
+func TestSharingNonLeafDedup(t *testing.T) {
+	cfg := Defaults()
+	cfg.SourceRate = 20
+	cfg.Seed = 42
+	cfg.Sharing = SharingFull
+	e := NewEngine(cfg)
+	e.AddNodes(2, 1e8)
+	const n = 6
+	for i := 0; i < n; i++ {
+		// Fragment 0 (merge root) on node 0, fragment 1 (leaf) on node 1.
+		if _, err := e.SubmitCQL(sharingShapes[0], 2, 1, 0, []stream.NodeID{0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	instances, subs := 0, 0
+	for ni := 0; ni < e.NumNodes(); ni++ {
+		ss := e.Node(stream.NodeID(ni)).StateSize()
+		instances += ss.SharedInstances
+		subs += ss.Subscriptions
+	}
+	if instances != 2 || subs != 2*(n-1) {
+		t.Fatalf("%d 2-fragment queries: %d instances, %d subscriptions; want 2 and %d (root and leaf each dedup)",
+			n, instances, subs, 2*(n-1))
+	}
+	for i := 0; i < 30; i++ {
+		e.Step()
+	}
+	for q := stream.QueryID(0); q < n; q++ {
+		if s := e.CurrentSIC(q); s <= 0 {
+			t.Errorf("query %d has no result SIC under non-leaf sharing", q)
+		}
+	}
+}
+
+// TestSharingScaledAcrossRates checks the rate-scaled mode: queries whose
+// shapes differ only in rate collapse onto one instance (SharingFull
+// keeps them apart via its rate pin), and each rider's SIC index lands at
+// primaryRate/riderRate of its private value — the fan-out point converts
+// the primary's mass into the rider's Eq. (1) normalisation, so a rider
+// declaring twice the rate honestly reports receiving half of its ideal
+// content, and a rider declaring half the rate reports double.
+func TestSharingScaledAcrossRates(t *testing.T) {
+	rates := []float64{20, 40, 10}
+	run := func(mode Sharing) (*Engine, []stream.QueryID) {
+		cfg := Defaults()
+		cfg.SourceRate = 20
+		cfg.Seed = 42
+		cfg.Sharing = mode
+		e := NewEngine(cfg)
+		e.AddNodes(2, 1e8)
+		var ids []stream.QueryID
+		for _, r := range rates {
+			q, err := e.SubmitCQL(sharingShapes[0], 1, 1, r, []stream.NodeID{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, q)
+		}
+		for i := 0; i < 40; i++ {
+			e.Step()
+		}
+		return e, ids
+	}
+	scaled, ids := run(SharingScaled)
+	ss := scaled.Node(0).StateSize()
+	if ss.SharedInstances != 1 || ss.Subscriptions != len(rates)-1 {
+		t.Fatalf("rate-scaled dedup: %+v, want 1 instance with %d subscriptions", ss, len(rates)-1)
+	}
+	full, _ := run(SharingFull)
+	fss := full.Node(0).StateSize()
+	if fss.SharedInstances != len(rates) || fss.Subscriptions != 0 {
+		t.Fatalf("SharingFull must keep distinct rates apart: %+v", fss)
+	}
+	private, pids := run(SharingKeyed)
+	for i, q := range ids {
+		got, base := scaled.CurrentSIC(q), private.CurrentSIC(pids[i])
+		if base <= 0 {
+			t.Fatalf("baseline query %d has no SIC", i)
+		}
+		want := base * rates[0] / rates[i]
+		if diff := got - want; diff > 0.15 || diff < -0.15 {
+			t.Errorf("rate %.0f: scaled SIC %.3f, want %.3f (private %.3f × %g/%g)",
+				rates[i], got, want, base, rates[0], rates[i])
+		}
+	}
+}
+
 // TestSharingTeardownNoLeaks churns queries on and off shared instances —
 // retracting the primary first, so promotion runs — and requires the
 // federation to return to its empty footprint: no fragments, no shared

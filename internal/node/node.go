@@ -44,8 +44,10 @@ type Router interface {
 	RouteDownstream(from stream.NodeID, b *stream.Batch)
 	// DeliverResult hands result tuples emitted by a root fragment to the
 	// query's user, with the SIC mass they carry. The slice is only valid
-	// during the call.
-	DeliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple)
+	// during the call. sicMass is the delivering batch's header SIC — it
+	// equals the tuple-SIC sum except for rate-scaled fan-out views, whose
+	// headers carry the subscriber's scaled mass.
+	DeliverResult(q stream.QueryID, now stream.Time, tuples []stream.Tuple, sicMass float64)
 	// ReportAccepted forwards an accepted-SIC delta to the query's
 	// coordinator (see coordinator.Acceptance).
 	ReportAccepted(q stream.QueryID, now stream.Time, delta float64)
@@ -95,6 +97,18 @@ type fanSub struct {
 	f              stream.FragID
 	downstream     stream.FragID
 	downstreamPort int
+	// emit controls whether the instance's output fans out to this
+	// subscriber as a retained view. Subscribers whose own downstream
+	// fragment also rides a shared instance need no view — the shared
+	// downstream is already fed by the primary chain, and an extra copy
+	// would double-feed it — but their SIC accounting still mirrors.
+	emit bool
+	// scale multiplies the SIC mass this subscriber sees, 1 for exact
+	// sharing. Rate-scaled sharing attaches queries whose shapes differ
+	// only in source rate and scales SIC at the fan-out point (batch
+	// headers and accounting credits; per-tuple SIC inside fanned-out
+	// payloads stays the primary's — a documented approximation).
+	scale float64
 }
 
 // fragInstance is one hosted fragment: its executor plus routing facts.
@@ -181,6 +195,9 @@ type Node struct {
 	// hostsQuery O(1) — with thousands of deduplicated queries per node
 	// the former fragment scan dominated coordinator-update handling.
 	hostedQ map[stream.QueryID]int
+	// promos logs shared-instance ownership hand-offs until the driver
+	// drains them (TakePromotions); nil except across a removal.
+	promos []Promotion
 
 	ib       []*stream.Batch
 	ibTuples int
@@ -381,13 +398,17 @@ func (n *Node) HostFragmentShared(q stream.QueryID, f stream.FragID, exec *query
 
 // AttachShared subscribes fragment (q, f) to an existing shared instance
 // with the given share key, if the node hosts one. The subscriber gets no
-// executor and no sources — the shared instance's output is viewed once
-// per subscriber, addressed to (q, downstream, downstreamPort), and its
-// kept SIC credited to q. Reports whether the attach happened; a false
-// return means the caller deploys the fragment normally (becoming the
-// share target for later queries when hosted with the same key).
+// executor and no sources — when emit is set the shared instance's output
+// is viewed once per subscriber, addressed to (q, downstream,
+// downstreamPort), and either way its kept SIC (times scale) is credited
+// to q. Callers pass emit=false when the subscriber's downstream fragment
+// itself rides a shared instance fed by the primary chain; scale is 1 for
+// exact sharing and riderRate/primaryRate under rate-scaled sharing.
+// Reports whether the attach happened; a false return means the caller
+// deploys the fragment normally (becoming the share target for later
+// queries when hosted with the same key).
 func (n *Node) AttachShared(shareKey string, q stream.QueryID, f stream.FragID,
-	downstream stream.FragID, downstreamPort int) bool {
+	downstream stream.FragID, downstreamPort int, emit bool, scale float64) bool {
 	if shareKey == "" {
 		return false
 	}
@@ -395,12 +416,50 @@ func (n *Node) AttachShared(shareKey string, q stream.QueryID, f stream.FragID,
 	if !ok {
 		return false
 	}
+	if scale <= 0 {
+		scale = 1
+	}
 	inst := n.frags[pk]
-	inst.subs = append(inst.subs, fanSub{q: q, f: f, downstream: downstream, downstreamPort: downstreamPort})
+	inst.subs = append(inst.subs, fanSub{
+		q: q, f: f, downstream: downstream, downstreamPort: downstreamPort,
+		emit: emit, scale: scale,
+	})
 	n.subOf[fragKey{q, f}] = pk
 	n.hostedQ[q]++
 	n.rebuildAccts()
 	return true
+}
+
+// SharedPrimary reports the query currently executing the shared
+// instance registered under the key, so drivers can compare a
+// prospective subscriber against the primary (rate scaling) before
+// attaching.
+func (n *Node) SharedPrimary(shareKey string) (stream.QueryID, bool) {
+	pk, ok := n.shared[shareKey]
+	if !ok {
+		return 0, false
+	}
+	return pk.q, true
+}
+
+// SetSubEmit flips the fan-out emission of an existing subscription.
+// Drivers call it when a subscriber's downstream fragment stops (or
+// starts) riding a shared instance — e.g. failure recovery re-placed the
+// rider's merge fragment as a private executor, which now needs the
+// views the boundary previously suppressed. No-op for unknown
+// subscriptions.
+func (n *Node) SetSubEmit(q stream.QueryID, f stream.FragID, emit bool) {
+	pk, ok := n.subOf[fragKey{q, f}]
+	if !ok {
+		return
+	}
+	inst := n.frags[pk]
+	for i := range inst.subs {
+		if inst.subs[i].q == q && inst.subs[i].f == f {
+			inst.subs[i].emit = emit
+			return
+		}
+	}
 }
 
 // RemoveFragment undeploys a fragment: its executor, sources and pending
@@ -485,6 +544,27 @@ func (n *Node) dropQueryRef(q stream.QueryID) {
 	}
 }
 
+// Promotion records one shared-instance ownership hand-off: the instance
+// formerly labelled (OldQ, Frag) now belongs to NewQ. Downstream is the
+// instance's downstream fragment at hand-off time (-1 for a root). The
+// driver uses the record to re-address the instance's in-flight output —
+// batches already in transit under (OldQ, Downstream) belong to the
+// survivor's pipeline, not the departed query's.
+type Promotion struct {
+	OldQ, NewQ stream.QueryID
+	Frag       stream.FragID
+	Downstream stream.FragID
+}
+
+// TakePromotions returns the promotions recorded since the last call and
+// clears the log. Drivers drain it right after a removal so in-flight
+// batches can follow the hand-off.
+func (n *Node) TakePromotions() []Promotion {
+	p := n.promos
+	n.promos = nil
+	return p
+}
+
 // promote hands a shared instance to its first subscriber after the
 // owning query departs: the executor and its accumulated window state,
 // the attached sources and any buffered input batches are relabelled to
@@ -493,6 +573,9 @@ func (n *Node) dropQueryRef(q stream.QueryID) {
 // have held — and the remaining subscribers keep fanning out as before.
 func (n *Node) promote(key fragKey, inst *fragInstance) {
 	sub := inst.subs[0]
+	n.promos = append(n.promos, Promotion{
+		OldQ: key.q, NewQ: sub.q, Frag: key.f, Downstream: inst.downstream,
+	})
 	inst.subs = inst.subs[1:]
 	newKey := fragKey{sub.q, sub.f}
 	delete(n.subOf, newKey)
@@ -595,6 +678,14 @@ func (n *Node) StateSize() StateSize {
 
 func (n *Node) hostsQuery(q stream.QueryID) bool {
 	return n.hostedQ[q] > 0
+}
+
+// IsShareSub reports whether (q, f) currently rides a shared instance as
+// a subscriber rather than executing privately. Drivers consult it when
+// re-establishing fan-out boundaries after promotions and re-placements.
+func (n *Node) IsShareSub(q stream.QueryID, f stream.FragID) bool {
+	_, ok := n.subOf[fragKey{q, f}]
+	return ok
 }
 
 // HostsFragment reports whether the node hosts the given fragment,
@@ -778,8 +869,11 @@ func (n *Node) emitFragment(inst *fragInstance, tuples []stream.Tuple) {
 	// on different nodes — releases.
 	for i := range inst.subs {
 		s := &inst.subs[i]
+		if !s.emit {
+			continue
+		}
 		v := n.pool.ViewRetained(b, s.q, inst.f, -1, b.TS, b.Tuples)
-		v.SIC = b.SIC
+		v.SIC = b.SIC * s.scale
 		if s.downstream < 0 {
 			n.out.Results = append(n.out.Results, ResultEmit{Query: s.q, Now: n.now, Batch: v})
 		} else {
@@ -810,9 +904,9 @@ func (n *Node) creditSubs(b *stream.Batch, derived bool) {
 	for i := range inst.subs {
 		if ai, ok := n.acctIdx[inst.subs[i].q]; ok {
 			if derived {
-				n.accts[ai].derived += b.SIC
+				n.accts[ai].derived += b.SIC * inst.subs[i].scale
 			} else {
-				n.accts[ai].kept += b.SIC
+				n.accts[ai].kept += b.SIC * inst.subs[i].scale
 			}
 		}
 	}

@@ -43,7 +43,7 @@ func (r *fakeRouter) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 	cp.Tuples = cloneTuples(b.Tuples)
 	r.downstream = append(r.downstream, cp)
 }
-func (r *fakeRouter) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple) {
+func (r *fakeRouter) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple, _ float64) {
 	r.results[q] = append(r.results[q], cloneTuples(tuples)...)
 }
 func (r *fakeRouter) ReportAccepted(q stream.QueryID, _ stream.Time, delta float64) {

@@ -72,7 +72,7 @@ func (o *Outbox) Replay(from stream.NodeID, r Router) {
 		r.ReportAccepted(a.Query, a.Now, a.Delta)
 	}
 	for _, re := range o.Results {
-		r.DeliverResult(re.Query, re.Now, re.Batch.Tuples)
+		r.DeliverResult(re.Query, re.Now, re.Batch.Tuples, re.Batch.SIC)
 		re.Batch.Release()
 	}
 	for _, b := range o.Downstream {

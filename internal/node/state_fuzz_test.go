@@ -36,7 +36,7 @@ func (r *loopbackRouter) RouteDownstream(_ stream.NodeID, b *stream.Batch) {
 	cp.SIC = b.SIC
 	r.batches = append(r.batches, cp)
 }
-func (r *loopbackRouter) DeliverResult(stream.QueryID, stream.Time, []stream.Tuple) {}
+func (r *loopbackRouter) DeliverResult(stream.QueryID, stream.Time, []stream.Tuple, float64) {}
 func (r *loopbackRouter) ReportAccepted(stream.QueryID, stream.Time, float64)       {}
 
 // buildStateNode hosts every fragment of a workload mix covering all

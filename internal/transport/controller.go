@@ -3,9 +3,11 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/cql"
 	"repro/internal/federation"
 	"repro/internal/metrics"
+	"repro/internal/query"
 	"repro/internal/sic"
 	"repro/internal/sources"
 	"repro/internal/stream"
@@ -78,11 +81,34 @@ type Controller struct {
 	sicFn func(q stream.QueryID, now stream.Time, v float64)
 
 	// planCache memoises Submit's local planning step (text and canonical
-	// shape level), invalidated on membership change. Host nodes still
-	// re-plan the travelling CQL text themselves — fragment dedup across
-	// queries is an engine-runtime feature and does not extend to the
-	// networked transport in this iteration.
+	// shape level), invalidated on membership change. Host nodes re-plan
+	// the travelling CQL text themselves through their own caches; under
+	// sharing the controller additionally derives each fragment's
+	// structural subtree key from the cached plan to key the distributed
+	// share index below.
 	planCache *cql.PlanCache
+
+	// sharing selects the networked multi-query sharing mode. shareIdx is
+	// an exact mirror of every host's share index (node index → share key
+	// → members in attach order, members[0] executing): per-connection
+	// sends are ordered and the node's attach/host/promote decisions are
+	// deterministic functions of arrival order, so the controller can
+	// predict every host-side outcome without a round trip. qShare holds
+	// per-query share facts; shareEpoch pins share keys in time — every
+	// pre-Run submission shares epoch 0 (instances are cold until Start,
+	// so attaching is exact), while each post-Start submission and each
+	// recovery event mints a fresh epoch so nothing attaches to an
+	// instance already mid-stream.
+	sharing    federation.Sharing
+	shareIdx   map[int]map[string]*shareGroup
+	qShare     map[stream.QueryID]*queryShare
+	shareEpoch int64
+	// ckptCompat banks the newest checkpoint blob per shape-compatibility
+	// key (shape|frag|rate — the share identity without its epoch pin).
+	// Shared subscribers carry no private state, so their displaced
+	// fragments restore from a same-shape query's blob; keyed source
+	// seeding is what makes that state exchangeable.
+	ckptCompat map[string][]byte
 
 	// stopping flips before the stop handshake; read-loop errors after
 	// that are expected connection teardown, errors before it are node
@@ -103,6 +129,38 @@ type sampleStats struct {
 type deployRecord struct {
 	base Deploy // shared descriptor; per-fragment fields unset
 	seed int64  // SourceSeed base (per-fragment: seed + frag)
+}
+
+// shareGroup mirrors one host's shared instance: the queries subscribed
+// under one share key, in attach order. members[0] executes; the rest
+// ride as fan-out subscribers. The node promotes the next subscriber in
+// attach order when the executing query departs, which is exactly
+// members[1] here — the mirror replays the node's decision locally.
+type shareGroup struct {
+	members []stream.QueryID
+}
+
+// queryShare is one query's sharing facts: its structural identity
+// (epoch-free per-fragment subtree keys over the canonical shape), the
+// plan's downstream wiring, and the current share state per fragment —
+// the full key it was deployed under ("" before sharing applies),
+// whether the fragment rides a shared instance or executes, and the
+// last emit bit delivered for riding fragments.
+type queryShare struct {
+	shape    string
+	rate     float64
+	subKeys  []string
+	downs    []int
+	keys     []string
+	attached []bool
+	emits    []bool
+}
+
+// emitFlip is one pending KindShareEmit send: the emit-invariant sweep
+// computes flips under c.mu and delivers them outside it.
+type emitFlip struct {
+	ni int
+	e  *Envelope
 }
 
 // nodeFailure is one detected node death, reported to Run.
@@ -148,6 +206,17 @@ type ControllerConfig struct {
 	// DisableRecovery restores the pre-churn behaviour: any node failure
 	// aborts the run instead of re-placing the dead node's fragments.
 	DisableRecovery bool
+	// Sharing selects the multi-query sharing mode applied across the
+	// networked federation, mirroring federation.EngineConfig.Sharing:
+	// off (default — deploys are byte-for-byte the legacy ones), keyed
+	// (same-shape CQL submissions draw identical source streams, enabling
+	// cross-query checkpoint compatibility), full (same-shape fragments
+	// placed on the same host collapse onto one executing instance with
+	// refcounted fan-out views), or scaled (full, plus instances shared
+	// across rates with the SIC mass converted at the fan-out point).
+	// Sharing applies to CQL submissions; named-workload deploys stay on
+	// the legacy path.
+	Sharing federation.Sharing
 	// Checkpoint is the operator-state checkpoint cadence: every
 	// Checkpoint of wall clock each host snapshots its fragments and
 	// ships the sealed blobs here; failure recovery then restores a
@@ -190,9 +259,13 @@ func NewController(cfg ControllerConfig, nodeAddrs []string) (*Controller, error
 		strategy:  cfg.Placement,
 		hbTimeout: hb,
 		norecover: cfg.DisableRecovery,
-		fail:      make(chan nodeFailure, 64),
-		statsCh:   make(chan struct{}, 256),
-		planCache: cql.NewPlanCache(),
+		fail:       make(chan nodeFailure, 64),
+		statsCh:    make(chan struct{}, 256),
+		planCache:  cql.NewPlanCache(),
+		sharing:    cfg.Sharing,
+		shareIdx:   make(map[int]map[string]*shareGroup),
+		qShare:     make(map[stream.QueryID]*queryShare),
+		ckptCompat: make(map[string][]byte),
 	}
 	if len(nodeAddrs) > 0 {
 		p, err := federation.NewPlacer(cfg.Placement, len(nodeAddrs), cfg.Seed)
@@ -389,7 +462,7 @@ func (c *Controller) Deploy(workload string, fragments, dataset int, rate, batch
 	return c.deploy(Deploy{
 		Workload: workload, Fragments: fragments, Dataset: dataset,
 		Rate: rate, Batches: batchesPerSec,
-	}, fragments, placement)
+	}, fragments, placement, nil, "")
 }
 
 // DeployCQL parses and plans a CQL statement, partitions it into the
@@ -416,7 +489,7 @@ func (c *Controller) Submit(cqlText string, fragments, dataset int, rate, batche
 	// parse and planning work entirely; plans are read-only templates, so
 	// sharing one across query ids is safe.
 	ds := sources.Dataset(dataset)
-	plan, _, err := c.planCache.PlanDistributed(cqlText, cql.DefaultCatalog(ds), ds.String(), fragments)
+	plan, shape, err := c.planCache.PlanDistributed(cqlText, cql.DefaultCatalog(ds), ds.String(), fragments)
 	if err != nil {
 		return 0, err
 	}
@@ -432,7 +505,7 @@ func (c *Controller) Submit(cqlText string, fragments, dataset int, rate, batche
 	return c.deploy(Deploy{
 		CQL: cqlText, Workload: plan.Type, Fragments: plan.NumFragments(), Dataset: dataset,
 		Rate: rate, Batches: batchesPerSec,
-	}, plan.NumFragments(), placement)
+	}, plan.NumFragments(), placement, plan, shape)
 }
 
 // Retract tears a running query down mid-run: its hosts drop the
@@ -457,6 +530,11 @@ func (c *Controller) Retract(q stream.QueryID) error {
 		mean = st.sum / float64(st.n)
 	}
 	c.finished[q] = mean
+	// Mirror the hosts' teardown before the retract frames go out: group
+	// membership shifts (including promotion of the next subscriber to
+	// executing) and the emit invariant is re-derived over what remains.
+	c.dropShareLocked(q, placement)
+	flips := c.shareEmitSweepLocked()
 	delete(c.coords, q)
 	delete(c.accs, q)
 	delete(c.sums, q)
@@ -483,10 +561,19 @@ func (c *Controller) Retract(q stream.QueryID) error {
 		seen[ni] = true
 		conns[ni].send(&Envelope{Kind: KindRetract, Retract: &Retract{Query: q}})
 	}
+	// Emit flips ship after the retracts: per-connection ordering then
+	// guarantees a host sees the promotion (retract) before any flip that
+	// depends on it, and flips to other hosts converge within a tick.
+	c.sendEmitFlips(flips)
 	return nil
 }
 
-func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.QueryID, error) {
+// deploy registers a query's controller-side records and sends one
+// Deploy per fragment. plan and shape are non-nil/non-empty for CQL
+// submissions; with sharing enabled they drive the keyed source seeds
+// and the share-index decisions — attach-vs-host is settled here, under
+// the mirror, and travels to the host as an opaque ShareKey.
+func (c *Controller) deploy(d Deploy, fragments int, placement []int, plan *query.Plan, shape string) (stream.QueryID, error) {
 	if err := c.checkPlacement(fragments, placement); err != nil {
 		return 0, err
 	}
@@ -505,16 +592,209 @@ func (c *Controller) deploy(d Deploy, fragments int, placement []int) (stream.Qu
 	c.hosts[q] = append([]int(nil), placement...)
 	c.deps[q] = &deployRecord{base: d, seed: seed}
 	c.qEpochs[q] = time.Now()
+	var qs *queryShare
+	if c.sharing != federation.SharingOff && shape != "" && plan != nil {
+		qs = &queryShare{
+			shape:    shape,
+			rate:     d.Rate,
+			subKeys:  cql.SubtreeKeys(plan, shape),
+			downs:    append([]int(nil), plan.Downstream...),
+			keys:     make([]string, fragments),
+			attached: make([]bool, fragments),
+			emits:    make([]bool, fragments),
+		}
+		c.qShare[q] = qs
+	}
+	epoch := int64(0)
+	if qs != nil && c.running.Load() {
+		c.shareEpoch++
+		epoch = c.shareEpoch
+	}
+	outs := make([]Deploy, fragments)
+	for f, ni := range placement {
+		df := fragDeploy(d, q, stream.FragID(f), peers, seed, c.stw, c.ival, c.ckptMs())
+		if qs != nil {
+			df.SourceSeed = keyedSourceSeed(qs.shape, qs.rate, c.sharing == federation.SharingScaled, stream.FragID(f))
+			if c.sharing >= federation.SharingFull {
+				c.applyShareLocked(qs, q, f, ni, epoch, &df)
+			}
+		}
+		outs[f] = df
+	}
 	conns := append([]*conn(nil), c.nodes...)
 	c.mu.Unlock()
 
 	for f, ni := range placement {
-		d := fragDeploy(d, q, stream.FragID(f), peers, seed, c.stw, c.ival, c.ckptMs())
-		if err := conns[ni].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
+		if err := conns[ni].send(&Envelope{Kind: KindDeploy, Deploy: &outs[f]}); err != nil {
 			return 0, err
 		}
 	}
 	return q, nil
+}
+
+// shareKeyFor mints a fragment's full share key: the structural subtree
+// key plus fragment index, a rate pin under the exact modes (scaled
+// sharing deliberately collapses rates), and the epoch pin.
+func (c *Controller) shareKeyFor(qs *queryShare, f int, epoch int64) string {
+	key := qs.subKeys[f] + "|f" + strconv.Itoa(f)
+	if c.sharing != federation.SharingScaled {
+		key += "|r" + strconv.FormatFloat(qs.rate, 'g', -1, 64)
+	}
+	return key + "|e" + strconv.FormatInt(epoch, 10)
+}
+
+// keyedSourceSeed derives a fragment's source seed from its structural
+// identity instead of its submission order: same-shape (and, except
+// under scaled sharing, same-rate) queries draw identical streams, which
+// is what makes one query's execution — and its checkpoints — valid for
+// another. Named-workload deploys and SharingOff keep the legacy
+// per-query seeds.
+func keyedSourceSeed(shape string, rate float64, scaled bool, f stream.FragID) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, shape)
+	if !scaled {
+		io.WriteString(h, "|r"+strconv.FormatFloat(rate, 'g', -1, 64))
+	}
+	io.WriteString(h, "|f"+strconv.Itoa(int(f)))
+	return int64(h.Sum64() & (1<<63 - 1))
+}
+
+// applyShareLocked settles attach-vs-host for one fragment deploy
+// against the mirror. Every sharing-eligible deploy carries its key (the
+// first under a key becomes the host's registered dedup target); a
+// deploy finding an existing group attaches instead — riding the
+// instance with an emit bit per the invariant (emit iff the query's own
+// downstream fragment executes privately) and, under scaled sharing,
+// the Eq. (1) conversion factor primaryRate/riderRate. deploy processes
+// fragments in ascending order and Downstream[f] < f, so the downstream
+// attach decision this reads is always already made. Callers hold c.mu.
+func (c *Controller) applyShareLocked(qs *queryShare, q stream.QueryID, f, ni int, epoch int64, df *Deploy) {
+	key := c.shareKeyFor(qs, f, epoch)
+	idx := c.shareIdx[ni]
+	if idx == nil {
+		idx = make(map[string]*shareGroup)
+		c.shareIdx[ni] = idx
+	}
+	df.ShareKey = key
+	qs.keys[f] = key
+	g := idx[key]
+	if g == nil || len(g.members) == 0 {
+		idx[key] = &shareGroup{members: []stream.QueryID{q}}
+		qs.emits[f] = true // executes privately; kept coherent for sweeps
+		return
+	}
+	qs.attached[f] = true
+	down := qs.downs[f]
+	emit := down < 0 || !qs.attached[down]
+	qs.emits[f] = emit
+	df.ShareEmit = emit
+	if c.sharing == federation.SharingScaled && qs.rate > 0 {
+		if pqs := c.qShare[g.members[0]]; pqs != nil && pqs.rate > 0 {
+			df.ShareScale = pqs.rate / qs.rate
+		}
+	}
+	g.members = append(g.members, q)
+}
+
+// dropShareLocked removes a departing query from every share group it
+// belongs to, mirroring the node-side teardown: removing a subscriber
+// just detaches it, removing the executing member promotes the next in
+// attach order (the node hands the instance over in the same order —
+// the promoted query's fragment flips from riding to executing here),
+// and an emptied group disappears with its instance. Callers hold c.mu
+// and pass the query's placement, which must still be live.
+func (c *Controller) dropShareLocked(q stream.QueryID, placement []int) {
+	qs := c.qShare[q]
+	if qs == nil {
+		return
+	}
+	for f, key := range qs.keys {
+		if key == "" || f >= len(placement) {
+			continue
+		}
+		idx := c.shareIdx[placement[f]]
+		g := idx[key]
+		if g == nil {
+			continue
+		}
+		for i, m := range g.members {
+			if m != q {
+				continue
+			}
+			wasPrimary := i == 0
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			if len(g.members) == 0 {
+				delete(idx, key)
+			} else if wasPrimary {
+				if nqs := c.qShare[g.members[0]]; nqs != nil && f < len(nqs.attached) {
+					nqs.attached[f] = false
+				}
+			}
+			break
+		}
+	}
+	delete(c.qShare, q)
+}
+
+// shareEmitSweepLocked re-derives every subscription's emit bit from the
+// mirror — emit iff the subscriber's downstream fragment executes
+// privately — and returns the flips to deliver. Retract and recovery
+// call it after mutating the mirror; promotion is the interesting case
+// (a promoted query's upstream subscriptions must start feeding the
+// instance it now executes). Callers hold c.mu; sends happen outside.
+func (c *Controller) shareEmitSweepLocked() []emitFlip {
+	var flips []emitFlip
+	for q, qs := range c.qShare {
+		placement := c.hosts[q]
+		for f := range qs.keys {
+			if !qs.attached[f] || f >= len(placement) {
+				continue
+			}
+			down := qs.downs[f]
+			want := down < 0 || !qs.attached[down]
+			if want == qs.emits[f] {
+				continue
+			}
+			qs.emits[f] = want
+			flips = append(flips, emitFlip{placement[f], &Envelope{Kind: KindShareEmit, ShareEmit: &ShareEmitMsg{
+				Query: q, Frag: stream.FragID(f), Emit: want,
+			}}})
+		}
+	}
+	return flips
+}
+
+// sendEmitFlips delivers pending emit updates; dead hosts are skipped —
+// failure detection owns that path and recovery re-derives the bits.
+func (c *Controller) sendEmitFlips(flips []emitFlip) {
+	if len(flips) == 0 {
+		return
+	}
+	c.mu.Lock()
+	conns := append([]*conn(nil), c.nodes...)
+	dead := append([]bool(nil), c.dead...)
+	c.mu.Unlock()
+	for _, fl := range flips {
+		if fl.ni < 0 || fl.ni >= len(conns) || dead[fl.ni] {
+			continue
+		}
+		conns[fl.ni].send(fl.e)
+	}
+}
+
+// compatCkptKey is the shape-compatibility identity of a fragment's
+// checkpointed state: the share key without its epoch pin, empty when
+// the query has no shape or sharing is off. Mirrors the virtual-time
+// engine's compat keys (federation/checkpoint.go).
+func (c *Controller) compatCkptKey(qs *queryShare, f int) string {
+	if qs == nil || qs.shape == "" || c.sharing == federation.SharingOff {
+		return ""
+	}
+	key := qs.shape + "|f" + strconv.Itoa(f)
+	if c.sharing != federation.SharingScaled {
+		key += "|r" + strconv.FormatFloat(qs.rate, 'g', -1, 64)
+	}
+	return key
 }
 
 // fragDeploy specialises a query's shared deploy descriptor for one
@@ -777,6 +1057,27 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 			}
 		}
 	}
+	// The dead node's share groups die with it: every member's fragment
+	// there is displaced (its placement entry names the dead node, so the
+	// loop above already collected it) and gets re-keyed under a fresh
+	// recovery epoch below — co-displaced same-shape fragments re-share
+	// when the placer lands them together, and never attach to a live
+	// warm instance elsewhere.
+	for key, g := range c.shareIdx[f.idx] {
+		for _, m := range g.members {
+			if qs := c.qShare[m]; qs != nil {
+				for fi, k := range qs.keys {
+					if k == key {
+						qs.keys[fi] = ""
+						qs.attached[fi] = false
+					}
+				}
+			}
+		}
+	}
+	delete(c.shareIdx, f.idx)
+	c.shareEpoch++
+	recoveryEpoch := c.shareEpoch
 	c.mu.Unlock()
 	cn.Close() // sever, so a half-dead node stops feeding us reports
 	if c.norecover {
@@ -786,7 +1087,7 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 	start := time.Now()
 	restored := len(affected) > 0
 	for _, q := range affected {
-		warm, err := c.replaceFragments(q, f.idx)
+		warm, err := c.replaceFragments(q, f.idx, recoveryEpoch)
 		if err != nil {
 			return fmt.Errorf("node %s: %v: %w", deadAddr, f.err, err)
 		}
@@ -798,7 +1099,12 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 	}
 	c.mu.Lock()
 	c.recoveries = append(c.recoveries, ev)
+	// Re-placement may have turned riders into private executors (or new
+	// primaries into attach targets); restore the emit invariant over the
+	// surviving topology.
+	flips := c.shareEmitSweepLocked()
 	c.mu.Unlock()
+	c.sendEmitFlips(flips)
 	return nil
 }
 
@@ -812,7 +1118,7 @@ func (c *Controller) handleFailure(f nodeFailure) error {
 // accounting resets at this recovery epoch: accepted/result accumulators
 // and the run's sample sums restart, so the reported mean describes the
 // post-recovery pipeline instead of blending two incomparable regimes.
-func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) (restored bool, err error) {
+func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int, repoch int64) (restored bool, err error) {
 	c.mu.Lock()
 	placement := c.hosts[q]
 	rec := c.deps[q]
@@ -863,17 +1169,73 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) (restored b
 	for f, ni := range placement {
 		peers[stream.FragID(f)] = c.addrs[ni]
 	}
+	// Share-aware re-placement: each displaced fragment is re-keyed under
+	// the recovery epoch and settled against the mirror on its new host —
+	// co-displaced same-shape members that land together re-share (the
+	// lowest-numbered query recovers first and becomes the new target),
+	// everyone else re-deploys privately. Displaced fragments come out of
+	// the placement scan ascending, so a fragment's downstream attach
+	// state is settled before its own emit bit is derived.
+	qs := c.qShare[q]
+	type shareDecision struct {
+		key    string
+		attach bool
+		emit   bool
+		scale  float64
+	}
+	decisions := make([]shareDecision, len(displaced))
+	if qs != nil && c.sharing >= federation.SharingFull {
+		for i, f := range displaced {
+			ni := picks[i]
+			key := c.shareKeyFor(qs, f, repoch)
+			idx := c.shareIdx[ni]
+			if idx == nil {
+				idx = make(map[string]*shareGroup)
+				c.shareIdx[ni] = idx
+			}
+			qs.keys[f] = key
+			dec := shareDecision{key: key}
+			if g := idx[key]; g != nil && len(g.members) > 0 {
+				dec.attach = true
+				qs.attached[f] = true
+				down := qs.downs[f]
+				dec.emit = down < 0 || !qs.attached[down]
+				qs.emits[f] = dec.emit
+				if c.sharing == federation.SharingScaled && qs.rate > 0 {
+					if pqs := c.qShare[g.members[0]]; pqs != nil && pqs.rate > 0 {
+						dec.scale = pqs.rate / qs.rate
+					}
+				}
+				g.members = append(g.members, q)
+			} else {
+				idx[key] = &shareGroup{members: []stream.QueryID{q}}
+				qs.attached[f] = false
+				qs.emits[f] = true
+			}
+			decisions[i] = dec
+		}
+	}
 	// With checkpointing on and a blob banked for every displaced
 	// fragment, recovery restores warm state: the blobs ship to the new
 	// hosts after their deploys below, and the query's SIC accounting
 	// carries straight through the failure — no recovery epoch. A node-
 	// side restore failure (stale or corrupt blob) degrades that query's
 	// dip to roughly the legacy one; the blob's checksum and plan tags
-	// make the failure clean either way.
+	// make the failure clean either way. Fragments that re-attach to a
+	// live instance are warm by construction (the executing query's state
+	// covers them); fragments that never checkpointed privately — shared
+	// subscribers — fall back to a shape-compatible query's blob, which
+	// keyed source seeding makes exchangeable.
 	restoring := c.ckpt > 0
 	blobs := make([][]byte, len(displaced))
 	for i, f := range displaced {
+		if decisions[i].attach {
+			continue
+		}
 		blob, ok := c.ckpts[peerKey{q, stream.FragID(f)}]
+		if !ok {
+			blob, ok = c.ckptCompat[c.compatCkptKey(qs, f)]
+		}
 		if !ok {
 			restoring = false
 			break
@@ -905,6 +1267,14 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) (restored b
 	// already running.
 	for i, f := range displaced {
 		d := fragDeploy(base, q, stream.FragID(f), peers, seed, c.stw, c.ival, c.ckptMs())
+		if qs != nil {
+			d.SourceSeed = keyedSourceSeed(qs.shape, qs.rate, c.sharing == federation.SharingScaled, stream.FragID(f))
+			d.ShareKey = decisions[i].key
+			if decisions[i].attach {
+				d.ShareEmit = decisions[i].emit
+				d.ShareScale = decisions[i].scale
+			}
+		}
 		if err := conns[picks[i]].send(&Envelope{Kind: KindDeploy, Deploy: &d}); err != nil {
 			return false, fmt.Errorf("transport: re-deploy fragment %d on %s: %w", f, addrs[picks[i]], err)
 		}
@@ -912,9 +1282,10 @@ func (c *Controller) replaceFragments(q stream.QueryID, deadIdx int) (restored b
 			IntervalMs: int64(c.ival), STWMs: int64(c.stw), CheckpointMs: c.ckptMs(),
 			RunOffsetMs: c.runOffsetMs(),
 		}})
-		if restoring {
+		if restoring && blobs[i] != nil {
 			// Per-connection sends are ordered, so the restore lands
-			// after the deploy that builds its target executor.
+			// after the deploy that builds its target executor. Attaching
+			// fragments get no blob — the live instance is their state.
 			conns[picks[i]].send(&Envelope{Kind: KindRestoreState, Restore: &RestoreStateMsg{
 				Query: q, Frag: stream.FragID(f), State: blobs[i],
 			}})
@@ -1009,6 +1380,16 @@ func (c *Controller) readLoop(idx int, n *conn) {
 			// resurrect the query's state map entry.
 			if _, ok := c.deps[ck.Query]; ok {
 				c.ckpts[peerKey{ck.Query, ck.Frag}] = ck.State
+				// Bank the blob under its shape-compatibility key too:
+				// displaced shared subscribers (which never checkpoint
+				// privately) restore from here. Keys are shapes, not
+				// queries, so the bank stays bounded by workload
+				// diversity rather than churn volume.
+				if qs := c.qShare[ck.Query]; qs != nil {
+					if key := c.compatCkptKey(qs, int(ck.Frag)); key != "" {
+						c.ckptCompat[key] = ck.State
+					}
+				}
 			}
 			c.mu.Unlock()
 		case KindStats:

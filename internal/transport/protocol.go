@@ -39,6 +39,8 @@ type Envelope struct {
 	Rewire  *Rewire    `json:"rewire,omitempty"`
 	Retract *Retract   `json:"retract,omitempty"`
 
+	ShareEmit *ShareEmitMsg `json:"share_emit,omitempty"`
+
 	Checkpoint *CheckpointMsg   `json:"checkpoint,omitempty"`
 	Restore    *RestoreStateMsg `json:"restore,omitempty"`
 }
@@ -71,6 +73,11 @@ const (
 	// path: the newest checkpoint of a re-placed fragment, applied after
 	// the fragment's re-deploy so recovery skips the window refill.
 	KindRestoreState = "restore_state"
+	// KindShareEmit flips the fan-out emission of one shared-instance
+	// subscription after retract or recovery changed whether the
+	// subscriber's downstream fragment executes privately (the emit
+	// invariant — see Deploy.ShareEmit).
+	KindShareEmit = "share_emit"
 )
 
 // Hello introduces a connection.
@@ -112,6 +119,27 @@ type Deploy struct {
 	// CheckpointMs is the operator-state checkpoint cadence in wall-clock
 	// milliseconds; zero disables checkpoint shipping from this host.
 	CheckpointMs int64 `json:"checkpoint_ms,omitempty"`
+	// ShareKey is the controller-computed structural identity of this
+	// fragment under multi-query sharing: the plan-subtree key plus
+	// fragment index, rate pin (exact modes) and epoch pin. Empty when
+	// sharing is off — then the deploy is byte-for-byte the legacy one.
+	// A host receiving a non-empty key attaches the fragment to an
+	// already-hosted instance under the same key when one exists (no
+	// executor, no sources — refcounted fan-out views instead), and
+	// otherwise hosts it as the registered dedup target for later
+	// same-key deploys. Per-connection sends are ordered, so the
+	// controller's share-index mirror predicts the outcome exactly.
+	ShareKey string `json:"share_key,omitempty"`
+	// ShareEmit applies when this deploy attaches: whether the shared
+	// instance emits a per-subscriber view batch downstream for this
+	// query. True iff the query's downstream fragment executes privately
+	// — a rider whose downstream also rides the same primary chain gets
+	// its results through that chain and must not double-feed it.
+	ShareEmit bool `json:"share_emit,omitempty"`
+	// ShareScale converts the shared instance's kept SIC into this
+	// subscriber's Eq. (1) normalization under rate-scaled sharing
+	// (primaryRate/riderRate); zero or one means exact sharing.
+	ShareScale float64 `json:"share_scale,omitempty"`
 }
 
 // Start begins real-time processing on a node. The tick interval and
@@ -237,6 +265,19 @@ type RestoreStateMsg struct {
 	State []byte         `json:"state"`
 }
 
+// ShareEmitMsg flows controller → host: flip the fan-out emission of the
+// subscription (Query, Frag) on whatever shared instance it rides. The
+// controller derives the new bit from its share-index mirror after a
+// retract or recovery changed whether the subscriber's downstream
+// fragment executes privately. Unknown subscriptions are a no-op — the
+// subscription may have been promoted to primary (emission then is the
+// instance's own) or torn down by a racing retract.
+type ShareEmitMsg struct {
+	Query stream.QueryID `json:"query"`
+	Frag  stream.FragID  `json:"frag"`
+	Emit  bool           `json:"emit"`
+}
+
 // SICMsg is a coordinator result-SIC update (30 bytes in the paper's
 // binary protocol; JSON here for debuggability).
 type SICMsg struct {
@@ -271,6 +312,17 @@ type StatsMsg struct {
 	// result SIC.
 	DroppedTuples int64   `json:"dropped_tuples"`
 	DroppedSIC    float64 `json:"dropped_sic"`
+	// SharedInstances and Subscriptions report the node's share index at
+	// stop time: executing dedup targets and the queries riding them.
+	// Both stay zero with sharing off.
+	SharedInstances int `json:"shared_instances"`
+	Subscriptions   int `json:"subscriptions"`
+	// Ticks and TickNanos accumulate the node's tick count and the
+	// wall-clock time spent inside TickSpan, so networked benchmarks can
+	// derive per-query compute cost (the marginal-cost-of-sharing
+	// measurement) without instrumenting hosts externally.
+	Ticks     int64 `json:"ticks"`
+	TickNanos int64 `json:"tick_nanos"`
 }
 
 // Write-path timing defaults. Every frame write — control and batch —

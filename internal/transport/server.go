@@ -33,6 +33,18 @@ type NodeServer struct {
 	stop    chan struct{}
 	done    chan struct{}
 
+	// plans memoises the deploy path's re-planning of travelling CQL
+	// text. Under multi-query sharing the same shape arrives once per
+	// subscriber, and only the first deploy should pay the parse+plan;
+	// attach-style deploys need the plan only for downstream wiring.
+	plans *cql.PlanCache
+
+	// ticks/tickNanos count tick-loop iterations and the wall-clock time
+	// spent inside TickSpan, reported in the final stats frame. Guarded
+	// by mu (written where TickSpan runs, under the node mutex).
+	ticks     int64
+	tickNanos int64
+
 	capacity float64
 	seed     int64
 	policy   string
@@ -127,6 +139,7 @@ func NewNodeServer(cfg NodeServerConfig) (*NodeServer, error) {
 		Name:     cfg.Name,
 		ln:       ln,
 		pool:     stream.NewPool(),
+		plans:    cql.NewPlanCache(),
 		peers:    make(map[peerKey]string),
 		capacity: cfg.CapacityPerSec,
 		seed:     cfg.Seed,
@@ -254,6 +267,8 @@ func (s *NodeServer) serveConn(nc net.Conn) {
 			s.handleRewire(e.Rewire)
 		case KindRetract:
 			s.handleRetract(e.Retract)
+		case KindShareEmit:
+			s.handleShareEmit(e.ShareEmit)
 		case KindRestoreState:
 			s.handleRestore(e.Restore)
 		case KindStop:
@@ -278,15 +293,14 @@ func (s *NodeServer) enqueue(b *stream.Batch) {
 // buildPlan reconstructs a query plan from its wire descriptor: CQL text
 // is re-parsed and re-planned (deterministically, so every host node
 // derives the same fragment layout), named workloads go through the
-// Table 1 builders.
-func buildPlan(d *Deploy) (*query.Plan, error) {
+// Table 1 builders. CQL planning goes through the server's plan cache:
+// under multi-query sharing the same statement shape arrives once per
+// subscriber, and only the first pays the parse.
+func (s *NodeServer) buildPlan(d *Deploy) (*query.Plan, error) {
 	ds := sources.Dataset(d.Dataset)
 	if d.CQL != "" {
-		st, err := cql.Parse(d.CQL)
-		if err != nil {
-			return nil, err
-		}
-		return cql.PlanDistributed(st, cql.DefaultCatalog(ds), d.Fragments)
+		plan, _, err := s.plans.PlanDistributed(d.CQL, cql.DefaultCatalog(ds), ds.String(), d.Fragments)
+		return plan, err
 	}
 	switch d.Workload {
 	case "AVG-all":
@@ -306,7 +320,7 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 	if d == nil {
 		return errors.New("empty deploy")
 	}
-	plan, err := buildPlan(d)
+	plan, err := s.buildPlan(d)
 	if err != nil {
 		return err
 	}
@@ -328,7 +342,20 @@ func (s *NodeServer) handleDeploy(d *Deploy) error {
 		downstream = stream.FragID(dn)
 		downstreamPort = plan.Fragments[dn].UpstreamPort
 	}
-	s.nd.HostFragment(d.Query, d.Frag, query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort)
+	if d.ShareKey != "" {
+		if s.nd.AttachShared(d.ShareKey, d.Query, d.Frag, downstream, downstreamPort, d.ShareEmit, d.ShareScale) {
+			// The fragment rides an instance this node already executes:
+			// no executor, no sources — only the peer routes, so the
+			// instance's fan-out views find this query's downstream host.
+			for f, addr := range d.Peers {
+				s.peers[peerKey{d.Query, f}] = addr
+			}
+			return nil
+		}
+		// No instance under the key yet: host below as the registered
+		// dedup target for later same-key deploys.
+	}
+	s.nd.HostFragmentShared(d.Query, d.Frag, query.NewFragmentExec(fp), plan.NumSources(), downstream, downstreamPort, d.ShareKey)
 	for f, addr := range d.Peers {
 		s.peers[peerKey{d.Query, f}] = addr
 	}
@@ -386,6 +413,10 @@ func (s *NodeServer) handleRetract(r *Retract) {
 	s.mu.Lock()
 	if s.nd != nil {
 		s.nd.RemoveQuery(r.Query)
+		// Ownership hand-offs are mirrored by the controller (it derives
+		// the same promotion from its share index); the node-local log
+		// just needs draining so it cannot grow across retracts.
+		s.nd.TakePromotions()
 	}
 	for k := range s.peers {
 		if k.q == r.Query {
@@ -398,6 +429,22 @@ func (s *NodeServer) handleRetract(r *Retract) {
 	}
 	s.mu.Unlock()
 	s.evictStalePeers(live)
+}
+
+// handleShareEmit flips one subscription's fan-out emission. The
+// controller derives the bit from its share-index mirror after a retract
+// or recovery changed whether the subscriber's downstream fragment
+// executes privately; SetSubEmit ignores unknown subscriptions, which
+// absorbs the benign races (promotion to primary, concurrent retract).
+func (s *NodeServer) handleShareEmit(m *ShareEmitMsg) {
+	if m == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.nd != nil {
+		s.nd.SetSubEmit(m.Query, m.Frag, m.Emit)
+	}
+	s.mu.Unlock()
 }
 
 // evictStalePeers closes and forgets outbound peer connections whose
@@ -531,7 +578,10 @@ func (s *NodeServer) tickLoop(interval time.Duration) {
 			now := s.now()
 			// Tick covers [last, now): the node emits its sources over
 			// that span and sheds/processes.
+			t0 := time.Now()
 			s.nd.TickSpan(last, now)
+			s.tickNanos += time.Since(t0).Nanoseconds()
+			s.ticks++
 			out := s.nd.TakeOutbox()
 			last = now
 			s.mu.Unlock()
@@ -633,9 +683,12 @@ func (s *NodeServer) handleStop(out *conn) {
 	}
 	s.mu.Lock()
 	var stats node.Stats
+	var sz node.StateSize
 	if s.nd != nil {
 		stats = s.nd.Stats()
+		sz = s.nd.StateSize()
 	}
+	ticks, tickNanos := s.ticks, s.tickNanos
 	s.mu.Unlock()
 	out.send(&Envelope{Kind: KindStats, Stats: &StatsMsg{
 		Node:            s.Name,
@@ -645,6 +698,10 @@ func (s *NodeServer) handleStop(out *conn) {
 		ShedInvocations: stats.ShedInvocations,
 		DroppedTuples:   stats.DroppedTuples,
 		DroppedSIC:      stats.DroppedSIC,
+		SharedInstances: sz.SharedInstances,
+		Subscriptions:   sz.Subscriptions,
+		Ticks:           ticks,
+		TickNanos:       tickNanos,
 	}})
 	s.Close()
 }
@@ -883,20 +940,19 @@ func (s *NodeServer) flushCtrl() {
 
 // DeliverResult implements node.Router by queueing result SIC mass and
 // tuple counts for the controller; the tick-end flush coalesces them
-// with the heartbeat and any checkpoints into one write.
-func (s *NodeServer) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple) {
+// with the heartbeat and any checkpoints into one write. sicMass is the
+// batch-header SIC total — under rate-scaled sharing a fan-out view's
+// header is scaled while the aliased tuple payloads keep the primary's
+// per-tuple stamps, so the header is the accountable quantity.
+func (s *NodeServer) DeliverResult(q stream.QueryID, _ stream.Time, tuples []stream.Tuple, sicMass float64) {
 	s.mu.Lock()
 	ctrl := s.ctrl
 	s.mu.Unlock()
 	if ctrl == nil {
 		return
 	}
-	var total float64
-	for i := range tuples {
-		total += tuples[i].SIC
-	}
 	s.queueCtrl(&Envelope{Kind: KindReport, Report: &ReportMsg{
-		Query: q, Result: total, Tuples: len(tuples), IsResult: true,
+		Query: q, Result: sicMass, Tuples: len(tuples), IsResult: true,
 	}})
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cql"
 	"repro/internal/stream"
 )
 
@@ -33,30 +34,31 @@ func TestBatchMsgRoundTrip(t *testing.T) {
 }
 
 func TestBuildPlanNames(t *testing.T) {
+	s := &NodeServer{plans: cql.NewPlanCache()}
 	for _, w := range []string{"AVG-all", "TOP-5", "COV", "AVG"} {
 		frags := 2
 		if w == "AVG" {
 			// Single-fragment only; 2 fragments is still built with 1.
 			frags = 1
 		}
-		p, err := buildPlan(&Deploy{Workload: w, Fragments: frags})
+		p, err := s.buildPlan(&Deploy{Workload: w, Fragments: frags})
 		if err != nil || p == nil {
 			t.Errorf("%s: %v", w, err)
 		}
 	}
-	if _, err := buildPlan(&Deploy{Workload: "nope", Fragments: 1}); err == nil {
+	if _, err := s.buildPlan(&Deploy{Workload: "nope", Fragments: 1}); err == nil {
 		t.Error("unknown workload accepted")
 	}
 	// CQL text takes precedence over the workload name and partitions
 	// into the requested fragment count.
-	p, err := buildPlan(&Deploy{CQL: "Select Avg(t.v) From Src[Range 1 sec]", Fragments: 3, Dataset: 1})
+	p, err := s.buildPlan(&Deploy{CQL: "Select Avg(t.v) From Src[Range 1 sec]", Fragments: 3, Dataset: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.NumFragments() != 3 {
 		t.Errorf("CQL deploy built %d fragments, want 3", p.NumFragments())
 	}
-	if _, err := buildPlan(&Deploy{CQL: "Select Bogus(", Fragments: 1}); err == nil {
+	if _, err := s.buildPlan(&Deploy{CQL: "Select Bogus(", Fragments: 1}); err == nil {
 		t.Error("malformed CQL accepted")
 	}
 }

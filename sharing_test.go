@@ -6,6 +6,7 @@ package themis_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/federation"
@@ -49,6 +50,63 @@ func TestQueryBenchMarginalBudget(t *testing.T) {
 	}
 	if row.AllocsPerStep > 16 {
 		t.Fatalf("shared 480-query step allocates %.1f objects/step, budget 16", row.AllocsPerStep)
+	}
+}
+
+// TestNonLeafDedupBeatsLeafOnly is the CI smoke threshold for interior-
+// subtree sharing: 480 two-fragment monitors under full sharing must
+// tick more than 2x cheaper than unshared. The 2x line matters because
+// leaf-only dedup (PR 6) cannot cross it on this workload — the
+// combining roots stay private, which is half the work — so anything
+// above certifies the non-leaf dedup is live. The committed record
+// (BENCH_queries.json) measured 18.2x.
+func TestNonLeafDedupBeatsLeafOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-scale deployment")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is not meaningful under the race detector")
+	}
+	const queries = 480
+	off := experiments.MeasureEngineSteps(
+		experiments.NewQueryBenchEngineFrags(queries, 2, federation.SharingOff), 20, 60)
+	full := experiments.MeasureEngineSteps(
+		experiments.NewQueryBenchEngineFrags(queries, 2, federation.SharingFull), 20, 60)
+	if full.NsPerStep <= 0 || off.NsPerStep/full.NsPerStep < 2.5 {
+		t.Fatalf("non-leaf dedup: off %.0f ns/step vs full %.0f ns/step (%.1fx), want >= 2.5x",
+			off.NsPerStep, full.NsPerStep, off.NsPerStep/full.NsPerStep)
+	}
+}
+
+// TestNetQueryBenchMarginalFloor is the CI smoke threshold for the
+// networked sweep: over real loopback sockets, the marginal per-query
+// tick cost of 480 fully shared monitors must undercut the linear
+// extrapolation of 48 unshared ones by at least 3x. The committed
+// record (BENCH_queries.json) measured 12.7x at this pair and 50.9x at
+// the full 4,800-query point; the CI floor is lower because wall-clock
+// tick costs on a loaded runner are noisy.
+func TestNetQueryBenchMarginalFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock loopback federation")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock budget is not meaningful under the race detector")
+	}
+	const d = 4 * time.Second
+	off, err := experiments.NetBenchPoint(48, federation.SharingOff, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := experiments.NetBenchPoint(480, federation.SharingFull, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.SharedInstances == 0 || full.Subscriptions == 0 {
+		t.Fatalf("networked full sharing deduplicated nothing: %+v", full)
+	}
+	if full.MarginalNs <= 0 || off.MarginalNs/full.MarginalNs < 3 {
+		t.Fatalf("networked marginal: unshared %.0f ns/q vs shared %.0f ns/q (%.1fx), want >= 3x",
+			off.MarginalNs, full.MarginalNs, off.MarginalNs/full.MarginalNs)
 	}
 }
 
